@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per table and figure of the paper, plus the
+# per-operation query benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's full evaluation at small scale (minutes).
+experiments:
+	$(GO) run ./cmd/experiments -exp all -scale small
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hashtags
+	$(GO) run ./examples/serverlogs
+	$(GO) run ./examples/membership
+	$(GO) run ./examples/analytics
+
+clean:
+	$(GO) clean ./...

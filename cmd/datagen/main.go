@@ -1,0 +1,63 @@
+// Command datagen generates synthetic set collections in the line format
+// consumed by cmd/setlearn (one set per line, space-separated element ids).
+//
+// Usage:
+//
+//	datagen -kind rw -n 20000 -vocab 30000 -seed 1 -o rw.txt
+//
+// Kinds mirror the paper's datasets: rw (Zipf-skewed server-log-like,
+// sizes 2–8), tweets (hashtag-like, sizes 1–12), sd (dense synthetic,
+// sizes 6–7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"setlearn/internal/dataset"
+	"setlearn/internal/sets"
+)
+
+func main() {
+	kind := flag.String("kind", "rw", "dataset kind: rw, tweets, sd")
+	n := flag.Int("n", 10000, "number of sets")
+	vocab := flag.Int("vocab", 20000, "element vocabulary size")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "print Table 2 style statistics to stderr")
+	flag.Parse()
+
+	var c *sets.Collection
+	switch *kind {
+	case "rw":
+		c = dataset.GenerateRW(*n, *vocab, *seed)
+	case "tweets":
+		c = dataset.GenerateTweets(*n, *vocab, *seed)
+	case "sd":
+		c = dataset.GenerateSD(*n, *vocab, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q (rw, tweets, sd)\n", *kind)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := c.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		st := c.Stats()
+		fmt.Fprintf(os.Stderr, "n=%d uniq=%d maxcard=%d setsize=%d/%d\n",
+			st.N, st.UniqueElem, st.MaxCard, st.MinSetSize, st.MaxSetSize)
+	}
+}

@@ -1,0 +1,48 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp table3 -scale small
+//	experiments -exp all -scale tiny
+//
+// Experiment ids follow the paper's numbering (table2…table12, fig3, fig6,
+// fig7, fig8) plus "localerr" (§8.3.3) and "buildtime" (§8.1). Scales are
+// tiny, small, medium, paper (see DESIGN.md §5; "paper" is documented but
+// impractical on CPU).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"setlearn/internal/bench"
+	"setlearn/internal/dataset"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all' ("+strings.Join(bench.Names(), ", ")+")")
+	scale := flag.String("scale", "small", "scale preset: tiny, small, medium, paper")
+	flag.Parse()
+
+	sc, ok := dataset.ScaleByName(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scale %q (tiny, small, medium, paper)\n", *scale)
+		os.Exit(2)
+	}
+	if sc.Name == "paper" {
+		fmt.Fprintln(os.Stderr, "warning: the paper scale trains millions of samples; expect hours on CPU")
+	}
+
+	var err error
+	if *exp == "all" {
+		err = bench.RunAll(os.Stdout, sc)
+	} else {
+		err = bench.Run(*exp, os.Stdout, sc)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

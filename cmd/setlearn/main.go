@@ -1,0 +1,241 @@
+// Command setlearn builds a learned structure over a collection file and
+// answers queries with it, comparing each answer against the exact
+// linear-scan ground truth.
+//
+// Usage:
+//
+//	setlearn -task card   -data rw.txt -query "3,17,42"
+//	setlearn -task index  -data rw.txt -queries queries.txt
+//	setlearn -task member -data rw.txt -query "3,17" -compressed=false
+//	setlearn -task stats  -data rw.txt
+//
+// Trained structures can be persisted and reopened:
+//
+//	setlearn -task card -data rw.txt -save est.bin -query "3,17"
+//	setlearn -task card -data rw.txt -load est.bin -query "3,17"
+//
+// The collection file holds one set per line as space-separated element ids
+// (the cmd/datagen output format); a queries file holds one query per line
+// as comma- or space-separated ids.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"setlearn/internal/core"
+	"setlearn/internal/sets"
+)
+
+func main() {
+	task := flag.String("task", "card", "task: card, index, member, stats")
+	data := flag.String("data", "", "collection file (required)")
+	query := flag.String("query", "", "one query: comma-separated element ids")
+	queries := flag.String("queries", "", "file with one query per line")
+	compressed := flag.Bool("compressed", true, "use the compressed (CLSM) model")
+	epochs := flag.Int("epochs", 15, "training epochs")
+	maxSubset := flag.Int("max-subset", 3, "training subset size cap")
+	percentile := flag.Float64("percentile", 90, "outlier eviction percentile (0 disables)")
+	savePath := flag.String("save", "", "persist the trained structure to this file")
+	loadPath := flag.String("load", "", "load a previously saved structure instead of training")
+	flag.Parse()
+
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "setlearn: -data is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*data)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := sets.ReadCollection(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d sets from %s\n", c.Len(), *data)
+
+	if *task == "stats" {
+		st := c.Stats()
+		fmt.Printf("n=%d uniq=%d maxcard=%d setsize=%d/%d\n",
+			st.N, st.UniqueElem, st.MaxCard, st.MinSetSize, st.MaxSetSize)
+		return
+	}
+
+	qs, err := loadQueries(*query, *queries)
+	if err != nil {
+		fatal(err)
+	}
+	if len(qs) == 0 {
+		fmt.Fprintln(os.Stderr, "setlearn: provide -query or -queries")
+		os.Exit(2)
+	}
+
+	opts := core.ModelOptions{Compressed: *compressed, Epochs: *epochs, Seed: 1}
+	start := time.Now()
+	switch *task {
+	case "card":
+		var est *core.CardinalityEstimator
+		if *loadPath != "" {
+			est = loadStructure(*loadPath, func(r *os.File) (*core.CardinalityEstimator, error) {
+				return core.LoadCardinalityEstimator(r)
+			})
+			fmt.Printf("loaded estimator from %s (%.3f MB)\n", *loadPath, mbOf(est.SizeBytes()))
+		} else {
+			var err error
+			est, err = core.BuildEstimator(c, core.EstimatorOptions{
+				Model: opts, MaxSubset: *maxSubset, Percentile: *percentile,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("built estimator in %.1fs (%.3f MB)\n",
+				time.Since(start).Seconds(), mbOf(est.SizeBytes()))
+			saveStructure(*savePath, est.Save)
+		}
+		for _, q := range qs {
+			fmt.Printf("card(%v) ≈ %.1f (exact %d)\n", q, est.Estimate(q), c.Cardinality(q))
+		}
+	case "index":
+		var idx *core.SetIndex
+		if *loadPath != "" {
+			idx = loadStructure(*loadPath, func(r *os.File) (*core.SetIndex, error) {
+				return core.LoadIndex(r, c)
+			})
+			fmt.Printf("loaded index from %s (%.3f MB)\n", *loadPath, mbOf(idx.SizeBytes()))
+		} else {
+			var err error
+			idx, err = core.BuildIndex(c, core.IndexOptions{
+				Model: opts, MaxSubset: *maxSubset, Percentile: *percentile,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("built index in %.1fs (%.3f MB, max err %d)\n",
+				time.Since(start).Seconds(), mbOf(idx.SizeBytes()), idx.MaxError())
+			saveStructure(*savePath, idx.Save)
+		}
+		for _, q := range qs {
+			fmt.Printf("pos(%v) = %d (exact %d)\n", q, idx.Lookup(q), c.FirstPosition(q))
+		}
+	case "member":
+		var mf *core.MembershipFilter
+		if *loadPath != "" {
+			mf = loadStructure(*loadPath, func(r *os.File) (*core.MembershipFilter, error) {
+				return core.LoadMembershipFilter(r)
+			})
+			fmt.Printf("loaded filter from %s (%.3f MB)\n", *loadPath, mbOf(mf.SizeBytes()))
+		} else {
+			var err error
+			mf, err = core.BuildMembershipFilter(c, core.FilterOptions{
+				Model: opts, MaxSubset: *maxSubset,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("built filter in %.1fs (%.3f MB, %d backed up)\n",
+				time.Since(start).Seconds(), mbOf(mf.SizeBytes()), mf.BackupCount())
+			saveStructure(*savePath, mf.Save)
+		}
+		for _, q := range qs {
+			fmt.Printf("member(%v) = %v (exact %v, p=%.3f)\n",
+				q, mf.Contains(q), c.Member(q), mf.ModelProbability(q))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "setlearn: unknown task %q\n", *task)
+		os.Exit(2)
+	}
+}
+
+func mbOf(bytes int) float64 { return float64(bytes) / (1024 * 1024) }
+
+// saveStructure writes the structure when -save was given.
+func saveStructure(path string, save func(w io.Writer) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved to %s\n", path)
+}
+
+// loadStructure opens path and decodes the structure with load.
+func loadStructure[T any](path string, load func(*os.File) (T, error)) T {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	v, err := load(f)
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}
+
+func loadQueries(single, file string) ([]sets.Set, error) {
+	var out []sets.Set
+	if single != "" {
+		q, err := parseQuery(single)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			q, err := parseQuery(line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, q)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func parseQuery(s string) (sets.Set, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	ids := make([]uint32, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad query element %q: %w", f, err)
+		}
+		ids = append(ids, uint32(v))
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("empty query %q", s)
+	}
+	return sets.New(ids...), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "setlearn:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"setlearn/internal/sets"
+)
+
+func TestParseQuery(t *testing.T) {
+	q, err := parseQuery("3,1 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Equal(sets.New(1, 2, 3)) {
+		t.Fatalf("parsed %v", q)
+	}
+	if _, err := parseQuery("1,x"); err == nil {
+		t.Fatal("expected error for non-numeric element")
+	}
+	if _, err := parseQuery("  "); err == nil {
+		t.Fatal("expected error for empty query")
+	}
+}
+
+func TestLoadQueriesFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.txt")
+	if err := os.WriteFile(path, []byte("# header\n1,2\n\n3 4 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := loadQueries("9", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	if !qs[0].Equal(sets.New(9)) || !qs[1].Equal(sets.New(1, 2)) || !qs[2].Equal(sets.New(3, 4, 5)) {
+		t.Fatalf("queries %v", qs)
+	}
+}
+
+func TestLoadQueriesMissingFile(t *testing.T) {
+	if _, err := loadQueries("", "/nonexistent/q.txt"); err == nil {
+		t.Fatal("expected error")
+	}
+}

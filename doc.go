@@ -1,0 +1,13 @@
+// Package setlearn is a Go reproduction of "Learning over Sets for
+// Databases" (Davitkova, Gjurovski, Michel — EDBT 2024): learned,
+// permutation-invariant replacements for database structures over
+// collections of sets — a set index, a cardinality estimator, and a
+// learned Bloom filter — built on the DeepSets architecture with
+// per-element compression and a hybrid error-bounded structure.
+//
+// The public entry point is internal/core (BuildIndex, BuildEstimator,
+// BuildMembershipFilter); see README.md for the architecture overview,
+// DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. bench_test.go in this
+// directory exposes one benchmark per table and figure of the paper.
+package setlearn

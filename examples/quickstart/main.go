@@ -1,0 +1,68 @@
+// Quickstart: build all three learned structures over a tiny hashtag
+// collection (the paper's Figure 1 example, extended) and query them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"setlearn/internal/core"
+	"setlearn/internal/sets"
+)
+
+func main() {
+	// A collection of "tweets", each a set of hashtags. The Dict maps
+	// hashtag strings to the dense ids the models operate on.
+	dict := sets.NewDict()
+	collection := sets.NewCollection([]sets.Set{
+		dict.SetOf("pizza", "dinner", "yum"),
+		dict.SetOf("code", "go", "databases"),
+		dict.SetOf("pizza", "dinner"),
+		dict.SetOf("pizza", "dinner", "friends"),
+		dict.SetOf("go", "deepsets"),
+		dict.SetOf("code", "go"),
+	})
+
+	opts := core.ModelOptions{Compressed: true, Epochs: 40, Seed: 1}
+
+	// 1. Cardinality estimation: how many tweets contain {#pizza, #dinner}?
+	est, err := core.BuildEstimator(collection, core.EstimatorOptions{
+		Model: opts, MaxSubset: 3, Percentile: 90,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, _ := dict.QueryOf("pizza", "dinner")
+	fmt.Printf("cardinality(#pizza,#dinner) ≈ %.1f (exact %d)\n",
+		est.Estimate(q), collection.Cardinality(q))
+
+	// 2. Indexing: first position where {#go} appears as a subset.
+	idx, err := core.BuildIndex(collection, core.IndexOptions{
+		Model: opts, MaxSubset: 3, Percentile: 90,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	qGo, _ := dict.QueryOf("go")
+	fmt.Printf("first position of #go: %d (exact %d)\n",
+		idx.Lookup(qGo), collection.FirstPosition(qGo))
+
+	// 3. Membership: does any tweet contain {#code, #databases}?
+	filter, err := core.BuildMembershipFilter(collection, core.FilterOptions{
+		Model: opts, MaxSubset: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	qCD, _ := dict.QueryOf("code", "databases")
+	fmt.Printf("member(#code,#databases) = %v (exact %v)\n",
+		filter.Contains(qCD), collection.Member(qCD))
+
+	// Unknown combinations are filtered out.
+	qPD, _ := dict.QueryOf("pizza", "databases")
+	fmt.Printf("member(#pizza,#databases) = %v (exact %v)\n",
+		filter.Contains(qPD), collection.Member(qPD))
+
+	fmt.Printf("\nstructure sizes: estimator %.1f KB, index %.1f KB, filter %.1f KB\n",
+		float64(est.SizeBytes())/1024, float64(idx.SizeBytes())/1024, float64(filter.SizeBytes())/1024)
+}

@@ -1,0 +1,3 @@
+module setlearn
+
+go 1.22

@@ -1,0 +1,100 @@
+package ad
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ops used by attention-based set models (the Set Transformer competitor):
+// dot products between nodes, slicing, scalar broadcast, and softmax.
+
+// Dot records y = <a, b> as a length-1 node.
+func (t *Tape) Dot(a, b *Node) *Node {
+	checkSameLen("Dot", a, b)
+	out := t.newNode(1)
+	var s float64
+	for i, av := range a.Value {
+		s += av * b.Value[i]
+	}
+	out.Value[0] = s
+	out.back = func() {
+		g := out.Grad[0]
+		if g == 0 {
+			return
+		}
+		for i := range a.Value {
+			a.Grad[i] += g * b.Value[i]
+			b.Grad[i] += g * a.Value[i]
+		}
+	}
+	return out
+}
+
+// Slice records y = a[lo:hi] as a view-copy with gradient routed back to
+// the sliced range.
+func (t *Tape) Slice(a *Node, lo, hi int) *Node {
+	if lo < 0 || hi > a.Len() || lo >= hi {
+		panic(fmt.Sprintf("ad: Slice[%d:%d] of node with length %d", lo, hi, a.Len()))
+	}
+	out := t.newNode(hi - lo)
+	copy(out.Value, a.Value[lo:hi])
+	out.back = func() {
+		for i, g := range out.Grad {
+			a.Grad[lo+i] += g
+		}
+	}
+	return out
+}
+
+// ScaleByScalar records y = s·a where s is a length-1 node.
+func (t *Tape) ScaleByScalar(a, s *Node) *Node {
+	if s.Len() != 1 {
+		panic("ad: ScaleByScalar requires a scalar node")
+	}
+	out := t.newNode(a.Len())
+	sv := s.Value[0]
+	for i, av := range a.Value {
+		out.Value[i] = sv * av
+	}
+	out.back = func() {
+		var sg float64
+		for i, g := range out.Grad {
+			a.Grad[i] += g * sv
+			sg += g * a.Value[i]
+		}
+		s.Grad[0] += sg
+	}
+	return out
+}
+
+// Softmax records y = softmax(a) with the max-subtraction trick for
+// numerical stability.
+func (t *Tape) Softmax(a *Node) *Node {
+	out := t.newNode(a.Len())
+	maxV := math.Inf(-1)
+	for _, v := range a.Value {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range a.Value {
+		e := math.Exp(v - maxV)
+		out.Value[i] = e
+		sum += e
+	}
+	for i := range out.Value {
+		out.Value[i] /= sum
+	}
+	out.back = func() {
+		// dL/da_i = y_i (g_i − Σ_j g_j y_j)
+		var dot float64
+		for j, g := range out.Grad {
+			dot += g * out.Value[j]
+		}
+		for i := range a.Grad {
+			a.Grad[i] += out.Value[i] * (out.Grad[i] - dot)
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package ad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDotForwardBackward(t *testing.T) {
+	tp := NewTape()
+	a := tp.Input([]float64{1, 2, 3})
+	b := tp.Input([]float64{4, 5, 6})
+	d := tp.Dot(a, b)
+	if d.Value[0] != 32 {
+		t.Fatalf("Dot=%v", d.Value[0])
+	}
+	tp.Backward(d, []float64{2})
+	if a.Grad[0] != 8 || b.Grad[2] != 6 {
+		t.Fatalf("Dot grads a=%v b=%v", a.Grad, b.Grad)
+	}
+}
+
+func TestSliceForwardBackward(t *testing.T) {
+	tp := NewTape()
+	a := tp.Input([]float64{1, 2, 3, 4})
+	s := tp.Slice(a, 1, 3)
+	if len(s.Value) != 2 || s.Value[0] != 2 || s.Value[1] != 3 {
+		t.Fatalf("Slice=%v", s.Value)
+	}
+	tp.Backward(s, []float64{10, 20})
+	want := []float64{0, 10, 20, 0}
+	for i := range want {
+		if a.Grad[i] != want[i] {
+			t.Fatalf("Slice grad %v want %v", a.Grad, want)
+		}
+	}
+}
+
+func TestSlicePanicsOnBadRange(t *testing.T) {
+	tp := NewTape()
+	a := tp.Input([]float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tp.Slice(a, 1, 1)
+}
+
+func TestScaleByScalar(t *testing.T) {
+	tp := NewTape()
+	a := tp.Input([]float64{1, -2})
+	s := tp.Input([]float64{3})
+	y := tp.ScaleByScalar(a, s)
+	if y.Value[0] != 3 || y.Value[1] != -6 {
+		t.Fatalf("ScaleByScalar=%v", y.Value)
+	}
+	tp.Backward(y, []float64{1, 1})
+	if a.Grad[0] != 3 || a.Grad[1] != 3 {
+		t.Fatalf("vector grad %v", a.Grad)
+	}
+	if s.Grad[0] != -1 { // 1*1 + 1*(-2)
+		t.Fatalf("scalar grad %v", s.Grad)
+	}
+}
+
+func TestSoftmaxForward(t *testing.T) {
+	tp := NewTape()
+	x := tp.Input([]float64{1, 1, 1})
+	y := tp.Softmax(x)
+	for _, v := range y.Value {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("uniform softmax got %v", y.Value)
+		}
+	}
+	// Stability at extreme logits.
+	tp2 := NewTape()
+	y2 := tp2.Softmax(tp2.Input([]float64{1000, 0}))
+	if math.IsNaN(y2.Value[0]) || y2.Value[0] < 0.999 {
+		t.Fatalf("extreme softmax got %v", y2.Value)
+	}
+}
+
+// Gradient check over a full single-head attention computation: softmax of
+// scaled dots, weighted sum of values, scalar output.
+func TestGradientCheckAttentionShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const d = 3
+	q := make([]float64, d)
+	keys := make([][]float64, 4)
+	vals := make([][]float64, 4)
+	for i := range keys {
+		keys[i] = make([]float64, d)
+		vals[i] = make([]float64, d)
+		for j := 0; j < d; j++ {
+			keys[i][j] = rng.NormFloat64()
+			vals[i][j] = rng.NormFloat64()
+		}
+	}
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+
+	forward := func() (float64, *Tape, []*Node) {
+		tp := NewTape()
+		qn := tp.Input(q)
+		var scores []*Node
+		var vns []*Node
+		var kns []*Node
+		for i := range keys {
+			kn := tp.Input(keys[i])
+			kns = append(kns, kn)
+			vns = append(vns, tp.Input(vals[i]))
+			scores = append(scores, tp.AffineConst(tp.Dot(qn, kn), 1/math.Sqrt(d), 0))
+		}
+		w := tp.Softmax(tp.Concat(scores...))
+		var weighted []*Node
+		for i := range vns {
+			weighted = append(weighted, tp.ScaleByScalar(vns[i], tp.Slice(w, i, i+1)))
+		}
+		out := tp.Dot(tp.SumPool(weighted), qn) // arbitrary scalar head
+		return out.Value[0], tp, append([]*Node{qn}, kns...)
+	}
+
+	base, tp, nodes := forward()
+	_ = base
+	out := tp.nodes[len(tp.nodes)-1]
+	tp.Backward(out, nil)
+
+	const eps = 1e-6
+	check := func(name string, param []float64, grad []float64) {
+		for i := range param {
+			old := param[i]
+			param[i] = old + eps
+			up, _, _ := forward()
+			param[i] = old - eps
+			dn, _, _ := forward()
+			param[i] = old
+			fd := (up - dn) / (2 * eps)
+			if math.Abs(fd-grad[i]) > 1e-5*(1+math.Abs(fd)) {
+				t.Fatalf("%s[%d]: analytic %g vs fd %g", name, i, grad[i], fd)
+			}
+		}
+	}
+	check("q", q, nodes[0].Grad)
+	for i := range keys {
+		check("k", keys[i], nodes[1+i].Grad)
+	}
+}

@@ -1,0 +1,117 @@
+// Package baselines implements the traditional competitors of the paper's
+// evaluation (§8.1.2), adapted for permutation invariance by canonical
+// (sorted) set hashing:
+//
+//   - cardinality estimation: a HashMap from every subset to its count,
+//   - set index: a B+ tree keyed by a permutation-invariant set hash,
+//   - membership: a Bloom filter over all subset hashes.
+//
+// All three are exact (accuracy 1) but pay for it in memory, which is the
+// comparison the paper draws in Tables 3, 7, and 10.
+package baselines
+
+import (
+	"setlearn/internal/bloom"
+	"setlearn/internal/bptree"
+	"setlearn/internal/dataset"
+	"setlearn/internal/sets"
+)
+
+// SubsetHashMap stores the exact cardinality of every subset up to the
+// enumeration cap — the paper's HashMap competitor for cardinality
+// estimation.
+type SubsetHashMap struct {
+	counts    map[string]int
+	maxSubset int
+	keyBytes  int
+}
+
+// BuildSubsetHashMap indexes all subsets recorded in st.
+func BuildSubsetHashMap(st *dataset.SubsetStats, maxSubset int) *SubsetHashMap {
+	h := &SubsetHashMap{counts: make(map[string]int, st.Len()), maxSubset: maxSubset}
+	for _, k := range st.Keys {
+		h.counts[k] = st.ByKey[k].Card
+		h.keyBytes += len(k)
+	}
+	return h
+}
+
+// Cardinality returns the exact count for q, or 0 when q does not occur
+// (or exceeds the enumeration cap).
+func (h *SubsetHashMap) Cardinality(q sets.Set) int { return h.counts[q.Key()] }
+
+// Len returns the number of indexed subsets.
+func (h *SubsetHashMap) Len() int { return len(h.counts) }
+
+// SizeBytes estimates the map footprint: key bytes, 8-byte counts, and Go
+// map per-entry overhead.
+func (h *SubsetHashMap) SizeBytes() int {
+	const entryOverhead = 32
+	return h.keyBytes + (8+entryOverhead)*len(h.counts)
+}
+
+// BPTreeIndex is the paper's set-index competitor: a B+ tree mapping the
+// permutation-invariant hash of every subset to its first position.
+type BPTreeIndex struct {
+	tree       *bptree.Tree
+	collection *sets.Collection
+}
+
+// BuildBPTreeIndex indexes every subset in st at the given order.
+func BuildBPTreeIndex(c *sets.Collection, st *dataset.SubsetStats, order int) *BPTreeIndex {
+	idx := &BPTreeIndex{tree: bptree.New(order), collection: c}
+	for _, k := range st.Keys {
+		info := st.ByKey[k]
+		idx.tree.Insert(info.Set.Hash(), uint32(info.FirstPos))
+	}
+	return idx
+}
+
+// Lookup returns the first position of q, or -1. Hash collisions are
+// resolved by verifying candidate positions against the collection.
+func (idx *BPTreeIndex) Lookup(q sets.Set) int {
+	vals, ok := idx.tree.Get(q.Hash())
+	if !ok {
+		return -1
+	}
+	best := -1
+	for _, pos := range vals {
+		if idx.collection.At(int(pos)).ContainsAll(q) {
+			if best < 0 || int(pos) < best {
+				best = int(pos)
+			}
+		}
+	}
+	return best
+}
+
+// SizeBytes returns the B+ tree footprint.
+func (idx *BPTreeIndex) SizeBytes() int { return idx.tree.SizeBytes() }
+
+// Len returns the number of indexed subsets.
+func (idx *BPTreeIndex) Len() int { return idx.tree.Len() }
+
+// SetBloomFilter is the membership competitor: a Bloom filter over the
+// permutation-invariant hashes of all subsets ("we index all the
+// combinations of present elements", §8.1.2).
+type SetBloomFilter struct {
+	filter *bloom.Filter
+}
+
+// BuildSetBloomFilter inserts every subset recorded in st at the target
+// false positive rate.
+func BuildSetBloomFilter(st *dataset.SubsetStats, fpRate float64) *SetBloomFilter {
+	f := bloom.NewWithEstimates(uint64(st.Len()), fpRate)
+	for _, k := range st.Keys {
+		f.Add(st.ByKey[k].Set.Hash())
+	}
+	return &SetBloomFilter{filter: f}
+}
+
+// Contains reports whether q may be a subset of some set in the collection.
+// One-sided as usual: no false negatives for subsets within the enumeration
+// cap.
+func (b *SetBloomFilter) Contains(q sets.Set) bool { return b.filter.Contains(q.Hash()) }
+
+// SizeBytes returns the bit-array footprint.
+func (b *SetBloomFilter) SizeBytes() int { return b.filter.SizeBytes() }

@@ -1,0 +1,126 @@
+package baselines
+
+import (
+	"testing"
+
+	"setlearn/internal/bptree"
+	"setlearn/internal/dataset"
+	"setlearn/internal/sets"
+)
+
+func fixture() (*sets.Collection, *dataset.SubsetStats) {
+	c := dataset.GenerateRW(300, 500, 31)
+	return c, dataset.CollectSubsets(c, 3)
+}
+
+func TestSubsetHashMapExact(t *testing.T) {
+	c, st := fixture()
+	h := BuildSubsetHashMap(st, 3)
+	if h.Len() != st.Len() {
+		t.Fatalf("Len %d want %d", h.Len(), st.Len())
+	}
+	for i, k := range st.Keys {
+		if i%13 != 0 {
+			continue
+		}
+		info := st.ByKey[k]
+		if got := h.Cardinality(info.Set); got != info.Card {
+			t.Fatalf("Cardinality(%v)=%d want %d", info.Set, got, info.Card)
+		}
+		// Cross-check against the linear-scan reference.
+		if got := c.Cardinality(info.Set); got != info.Card {
+			t.Fatalf("ground truth drift for %v", info.Set)
+		}
+	}
+	if h.Cardinality(sets.New(99999)) != 0 {
+		t.Fatal("absent subset must report 0")
+	}
+	if h.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes must be positive")
+	}
+}
+
+func TestBPTreeIndexExact(t *testing.T) {
+	c, st := fixture()
+	idx := BuildBPTreeIndex(c, st, bptree.DefaultOrder)
+	if idx.Len() != st.Len() {
+		t.Fatalf("Len %d want %d", idx.Len(), st.Len())
+	}
+	for i, k := range st.Keys {
+		if i%13 != 0 {
+			continue
+		}
+		info := st.ByKey[k]
+		if got := idx.Lookup(info.Set); got != info.FirstPos {
+			t.Fatalf("Lookup(%v)=%d want %d", info.Set, got, info.FirstPos)
+		}
+	}
+	if idx.Lookup(sets.New(99999)) != -1 {
+		t.Fatal("absent subset must report -1")
+	}
+}
+
+func TestBPTreeIndexPermutationInvariance(t *testing.T) {
+	c, st := fixture()
+	idx := BuildBPTreeIndex(c, st, bptree.DefaultOrder)
+	// Find a subset of size ≥ 2 and query it with reordered elements.
+	for _, k := range st.Keys {
+		info := st.ByKey[k]
+		if len(info.Set) < 2 {
+			continue
+		}
+		reordered := sets.New(append([]uint32{info.Set[len(info.Set)-1]}, info.Set[:len(info.Set)-1]...)...)
+		if got := idx.Lookup(reordered); got != info.FirstPos {
+			t.Fatalf("reordered lookup %d want %d", got, info.FirstPos)
+		}
+		return
+	}
+	t.Skip("no multi-element subsets")
+}
+
+func TestSetBloomFilterNoFalseNegatives(t *testing.T) {
+	_, st := fixture()
+	b := BuildSetBloomFilter(st, 0.01)
+	for _, k := range st.Keys {
+		if !b.Contains(st.ByKey[k].Set) {
+			t.Fatalf("false negative for %v", st.ByKey[k].Set)
+		}
+	}
+}
+
+func TestSetBloomFilterFPRateBounded(t *testing.T) {
+	c, st := fixture()
+	b := BuildSetBloomFilter(st, 0.01)
+	md := st.MembershipSamples(c, 3, 0.5, 17)
+	if len(md.Negative) == 0 {
+		t.Skip("no negatives")
+	}
+	fp := 0
+	for _, q := range md.Negative {
+		if b.Contains(q) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / float64(len(md.Negative)); rate > 0.05 {
+		t.Fatalf("fp rate %v far above 0.01 target", rate)
+	}
+}
+
+func TestBloomSizeScalesWithFPRate(t *testing.T) {
+	_, st := fixture()
+	loose := BuildSetBloomFilter(st, 0.1)
+	tight := BuildSetBloomFilter(st, 0.001)
+	if tight.SizeBytes() <= loose.SizeBytes() {
+		t.Fatal("tighter fp rate must cost more bits")
+	}
+}
+
+func TestMemoryOrdering(t *testing.T) {
+	// Table 3/10 shape: the exact HashMap dwarfs the Bloom filter.
+	_, st := fixture()
+	h := BuildSubsetHashMap(st, 3)
+	b := BuildSetBloomFilter(st, 0.01)
+	if h.SizeBytes() <= b.SizeBytes() {
+		t.Fatalf("HashMap (%d B) should exceed Bloom filter (%d B)", h.SizeBytes(), b.SizeBytes())
+	}
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"setlearn/internal/dataset"
+)
+
+// Analytic experiments are cheap enough to run exactly.
+func TestAnalyticExperiments(t *testing.T) {
+	for _, name := range []string{"fig3", "fig8", "table2"} {
+		var buf bytes.Buffer
+		if err := Run(name, &buf, dataset.Tiny); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "==") || strings.Count(out, "\n") < 4 {
+			t.Fatalf("%s: suspicious output:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("nope", &bytes.Buffer{}, dataset.Tiny); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}
+
+func TestNamesCoverRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != len(Registry) {
+		t.Fatalf("Names %d vs Registry %d", len(names), len(Registry))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names not sorted")
+		}
+	}
+}
+
+// The full training experiments run at tiny scale in one pass, sharing
+// suites through the cache; this is the integration test for the entire
+// harness (every table and figure end to end).
+func TestAllExperimentsTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiments skipped in -short mode")
+	}
+	ResetCaches()
+	defer ResetCaches()
+	var buf bytes.Buffer
+	if err := RunAll(&buf, dataset.Tiny); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 2", "Figure 3", "Figure 6", "Table 3", "Table 4", "Table 5",
+		"Table 6", "Table 7", "Table 8", "Local vs global", "Table 9",
+		"Table 10", "Table 11", "Figure 7", "Figure 8", "Table 12", "Build time",
+		"Set Transformer", "pooling operation", "Updates",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		Title:  "t",
+		Header: []string{"a", "bbbb"},
+		Notes:  []string{"n1"},
+	}
+	r.AddRow("xx", 1.5)
+	r.AddRow(3, "y")
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== t ==", "a", "bbbb", "xx", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12345:   "12345",
+		12.3456: "12.35",
+		0.1234:  "0.1234",
+		0.00042: "0.000420",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%v)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestIndexPercentileMapping(t *testing.T) {
+	if indexPercentile("RW") != 90 || indexPercentile("Tweets") != 60 || indexPercentile("SD") != 70 {
+		t.Fatal("percentile mapping diverges from §8.3.2")
+	}
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"setlearn/internal/dataset"
+	"setlearn/internal/sets"
+)
+
+// RunTable9 regenerates Table 9: binary accuracy of the learned Bloom
+// filters over the positive and negative membership samples.
+func RunTable9(w io.Writer, sc dataset.Scale) error {
+	suites, err := bloomSuites(sc)
+	if err != nil {
+		return err
+	}
+	rep := &Report{
+		Title:  fmt.Sprintf("Table 9 (scale=%s): binary accuracy for the Bloom filter task", sc.Name),
+		Header: []string{"Dataset", "LSM", "CLSM"},
+		Notes: []string{
+			"accuracy of the raw classifier (no backup filter), as in §8.4.1;",
+			"expected shape: both near 1, LSM ≥ CLSM",
+		},
+	}
+	for _, s := range suites {
+		row := []any{s.Data.Name}
+		for _, v := range s.Variants {
+			correct, total := 0, 0
+			for _, q := range s.Md.Positive {
+				total++
+				if v.Pred.Predict(q) > 0.5 {
+					correct++
+				}
+			}
+			for _, q := range s.Md.Negative {
+				total++
+				if v.Pred.Predict(q) <= 0.5 {
+					correct++
+				}
+			}
+			row = append(row, float64(correct)/float64(total))
+		}
+		rep.AddRow(row...)
+	}
+	return rep.Render(w)
+}
+
+// RunTable10 regenerates Table 10: memory of the learned filters against
+// traditional Bloom filters at fp rates 0.1, 0.01, and 0.001.
+func RunTable10(w io.Writer, sc dataset.Scale) error {
+	suites, err := bloomSuites(sc)
+	if err != nil {
+		return err
+	}
+	rep := &Report{
+		Title:  fmt.Sprintf("Table 10 (scale=%s): memory (MB) for the Bloom filter task", sc.Name),
+		Header: []string{"Dataset", "LSM", "CLSM", "BF 0.1", "BF 0.01", "BF 0.001"},
+		Notes: []string{
+			"learned sizes include the backup filter (negligible, §8.4.2);",
+			"expected shape: CLSM smallest; LSM can exceed the BF on large vocabularies",
+		},
+	}
+	for _, s := range suites {
+		row := []any{s.Data.Name}
+		for _, v := range s.Variants {
+			row = append(row, mb(v.Model.SizeBytes()+v.Backup.SizeBytes()))
+		}
+		for _, fp := range []float64{0.1, 0.01, 0.001} {
+			row = append(row, mb(s.Filters[fp].SizeBytes()))
+		}
+		rep.AddRow(row...)
+	}
+	return rep.Render(w)
+}
+
+// RunTable11 regenerates Table 11: per-query execution time of the learned
+// filters against the traditional Bloom filter.
+func RunTable11(w io.Writer, sc dataset.Scale) error {
+	suites, err := bloomSuites(sc)
+	if err != nil {
+		return err
+	}
+	rep := &Report{
+		Title:  fmt.Sprintf("Table 11 (scale=%s): execution time (ms) for the Bloom filter task", sc.Name),
+		Header: []string{"Dataset", "LSM", "CLSM", "BF 0.1", "BF 0.01", "BF 0.001"},
+		Notes: []string{
+			"expected shape: BF fastest; CLSM slightly slower than LSM (extra concat, §8.4.3)",
+		},
+	}
+	for _, s := range suites {
+		queries := buildBloomWorkload(s, indexQueryCount(sc))
+		row := []any{s.Data.Name}
+		for _, v := range s.Variants {
+			vv := v
+			row = append(row, avgMillis(len(queries), func(i int) { vv.Contains(queries[i]) }))
+		}
+		for _, fp := range []float64{0.1, 0.01, 0.001} {
+			f := s.Filters[fp]
+			row = append(row, avgMillis(len(queries), func(i int) { f.Contains(queries[i]) }))
+		}
+		rep.AddRow(row...)
+	}
+	return rep.Render(w)
+}
+
+// buildBloomWorkload mixes positive and negative membership queries.
+func buildBloomWorkload(s *BloomSuite, n int) []sets.Set {
+	out := make([]sets.Set, 0, n)
+	for i := 0; len(out) < n; i++ {
+		if i%2 == 0 && len(s.Md.Positive) > 0 {
+			out = append(out, s.Md.Positive[i%len(s.Md.Positive)])
+		} else if len(s.Md.Negative) > 0 {
+			out = append(out, s.Md.Negative[i%len(s.Md.Negative)])
+		} else {
+			out = append(out, s.Md.Positive[i%len(s.Md.Positive)])
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"setlearn/internal/dataset"
+	"setlearn/internal/train"
+)
+
+// resultBuckets are Figure 6's query-result-size groups.
+var resultBuckets = []struct {
+	label  string
+	lo, hi float64
+}{
+	{"1", 1, 1},
+	{"2-10", 2, 10},
+	{"11-100", 11, 100},
+	{"101-1k", 101, 1000},
+	{">1k", 1001, 1e18},
+}
+
+// RunFig6 regenerates Figure 6: mean q-error per query-result-size bucket
+// for LSM, LSM-Hybrid, CLSM, and CLSM-Hybrid on every dataset.
+func RunFig6(w io.Writer, sc dataset.Scale) error {
+	suites, err := cardSuites(sc)
+	if err != nil {
+		return err
+	}
+	for _, s := range suites {
+		rep := &Report{
+			Title:  fmt.Sprintf("Figure 6 (%s, scale=%s): cardinality q-error by query result size", s.Data.Name, sc.Name),
+			Header: append([]string{"Result size"}, variantNames(s)...),
+			Notes: []string{
+				"expected shape: hybrids strictly improve on their base models;",
+				"LSM ≥ CLSM in accuracy; higher buckets are harder for CLSM (§8.2.1)",
+			},
+		}
+		for _, b := range resultBuckets {
+			row := []any{b.label}
+			empty := true
+			for _, v := range s.Variants {
+				var qs []float64
+				for _, smp := range s.Samples {
+					if smp.Target < b.lo || smp.Target > b.hi {
+						continue
+					}
+					qs = append(qs, qErrOf(v, smp))
+				}
+				if len(qs) > 0 {
+					empty = false
+					row = append(row, train.Mean(qs))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			if !empty {
+				rep.AddRow(row...)
+			}
+		}
+		if err := rep.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func variantNames(s *CardSuite) []string {
+	out := make([]string, len(s.Variants))
+	for i, v := range s.Variants {
+		out[i] = v.Name
+	}
+	return out
+}
+
+func qErrOf(v CardVariant, smp dataset.Sample) float64 {
+	est := v.Estimator.Estimate(smp.Set)
+	truth := smp.Target
+	if est < 1 {
+		est = 1
+	}
+	if truth < 1 {
+		truth = 1
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// RunTable3 regenerates Table 3: memory consumption of the cardinality
+// estimators against the HashMap competitor.
+func RunTable3(w io.Writer, sc dataset.Scale) error {
+	suites, err := cardSuites(sc)
+	if err != nil {
+		return err
+	}
+	rep := &Report{
+		Title:  fmt.Sprintf("Table 3 (scale=%s): memory (MB) for cardinality estimation", sc.Name),
+		Header: []string{"Dataset", "LSM", "LSM-Hybrid", "CLSM", "CLSM-Hybrid", "HashMap"},
+		Notes: []string{
+			"expected shape: CLSM ≪ LSM ≪ HashMap; hybrids add a small aux overhead (§8.2.2)",
+		},
+	}
+	for _, s := range suites {
+		row := []any{s.Data.Name}
+		for _, v := range s.Variants {
+			if v.Outliers == 0 {
+				row = append(row, mb(v.Model.SizeBytes()))
+			} else {
+				row = append(row, mb(v.Estimator.SizeBytes()))
+			}
+		}
+		row = append(row, mb(s.HashMap.SizeBytes()))
+		rep.AddRow(row...)
+	}
+	return rep.Render(w)
+}
+
+// RunTable4 regenerates Table 4: per-query execution time of the estimators
+// and the HashMap.
+func RunTable4(w io.Writer, sc dataset.Scale) error {
+	suites, err := cardSuites(sc)
+	if err != nil {
+		return err
+	}
+	rep := &Report{
+		Title:  fmt.Sprintf("Table 4 (scale=%s): execution time (ms) for cardinality estimation", sc.Name),
+		Header: []string{"Dataset", "LSM", "LSM-Hybrid", "CLSM", "CLSM-Hybrid", "HashMap"},
+		Notes: []string{
+			"queries executed singly, not batched (§8.2.3);",
+			"expected shape: HashMap orders of magnitude faster; CLSM slightly slower than LSM",
+		},
+	}
+	for _, s := range suites {
+		queries := dataset.QueryWorkload(s.Data.Collection, queryCount(sc), sc.MaxSubset, 37)
+		row := []any{s.Data.Name}
+		for _, v := range s.Variants {
+			est := v.Estimator
+			row = append(row, avgMillis(len(queries), func(i int) { est.Estimate(queries[i]) }))
+		}
+		row = append(row, avgMillis(len(queries), func(i int) { s.HashMap.Cardinality(queries[i]) }))
+		rep.AddRow(row...)
+	}
+	return rep.Render(w)
+}
+
+// queryCount scales the measured workload with the preset (the paper uses
+// 10 000 queries for cardinality, 1 000 elsewhere).
+func queryCount(sc dataset.Scale) int {
+	switch sc.Name {
+	case "tiny":
+		return 200
+	case "small":
+		return 2000
+	default:
+		return 10000
+	}
+}

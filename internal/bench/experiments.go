@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"setlearn/internal/dataset"
+)
+
+// Runner regenerates one table or figure at the given scale and renders it
+// to w.
+type Runner func(w io.Writer, sc dataset.Scale) error
+
+// Registry maps experiment ids (table/figure numbers of the paper) to
+// runners.
+var Registry = map[string]Runner{
+	"table2":    RunTable2,
+	"fig3":      RunFig3,
+	"fig6":      RunFig6,
+	"table3":    RunTable3,
+	"table4":    RunTable4,
+	"table5":    RunTable5,
+	"table6":    RunTable6,
+	"table7":    RunTable7,
+	"table8":    RunTable8,
+	"localerr":  RunLocalErr,
+	"table9":    RunTable9,
+	"table10":   RunTable10,
+	"table11":   RunTable11,
+	"fig7":      RunFig7,
+	"fig8":      RunFig8,
+	"table12":   RunTable12,
+	"buildtime": RunBuildTime,
+}
+
+// Names returns all experiment ids in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(name string, w io.Writer, sc dataset.Scale) error {
+	r, ok := Registry[name]
+	if !ok {
+		return fmt.Errorf("bench: unknown experiment %q (known: %v)", name, Names())
+	}
+	return r(w, sc)
+}
+
+// RunAll executes every experiment in a stable order.
+func RunAll(w io.Writer, sc dataset.Scale) error {
+	for _, name := range Names() {
+		if err := Run(name, w, sc); err != nil {
+			return fmt.Errorf("bench: %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Suites for one scale are shared across the experiments that need them
+// (Fig 6 and Tables 3–4 reuse the same trained estimators, as do Tables
+// 7–8 and the local-error experiment), so "run everything" trains each
+// model once.
+var (
+	cacheMu    sync.Mutex
+	cardCache  = map[string][]*CardSuite{}
+	indexCache = map[string][]*IndexSuite{}
+	bloomCache = map[string][]*BloomSuite{}
+)
+
+func cardSuites(sc dataset.Scale) ([]*CardSuite, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if s, ok := cardCache[sc.Name]; ok {
+		return s, nil
+	}
+	var out []*CardSuite
+	for _, nc := range sc.Datasets() {
+		s, err := BuildCardSuite(nc, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	cardCache[sc.Name] = out
+	return out, nil
+}
+
+// indexPercentile mirrors §8.3.2's per-dataset error-threshold percentiles
+// (90 for RW variants, 60 for Tweets, 70 for SD).
+func indexPercentile(name string) float64 {
+	switch name {
+	case "Tweets":
+		return 60
+	case "SD":
+		return 70
+	default:
+		return 90
+	}
+}
+
+func indexSuites(sc dataset.Scale) ([]*IndexSuite, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if s, ok := indexCache[sc.Name]; ok {
+		return s, nil
+	}
+	var out []*IndexSuite
+	for _, nc := range sc.Datasets() {
+		s, err := BuildIndexSuite(nc, sc, indexPercentile(nc.Name), 100)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	indexCache[sc.Name] = out
+	return out, nil
+}
+
+func bloomSuites(sc dataset.Scale) ([]*BloomSuite, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if s, ok := bloomCache[sc.Name]; ok {
+		return s, nil
+	}
+	var out []*BloomSuite
+	for _, nc := range sc.Datasets() {
+		s, err := BuildBloomSuite(nc, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	bloomCache[sc.Name] = out
+	return out, nil
+}
+
+// ResetCaches drops all trained suites (tests use this to bound memory).
+func ResetCaches() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	cardCache = map[string][]*CardSuite{}
+	indexCache = map[string][]*IndexSuite{}
+	bloomCache = map[string][]*BloomSuite{}
+}
+
+// avgMillis times n invocations of f and returns the mean per-call latency
+// in milliseconds — the per-query measure of Tables 4, 8, and 11 (queries
+// are executed one at a time, not batched, as in §8.2.3).
+func avgMillis(n int, f func(i int)) float64 {
+	if n == 0 {
+		return 0
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+	return time.Since(start).Seconds() * 1000 / float64(n)
+}
+
+// mb converts bytes to the paper's MB unit.
+func mb(bytes int) float64 { return float64(bytes) / (1024 * 1024) }

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"setlearn/internal/compress"
+	"setlearn/internal/dataset"
+	"setlearn/internal/deepsets"
+	"setlearn/internal/train"
+)
+
+// RunTable5 regenerates Table 5: index accuracy (avg q-error / avg absolute
+// error) for LSM-Hybrid and CLSM-Hybrid as the eviction percentile varies
+// over {50, 75, 90, 95, no removal}.
+func RunTable5(w io.Writer, sc dataset.Scale) error {
+	percentiles := []float64{50, 75, 90, 95, 0}
+	labels := []string{"<50%", "<75%", "<90%", "<95%", "NoRemoval"}
+
+	for _, variant := range []struct {
+		name       string
+		compressed bool
+	}{{"LSM-Hybrid", false}, {"CLSM-Hybrid", true}} {
+		qRep := &Report{
+			Title:  fmt.Sprintf("Table 5 (%s, scale=%s): avg q-error by eviction percentile", variant.name, sc.Name),
+			Header: append([]string{"Dataset"}, labels...),
+			Notes:  []string{"expected shape: error rises monotonically as fewer outliers are evicted"},
+		}
+		aRep := &Report{
+			Title:  fmt.Sprintf("Table 5 (%s, scale=%s): avg absolute error by eviction percentile", variant.name, sc.Name),
+			Header: append([]string{"Dataset"}, labels...),
+		}
+		for _, nc := range sc.Datasets() {
+			st := dataset.CollectSubsets(nc.Collection, sc.MaxSubset)
+			samples := st.IndexSamples()
+			scaler := train.FitScaler(samples)
+			qRow := []any{nc.Name}
+			aRow := []any{nc.Name}
+			for _, p := range percentiles {
+				m, err := deepsets.New(indexModelConfig(nc.Collection.MaxID(), variant.compressed, 41))
+				if err != nil {
+					return err
+				}
+				res, err := train.Guided(m, samples, scaler, train.GuidedConfig{
+					Train:      trainConfig(sc, 43),
+					Percentile: p,
+				})
+				if err != nil {
+					return err
+				}
+				// Accuracy over the samples the model remains responsible
+				// for (outliers are answered exactly by the aux structure).
+				qRow = append(qRow, train.Mean(train.QErrors(m, res.Kept, scaler)))
+				aRow = append(aRow, train.Mean(train.AbsErrors(m, res.Kept, scaler)))
+			}
+			qRep.AddRow(qRow...)
+			aRep.AddRow(aRow...)
+		}
+		if err := qRep.Render(w); err != nil {
+			return err
+		}
+		if err := aRep.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunTable6 regenerates Table 6: the tunable compression factor sv_d on the
+// Tweets dataset — accuracy, model memory, and training time from full
+// compression to none.
+func RunTable6(w io.Writer, sc dataset.Scale) error {
+	nc := dataset.NamedCollection{
+		Name:       "Tweets",
+		Collection: dataset.GenerateTweets(sc.TweetsN, sc.TweetsVocab, 202),
+	}
+	maxID := nc.Collection.MaxID()
+	st := dataset.CollectSubsets(nc.Collection, sc.MaxSubset)
+	samples := st.IndexSamples()
+	scaler := train.FitScaler(samples)
+
+	// Sweep sv_d geometrically between the optimum and no compression so
+	// intermediate points stay distinct at every scale.
+	optimal := compress.Divisor(maxID, 2)
+	mid1 := optimal * 2
+	mid2 := optimal * 6
+	mid3 := optimal * 18
+	svds := []struct {
+		label string
+		svd   uint32
+	}{
+		{"Full comp.", optimal},
+		{fmt.Sprint(mid1), mid1},
+		{fmt.Sprint(mid2), mid2},
+		{fmt.Sprint(mid3), mid3},
+		{"No comp.", maxID + 1},
+	}
+	rep := &Report{
+		Title:  fmt.Sprintf("Table 6 (scale=%s): impact of compression factor sv_d (Tweets, index task)", sc.Name),
+		Header: []string{"sv_d", "Avg q-error", "Model MB", "Train secs"},
+		Notes: []string{
+			"expected shape: larger sv_d → better accuracy, more memory;",
+			"training time grows toward the uncompressed model (§8.3.3)",
+		},
+	}
+	for _, v := range svds {
+		svd := v.svd
+		if svd > maxID+1 {
+			svd = maxID + 1
+		}
+		cfg := indexModelConfig(maxID, true, 47)
+		cfg.SVD = svd
+		m, err := deepsets.New(cfg)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := train.Regression(m, samples, scaler, trainConfig(sc, 53)); err != nil {
+			return err
+		}
+		secs := time.Since(start).Seconds()
+		rep.AddRow(v.label, train.Mean(train.QErrors(m, samples, scaler)), mb(m.SizeBytes()), secs)
+	}
+	return rep.Render(w)
+}
+
+// RunTable7 regenerates Table 7: memory of the hybrid indexes broken into
+// model / auxiliary structure / error list, against the B+ tree.
+func RunTable7(w io.Writer, sc dataset.Scale) error {
+	suites, err := indexSuites(sc)
+	if err != nil {
+		return err
+	}
+	rep := &Report{
+		Title:  fmt.Sprintf("Table 7 (scale=%s): memory (MB) for the index task (model/aux/err)", sc.Name),
+		Header: []string{"Dataset", "LSM-Hybrid", "CLSM-Hybrid", "B+ Tree"},
+		Notes: []string{
+			"expected shape: hybrids ≪ B+ tree; CLSM model smallest; aux dominates the hybrid (§8.3.2)",
+		},
+	}
+	for _, s := range suites {
+		row := []any{s.Data.Name}
+		for _, v := range s.Variants {
+			m, a, e := v.Index.MemoryBreakdown()
+			row = append(row, fmt.Sprintf("%.3f / %.3f / %.3f", mb(m), mb(a), mb(e)))
+		}
+		row = append(row, mb(s.BPTree.SizeBytes()))
+		rep.AddRow(row...)
+	}
+	return rep.Render(w)
+}
+
+// RunTable8 regenerates Table 8: per-query execution time of the hybrid
+// indexes against the B+ tree.
+func RunTable8(w io.Writer, sc dataset.Scale) error {
+	suites, err := indexSuites(sc)
+	if err != nil {
+		return err
+	}
+	rep := &Report{
+		Title:  fmt.Sprintf("Table 8 (scale=%s): execution time (ms) for the index task", sc.Name),
+		Header: []string{"Dataset", "LSM-Hybrid", "CLSM-Hybrid", "B+ Tree"},
+		Notes: []string{
+			"expected shape: B+ tree orders of magnitude faster; hybrid cost is model inference",
+			"plus the bounded local scan (§8.3.3)",
+		},
+	}
+	for _, s := range suites {
+		queries := dataset.QueryWorkload(s.Data.Collection, indexQueryCount(sc), sc.MaxSubset, 59)
+		row := []any{s.Data.Name}
+		for _, v := range s.Variants {
+			idx := v.Index
+			row = append(row, avgMillis(len(queries), func(i int) { idx.Lookup(queries[i]) }))
+		}
+		row = append(row, avgMillis(len(queries), func(i int) { s.BPTree.Lookup(queries[i]) }))
+		rep.AddRow(row...)
+	}
+	return rep.Render(w)
+}
+
+func indexQueryCount(sc dataset.Scale) int {
+	if sc.Name == "tiny" {
+		return 100
+	}
+	return 1000
+}
+
+// RunLocalErr regenerates the §8.3.3 local-vs-global error comparison: the
+// maximal error bound against the per-range bounds, and the per-query
+// latency under each.
+func RunLocalErr(w io.Writer, sc dataset.Scale) error {
+	suites, err := indexSuites(sc)
+	if err != nil {
+		return err
+	}
+	rep := &Report{
+		Title:  fmt.Sprintf("Local vs global error bounds (scale=%s, §8.3.3)", sc.Name),
+		Header: []string{"Dataset", "Variant", "Global max err", "Mean local err", "Local ms", "Global ms"},
+		Notes: []string{
+			"expected shape: mean local error ≪ global max; local bounds cut the scan",
+			"window and therefore the lookup latency",
+		},
+	}
+	for _, s := range suites {
+		queries := dataset.QueryWorkload(s.Data.Collection, indexQueryCount(sc), sc.MaxSubset, 61)
+		for _, v := range s.Variants {
+			idx := v.Index
+			localMs := avgMillis(len(queries), func(i int) { idx.Lookup(queries[i]) })
+			globalMs := avgMillis(len(queries), func(i int) { idx.LookupGlobalBound(queries[i]) })
+			rep.AddRow(s.Data.Name, v.Name, idx.MaxError(), idx.MeanLocalError(), localMs, globalMs)
+		}
+	}
+	return rep.Render(w)
+}

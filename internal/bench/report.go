@@ -1,0 +1,99 @@
+// Package bench contains one runner per table and figure of the paper's
+// evaluation (§8). Each runner regenerates the experiment — workload,
+// training, measurement — at a chosen scale and renders a paper-style text
+// table. cmd/experiments is the CLI front end; bench_test.go at the module
+// root exposes each runner as a testing.B benchmark.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is a rendered experiment: a title, column headers, string cells,
+// and free-form notes (assumptions, substitutions, expected shape).
+type Report struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row, stringifying each cell.
+func (r *Report) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.2f", v)
+	case v >= 0.01:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.6f", v)
+	}
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(w io.Writer) error {
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("== " + r.Title + " ==\n")
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"setlearn/internal/baselines"
+	"setlearn/internal/bloom"
+	"setlearn/internal/bptree"
+	"setlearn/internal/dataset"
+	"setlearn/internal/deepsets"
+	"setlearn/internal/hybrid"
+	"setlearn/internal/nn"
+	"setlearn/internal/sets"
+	"setlearn/internal/train"
+)
+
+// Model shapes follow §8.1: cardinality models get the larger neuron
+// budget (64–256 in the paper), index and Bloom-filter models the smaller
+// one (8–32), and the Bloom filter uses embedding size two so LSM can
+// compete with the bit array on memory.
+func cardModelConfig(maxID uint32, compressed bool, seed int64) deepsets.Config {
+	return deepsets.Config{
+		MaxID: maxID, EmbedDim: 8, PhiHidden: []int{32}, PhiOut: 32,
+		RhoHidden: []int{64}, Compressed: compressed, OutputAct: nn.Sigmoid, Seed: seed,
+	}
+}
+
+func indexModelConfig(maxID uint32, compressed bool, seed int64) deepsets.Config {
+	return deepsets.Config{
+		MaxID: maxID, EmbedDim: 8, PhiHidden: []int{32}, PhiOut: 32,
+		RhoHidden: []int{32}, Compressed: compressed, OutputAct: nn.Sigmoid, Seed: seed,
+	}
+}
+
+func bloomModelConfig(maxID uint32, compressed bool, seed int64) deepsets.Config {
+	return deepsets.Config{
+		MaxID: maxID, EmbedDim: 2, PhiHidden: []int{8}, PhiOut: 8,
+		RhoHidden: []int{8}, Compressed: compressed, OutputAct: nn.Sigmoid, Seed: seed,
+	}
+}
+
+func trainConfig(sc dataset.Scale, seed int64) train.Config {
+	return train.Config{Epochs: sc.Epochs, LR: 0.005, Seed: seed}
+}
+
+// CardVariant is one estimator column of Figure 6 / Tables 3–4.
+type CardVariant struct {
+	Name      string
+	Model     *deepsets.Model
+	Estimator *hybrid.Estimator
+	TrainSecs float64
+	Outliers  int
+}
+
+// CardSuite bundles everything the cardinality experiments share.
+type CardSuite struct {
+	Data    dataset.NamedCollection
+	Stats   *dataset.SubsetStats
+	Samples []dataset.Sample
+	Scaler  train.Scaler
+
+	Variants []CardVariant // LSM, LSM-Hybrid, CLSM, CLSM-Hybrid
+	HashMap  *baselines.SubsetHashMap
+	HashSecs float64
+}
+
+// BuildCardSuite trains the four estimator variants of §8.2 over one
+// dataset and builds the HashMap competitor.
+func BuildCardSuite(nc dataset.NamedCollection, sc dataset.Scale) (*CardSuite, error) {
+	st := dataset.CollectSubsets(nc.Collection, sc.MaxSubset)
+	s := &CardSuite{Data: nc, Stats: st, Samples: st.CardinalitySamples()}
+	s.Scaler = train.FitScaler(s.Samples)
+
+	for _, v := range []struct {
+		name       string
+		compressed bool
+		percentile float64
+	}{
+		{"LSM", false, 0},
+		{"LSM-Hybrid", false, 90},
+		{"CLSM", true, 0},
+		{"CLSM-Hybrid", true, 90},
+	} {
+		m, err := deepsets.New(cardModelConfig(nc.Collection.MaxID(), v.compressed, 11))
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", v.name, err)
+		}
+		start := time.Now()
+		res, err := train.Guided(m, s.Samples, s.Scaler, train.GuidedConfig{
+			Train:      trainConfig(sc, 13),
+			Percentile: v.percentile,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: train %s: %w", v.name, err)
+		}
+		s.Variants = append(s.Variants, CardVariant{
+			Name:      v.name,
+			Model:     m,
+			Estimator: hybrid.BuildEstimator(m, s.Scaler, res),
+			TrainSecs: time.Since(start).Seconds(),
+			Outliers:  len(res.Outliers),
+		})
+	}
+	start := time.Now()
+	s.HashMap = baselines.BuildSubsetHashMap(st, sc.MaxSubset)
+	s.HashSecs = time.Since(start).Seconds()
+	return s, nil
+}
+
+// IndexVariant is one hybrid-index column of Tables 5, 7, and 8.
+type IndexVariant struct {
+	Name      string
+	Model     *deepsets.Model
+	Index     *hybrid.Index
+	Result    *train.GuidedResult
+	TrainSecs float64
+}
+
+// IndexSuite bundles the index experiments' shared state.
+type IndexSuite struct {
+	Data    dataset.NamedCollection
+	Stats   *dataset.SubsetStats
+	Samples []dataset.Sample
+	Scaler  train.Scaler
+
+	Variants []IndexVariant // LSM-Hybrid, CLSM-Hybrid at a chosen percentile
+	BPTree   *baselines.BPTreeIndex
+	BPSecs   float64
+}
+
+// BuildIndexSuite trains LSM-Hybrid and CLSM-Hybrid set indexes at the
+// given eviction percentile and builds the B+ tree competitor.
+func BuildIndexSuite(nc dataset.NamedCollection, sc dataset.Scale, percentile float64, rangeLen int) (*IndexSuite, error) {
+	st := dataset.CollectSubsets(nc.Collection, sc.MaxSubset)
+	s := &IndexSuite{Data: nc, Stats: st, Samples: st.IndexSamples()}
+	s.Scaler = train.FitScaler(s.Samples)
+
+	for _, v := range []struct {
+		name       string
+		compressed bool
+	}{{"LSM-Hybrid", false}, {"CLSM-Hybrid", true}} {
+		m, err := deepsets.New(indexModelConfig(nc.Collection.MaxID(), v.compressed, 17))
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", v.name, err)
+		}
+		start := time.Now()
+		res, err := train.Guided(m, s.Samples, s.Scaler, train.GuidedConfig{
+			Train:      trainConfig(sc, 19),
+			Percentile: percentile,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: train %s: %w", v.name, err)
+		}
+		idx, err := hybrid.BuildIndex(nc.Collection, m, s.Scaler, res, hybrid.IndexConfig{RangeLen: rangeLen})
+		if err != nil {
+			return nil, err
+		}
+		s.Variants = append(s.Variants, IndexVariant{
+			Name: v.name, Model: m, Index: idx, Result: res,
+			TrainSecs: time.Since(start).Seconds(),
+		})
+	}
+	start := time.Now()
+	s.BPTree = baselines.BuildBPTreeIndex(nc.Collection, st, bptree.DefaultOrder)
+	s.BPSecs = time.Since(start).Seconds()
+	return s, nil
+}
+
+// BloomVariant is one learned-filter column of Tables 9–11.
+type BloomVariant struct {
+	Name      string
+	Model     *deepsets.Model
+	Pred      *deepsets.Predictor
+	Backup    *bloom.Filter
+	TrainSecs float64
+}
+
+// Contains answers a membership query through the learned filter: model
+// first, backup Bloom filter for the model's trained false negatives.
+func (v *BloomVariant) Contains(q sets.Set) bool {
+	return v.Pred.Predict(q) > 0.5 || v.Backup.Contains(q.Hash())
+}
+
+// BloomSuite bundles the membership experiments' shared state.
+type BloomSuite struct {
+	Data dataset.NamedCollection
+	Md   *dataset.MembershipData
+
+	Variants []BloomVariant                        // LSM, CLSM
+	Filters  map[float64]*baselines.SetBloomFilter // fp rate → traditional BF
+	BFSecs   float64
+}
+
+// BuildBloomSuite trains the LSM and CLSM membership classifiers and builds
+// traditional Bloom filters at the paper's three fp rates.
+func BuildBloomSuite(nc dataset.NamedCollection, sc dataset.Scale) (*BloomSuite, error) {
+	st := dataset.CollectSubsets(nc.Collection, sc.MaxSubset)
+	md := st.MembershipSamples(nc.Collection, sc.MaxSubset, 1.0, 23)
+	s := &BloomSuite{Data: nc, Md: md}
+
+	for _, v := range []struct {
+		name       string
+		compressed bool
+	}{{"LSM", false}, {"CLSM", true}} {
+		m, err := deepsets.New(bloomModelConfig(nc.Collection.MaxID(), v.compressed, 29))
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", v.name, err)
+		}
+		start := time.Now()
+		if _, err := train.Classification(m, md, trainConfig(sc, 31)); err != nil {
+			return nil, fmt.Errorf("bench: train %s: %w", v.name, err)
+		}
+		pred := m.NewPredictor()
+		// Backup filter over the model's false negatives (§4.3).
+		var fn int
+		for _, p := range md.Positive {
+			if pred.Predict(p) <= 0.5 {
+				fn++
+			}
+		}
+		if fn == 0 {
+			fn = 1
+		}
+		backup := bloom.NewWithEstimates(uint64(fn), 0.01)
+		for _, p := range md.Positive {
+			if pred.Predict(p) <= 0.5 {
+				backup.Add(p.Hash())
+			}
+		}
+		s.Variants = append(s.Variants, BloomVariant{
+			Name: v.name, Model: m, Pred: pred, Backup: backup,
+			TrainSecs: time.Since(start).Seconds(),
+		})
+	}
+
+	s.Filters = make(map[float64]*baselines.SetBloomFilter)
+	start := time.Now()
+	for _, fp := range []float64{0.1, 0.01, 0.001} {
+		s.Filters[fp] = baselines.BuildSetBloomFilter(st, fp)
+	}
+	s.BFSecs = time.Since(start).Seconds()
+	return s, nil
+}

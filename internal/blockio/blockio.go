@@ -1,0 +1,48 @@
+// Package blockio frames sections of a serialization stream with a length
+// prefix, so decoders that buffer ahead (gob, bufio) can never consume
+// bytes belonging to the next section.
+package blockio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// maxBlock guards against corrupt length prefixes allocating absurd
+// buffers (1 GiB is far beyond any structure this repository persists).
+const maxBlock = 1 << 30
+
+// Write serializes one section: fill writes the payload, Write frames it
+// with a little-endian uint64 length.
+func Write(w io.Writer, fill func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := fill(&buf); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(buf.Len())); err != nil {
+		return fmt.Errorf("blockio: write length: %w", err)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("blockio: write payload: %w", err)
+	}
+	return nil
+}
+
+// Read consumes exactly one framed section and returns a reader over its
+// payload.
+func Read(r io.Reader) (*bytes.Reader, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("blockio: read length: %w", err)
+	}
+	if n > maxBlock {
+		return nil, fmt.Errorf("blockio: block of %d bytes exceeds limit", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("blockio: read payload: %w", err)
+	}
+	return bytes.NewReader(data), nil
+}

@@ -1,0 +1,65 @@
+package blockio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestRoundTripMultipleBlocks(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("first"), {}, []byte("third block")}
+	for _, p := range payloads {
+		p := p
+		if err := Write(&buf, func(w io.Writer) error {
+			_, err := w.Write(p)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range payloads {
+		block, err := Read(r)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		got, _ := io.ReadAll(block)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d: %q want %q", i, got, want)
+		}
+	}
+	if _, err := Read(r); err == nil {
+		t.Fatal("expected EOF past last block")
+	}
+}
+
+func TestWritePropagatesFillError(t *testing.T) {
+	err := Write(&bytes.Buffer{}, func(io.Writer) error { return fmt.Errorf("boom") })
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestReadRejectsTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, uint64(100)); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("short")
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestReadRejectsAbsurdLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, uint64(1)<<40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("expected limit error")
+	}
+}

@@ -1,0 +1,328 @@
+package bptree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(4)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if _, ok := tr.Get(42); ok {
+		t.Fatal("empty tree found a key")
+	}
+	if tr.Contains(42) {
+		t.Fatal("empty tree Contains")
+	}
+}
+
+func TestInsertAndGet(t *testing.T) {
+	tr := New(4)
+	tr.Insert(10, 1)
+	tr.Insert(5, 2)
+	tr.Insert(20, 3)
+	vals, ok := tr.Get(5)
+	if !ok || len(vals) != 1 || vals[0] != 2 {
+		t.Fatalf("Get(5)=%v,%v", vals, ok)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+}
+
+func TestDuplicateKeysAccumulate(t *testing.T) {
+	tr := New(4)
+	tr.Insert(7, 30)
+	tr.Insert(7, 10)
+	tr.Insert(7, 20)
+	vals, ok := tr.Get(7)
+	if !ok || len(vals) != 3 {
+		t.Fatalf("Get(7)=%v", vals)
+	}
+	if vals[0] != 30 || vals[1] != 10 || vals[2] != 20 {
+		t.Fatalf("insertion order not kept: %v", vals)
+	}
+	if min, ok := tr.GetMin(7); !ok || min != 10 {
+		t.Fatalf("GetMin=%v,%v want 10", min, ok)
+	}
+}
+
+func TestGetMinMissing(t *testing.T) {
+	tr := New(4)
+	if _, ok := tr.GetMin(1); ok {
+		t.Fatal("GetMin on empty must fail")
+	}
+}
+
+func TestSplitsSmallOrder(t *testing.T) {
+	tr := New(3) // forces frequent splits
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Insert(uint64(i*7%n), uint32(i))
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("expected multi-level tree, height=%d", tr.Height())
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Contains(uint64(i)) {
+			t.Fatalf("lost key %d after splits", i)
+		}
+	}
+}
+
+func TestAscendSortedAndComplete(t *testing.T) {
+	tr := New(5)
+	rng := rand.New(rand.NewSource(1))
+	inserted := make(map[uint64]int)
+	for i := 0; i < 500; i++ {
+		k := uint64(rng.Intn(200))
+		tr.Insert(k, uint32(i))
+		inserted[k]++
+	}
+	var lastKey uint64
+	first := true
+	total := 0
+	tr.Ascend(func(k uint64, v uint32) bool {
+		if !first && k < lastKey {
+			t.Fatalf("Ascend out of order: %d after %d", k, lastKey)
+		}
+		lastKey, first = k, false
+		total++
+		return true
+	})
+	if total != 500 {
+		t.Fatalf("Ascend visited %d pairs want 500", total)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(uint64(i), uint32(i))
+	}
+	n := 0
+	tr.Ascend(func(k uint64, v uint32) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// Property test: the tree must agree with a map multimap reference under
+// random workloads across random orders.
+func TestMatchesReferenceMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 3 + rng.Intn(8)
+		tr := New(order)
+		ref := make(map[uint64][]uint32)
+		for i := 0; i < 400; i++ {
+			k := uint64(rng.Intn(80))
+			v := uint32(rng.Intn(1000))
+			tr.Insert(k, v)
+			ref[k] = append(ref[k], v)
+		}
+		if tr.Len() != 400 {
+			return false
+		}
+		for k, want := range ref {
+			got, ok := tr.Get(k)
+			if !ok || len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		// Probe some absent keys.
+		for i := 0; i < 50; i++ {
+			k := uint64(100 + rng.Intn(1000))
+			if _, present := ref[k]; !present && tr.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeBytesGrows(t *testing.T) {
+	tr := New(DefaultOrder)
+	empty := tr.SizeBytes()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(uint64(i), uint32(i))
+	}
+	full := tr.SizeBytes()
+	if full <= empty {
+		t.Fatalf("SizeBytes did not grow: %d → %d", empty, full)
+	}
+	// At least the raw key+value payload must be accounted for.
+	if full < 10000*(8+4) {
+		t.Fatalf("SizeBytes %d below raw payload", full)
+	}
+}
+
+func TestPanicsOnBadOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2)
+}
+
+func TestLargeSequentialAndReverse(t *testing.T) {
+	for name, gen := range map[string]func(i int) uint64{
+		"sequential": func(i int) uint64 { return uint64(i) },
+		"reverse":    func(i int) uint64 { return uint64(100000 - i) },
+	} {
+		tr := New(DefaultOrder)
+		const n = 50000
+		for i := 0; i < n; i++ {
+			tr.Insert(gen(i), uint32(i))
+		}
+		for i := 0; i < n; i += 97 {
+			if !tr.Contains(gen(i)) {
+				t.Fatalf("%s: lost key at i=%d", name, i)
+			}
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New(DefaultOrder)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Uint64(), uint32(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New(DefaultOrder)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Insert(uint64(i), uint32(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i % n))
+	}
+}
+
+func TestDeleteSingleValue(t *testing.T) {
+	tr := New(4)
+	tr.Insert(5, 10)
+	tr.Insert(5, 20)
+	if !tr.Delete(5, 10) {
+		t.Fatal("Delete reported absent")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len=%d after delete", tr.Len())
+	}
+	vals, ok := tr.Get(5)
+	if !ok || len(vals) != 1 || vals[0] != 20 {
+		t.Fatalf("remaining vals %v", vals)
+	}
+	if tr.Delete(5, 99) {
+		t.Fatal("Delete of absent value must be false")
+	}
+	if tr.Delete(6, 1) {
+		t.Fatal("Delete of absent key must be false")
+	}
+}
+
+func TestDeleteLastValueRemovesKey(t *testing.T) {
+	tr := New(4)
+	tr.Insert(7, 1)
+	if !tr.Delete(7, 1) {
+		t.Fatal("Delete failed")
+	}
+	if tr.Contains(7) {
+		t.Fatal("key should be gone")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 5; i++ {
+		tr.Insert(3, uint32(i))
+	}
+	tr.Insert(4, 9)
+	if n := tr.DeleteAll(3); n != 5 {
+		t.Fatalf("DeleteAll removed %d", n)
+	}
+	if tr.Contains(3) || !tr.Contains(4) || tr.Len() != 1 {
+		t.Fatal("DeleteAll semantics broken")
+	}
+	if n := tr.DeleteAll(3); n != 0 {
+		t.Fatal("second DeleteAll must remove nothing")
+	}
+}
+
+func TestDeleteAcrossSplitLeaves(t *testing.T) {
+	tr := New(3)
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Insert(uint64(i), uint32(i))
+	}
+	// Delete every third key; verify the rest survive.
+	for i := 0; i < n; i += 3 {
+		if !tr.Delete(uint64(i), uint32(i)) {
+			t.Fatalf("failed to delete %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := i%3 != 0
+		if tr.Contains(uint64(i)) != want {
+			t.Fatalf("key %d presence wrong after deletes", i)
+		}
+	}
+}
+
+func TestDeleteMatchesReferenceUnderRandomWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := New(4)
+	ref := make(map[uint64][]uint32)
+	for step := 0; step < 3000; step++ {
+		k := uint64(rng.Intn(60))
+		if rng.Intn(3) > 0 || len(ref[k]) == 0 {
+			v := uint32(rng.Intn(100))
+			tr.Insert(k, v)
+			ref[k] = append(ref[k], v)
+		} else {
+			v := ref[k][0]
+			if !tr.Delete(k, v) {
+				t.Fatalf("delete of present (%d,%d) failed", k, v)
+			}
+			ref[k] = ref[k][1:]
+			if len(ref[k]) == 0 {
+				delete(ref, k)
+			}
+		}
+	}
+	total := 0
+	for k, want := range ref {
+		got, ok := tr.Get(k)
+		if !ok || len(got) != len(want) {
+			t.Fatalf("key %d: got %v want %v", k, got, want)
+		}
+		total += len(want)
+	}
+	if tr.Len() != total {
+		t.Fatalf("Len=%d want %d", tr.Len(), total)
+	}
+}

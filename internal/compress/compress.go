@@ -1,0 +1,104 @@
+// Package compress implements the per-element lossless compression of the
+// paper's §5 (Algorithm 1, taken from the LMKG framework): an element id is
+// split into ns sub-elements by repeated division by a divisor sv_d, so that
+// the single vocab-sized embedding table of DeepSets can be replaced by ns
+// tables of roughly vocab^(1/ns) rows each.
+package compress
+
+import "fmt"
+
+// Divisor returns the optimal divisor sv_d = ⌈maxID^(1/ns)⌉ for splitting
+// ids in [0, maxID] into ns sub-elements, floored at 2 so the division chain
+// always terminates. This is the "full compression" setting; any larger
+// value trades memory back for accuracy (Table 6).
+func Divisor(maxID uint32, ns int) uint32 {
+	if ns < 2 {
+		panic(fmt.Sprintf("compress: ns must be ≥ 2, got %d", ns))
+	}
+	// Integer ns-th root by search: smallest d with d^ns ≥ maxID.
+	lo, hi := uint64(2), uint64(maxID)
+	if hi < 2 {
+		hi = 2
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if powAtLeast(mid, ns, uint64(maxID)) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return uint32(lo)
+}
+
+// powAtLeast reports whether d^ns ≥ target without overflowing.
+func powAtLeast(d uint64, ns int, target uint64) bool {
+	p := uint64(1)
+	for i := 0; i < ns; i++ {
+		if p >= (target/d)+1 {
+			return true
+		}
+		p *= d
+	}
+	return p >= target
+}
+
+// Compress splits elem into ns sub-elements by divisor svd, following
+// Algorithm 1: ns−1 remainders (least significant first) followed by the
+// final quotient. It appends to dst and returns the extended slice, so hot
+// paths can reuse a buffer.
+func Compress(dst []uint32, elem, svd uint32, ns int) []uint32 {
+	if svd < 2 {
+		panic(fmt.Sprintf("compress: divisor must be ≥ 2, got %d", svd))
+	}
+	if ns < 2 {
+		panic(fmt.Sprintf("compress: ns must be ≥ 2, got %d", ns))
+	}
+	cur := elem
+	for i := 0; i < ns-1; i++ {
+		dst = append(dst, cur%svd)
+		cur /= svd
+	}
+	return append(dst, cur)
+}
+
+// Decompress reverses Compress: parts must be the ns sub-elements produced
+// with the same svd.
+func Decompress(parts []uint32, svd uint32) uint32 {
+	if len(parts) < 2 {
+		panic("compress: Decompress needs at least 2 parts")
+	}
+	v := parts[len(parts)-1]
+	for i := len(parts) - 2; i >= 0; i-- {
+		v = v*svd + parts[i]
+	}
+	return v
+}
+
+// VocabSizes returns the embedding-table row counts required for each of the
+// ns sub-element positions when ids range over [0, maxID]: the ns−1
+// remainder tables need svd rows, the final quotient table needs
+// ⌊maxID / svd^(ns−1)⌋ + 1 rows.
+func VocabSizes(maxID, svd uint32, ns int) []int {
+	if svd < 2 || ns < 2 {
+		panic(fmt.Sprintf("compress: invalid svd=%d ns=%d", svd, ns))
+	}
+	out := make([]int, ns)
+	q := uint64(maxID)
+	for i := 0; i < ns-1; i++ {
+		out[i] = int(svd)
+		q /= uint64(svd)
+	}
+	out[ns-1] = int(q) + 1
+	return out
+}
+
+// TotalInputDim sums VocabSizes — the one-hot input dimensionality after
+// compression, the quantity plotted in the paper's Figure 8.
+func TotalInputDim(maxID, svd uint32, ns int) int {
+	total := 0
+	for _, v := range VocabSizes(maxID, svd, ns) {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,183 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDivisorMatchesPaperExample(t *testing.T) {
+	// §5: ns=2, max id 100 → sv_d = ⌈√100⌉ = 10.
+	if d := Divisor(100, 2); d != 10 {
+		t.Fatalf("Divisor(100,2)=%d want 10", d)
+	}
+	// §5 motivation: 1,000,000 elements, ns=2 → tables of 1000 and 1001 rows.
+	d := Divisor(1000000, 2)
+	if d != 1000 {
+		t.Fatalf("Divisor(1e6,2)=%d want 1000", d)
+	}
+	vs := VocabSizes(1000000, d, 2)
+	if vs[0] != 1000 || vs[1] != 1001 {
+		t.Fatalf("VocabSizes(1e6,1000,2)=%v want [1000 1001]", vs)
+	}
+}
+
+func TestDivisorCoversRange(t *testing.T) {
+	// d^ns must reach maxID so every id is representable.
+	for _, maxID := range []uint32{1, 2, 10, 99, 100, 101, 5661, 73618, 346893, 1 << 30} {
+		for ns := 2; ns <= 4; ns++ {
+			d := uint64(Divisor(maxID, ns))
+			p := uint64(1)
+			for i := 0; i < ns; i++ {
+				p *= d
+			}
+			if p < uint64(maxID) {
+				t.Fatalf("Divisor(%d,%d)=%d: %d^%d=%d < maxID", maxID, ns, d, d, ns, p)
+			}
+			if d < 2 {
+				t.Fatalf("Divisor(%d,%d)=%d below floor", maxID, ns, d)
+			}
+		}
+	}
+}
+
+func TestCompressPaperExample(t *testing.T) {
+	// Figure 4: {91, 12, 23} with sv_d = 10 → (9,1), (1,2), (2,3) as
+	// (quotient, remainder); Algorithm 1 emits remainder first.
+	cases := []struct {
+		elem  uint32
+		wantR uint32
+		wantQ uint32
+	}{{91, 1, 9}, {12, 2, 1}, {23, 3, 2}}
+	for _, c := range cases {
+		parts := Compress(nil, c.elem, 10, 2)
+		if len(parts) != 2 || parts[0] != c.wantR || parts[1] != c.wantQ {
+			t.Fatalf("Compress(%d,10,2)=%v want [%d %d]", c.elem, parts, c.wantR, c.wantQ)
+		}
+	}
+}
+
+func TestCompressAppendsToDst(t *testing.T) {
+	buf := make([]uint32, 0, 8)
+	buf = Compress(buf, 91, 10, 2)
+	buf = Compress(buf, 12, 10, 2)
+	if len(buf) != 4 || buf[2] != 2 || buf[3] != 1 {
+		t.Fatalf("append semantics broken: %v", buf)
+	}
+}
+
+func TestRoundTripExhaustiveSmall(t *testing.T) {
+	for ns := 2; ns <= 3; ns++ {
+		svd := Divisor(999, ns)
+		for elem := uint32(0); elem <= 999; elem++ {
+			parts := Compress(nil, elem, svd, ns)
+			if got := Decompress(parts, svd); got != elem {
+				t.Fatalf("roundtrip ns=%d: %d → %v → %d", ns, elem, parts, got)
+			}
+		}
+	}
+}
+
+// Property: Compress/Decompress roundtrip for random ids, divisors, ns.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		elem := uint32(r.Int63n(1 << 31))
+		ns := 2 + r.Intn(3)
+		svd := Divisor(elem+1, ns)
+		// Also exercise non-optimal (larger) divisors — the tunable setting.
+		if r.Intn(2) == 0 {
+			svd += uint32(r.Intn(1000))
+		}
+		parts := Compress(nil, elem, svd, ns)
+		if len(parts) != ns {
+			return false
+		}
+		for _, p := range parts[:ns-1] {
+			if p >= svd {
+				return false
+			}
+		}
+		return Decompress(parts, svd) == elem
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compression is injective — distinct ids give distinct part
+// vectors (otherwise the model could not distinguish elements).
+func TestCompressInjective(t *testing.T) {
+	svd := Divisor(5000, 2)
+	seen := make(map[[2]uint32]uint32)
+	for elem := uint32(0); elem <= 5000; elem++ {
+		p := Compress(nil, elem, svd, 2)
+		key := [2]uint32{p[0], p[1]}
+		if prev, ok := seen[key]; ok {
+			t.Fatalf("collision: %d and %d both compress to %v", prev, elem, key)
+		}
+		seen[key] = elem
+	}
+}
+
+func TestVocabSizesBoundParts(t *testing.T) {
+	maxID := uint32(73618) // Tweets vocabulary size from Table 2
+	for ns := 2; ns <= 4; ns++ {
+		svd := Divisor(maxID, ns)
+		vs := VocabSizes(maxID, svd, ns)
+		for elem := uint32(0); elem <= maxID; elem += 37 {
+			parts := Compress(nil, elem, svd, ns)
+			for i, p := range parts {
+				if int(p) >= vs[i] {
+					t.Fatalf("ns=%d elem=%d part %d=%d exceeds vocab %d", ns, elem, i, p, vs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTotalInputDimShrinksWithNS(t *testing.T) {
+	// Figure 8: increasing ns drastically reduces the input dimensionality.
+	maxID := uint32(1000000)
+	prev := int(maxID) + 1 // uncompressed one-hot dimension
+	for ns := 2; ns <= 4; ns++ {
+		d := TotalInputDim(maxID, Divisor(maxID, ns), ns)
+		if d >= prev {
+			t.Fatalf("ns=%d: input dim %d did not shrink from %d", ns, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestNoCompressionLimit(t *testing.T) {
+	// svd > maxID degenerates to the uncompressed model: remainder carries
+	// the whole id, quotient is always zero.
+	maxID := uint32(500)
+	svd := maxID + 1
+	for elem := uint32(0); elem <= maxID; elem += 13 {
+		parts := Compress(nil, elem, svd, 2)
+		if parts[0] != elem || parts[1] != 0 {
+			t.Fatalf("degenerate compression wrong: %d → %v", elem, parts)
+		}
+	}
+	vs := VocabSizes(maxID, svd, 2)
+	if vs[1] != 1 {
+		t.Fatalf("quotient vocab should collapse to 1, got %v", vs)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("Divisor ns=1", func() { Divisor(10, 1) })
+	expectPanic("Compress svd=1", func() { Compress(nil, 5, 1, 2) })
+	expectPanic("Compress ns=1", func() { Compress(nil, 5, 10, 1) })
+	expectPanic("Decompress short", func() { Decompress([]uint32{1}, 10) })
+	expectPanic("VocabSizes svd=0", func() { VocabSizes(10, 0, 2) })
+}

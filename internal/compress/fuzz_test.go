@@ -1,0 +1,30 @@
+package compress
+
+import "testing"
+
+// FuzzRoundTrip verifies lossless compression for arbitrary (elem, svd, ns)
+// combinations within the valid domain.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint32(91), uint32(10), 2)
+	f.Add(uint32(0), uint32(2), 4)
+	f.Add(uint32(1<<31), uint32(3), 3)
+	f.Fuzz(func(t *testing.T, elem, svd uint32, ns int) {
+		if svd < 2 || ns < 2 || ns > 8 {
+			return // outside the documented domain
+		}
+		parts := Compress(nil, elem, svd, ns)
+		if len(parts) != ns {
+			t.Fatalf("got %d parts want %d", len(parts), ns)
+		}
+		for _, p := range parts[:ns-1] {
+			if p >= svd {
+				t.Fatalf("remainder %d ≥ divisor %d", p, svd)
+			}
+		}
+		// Roundtrip only guaranteed when the quotient chain fits; it always
+		// does because Compress keeps dividing the running quotient.
+		if got := Decompress(parts, svd); got != elem {
+			t.Fatalf("roundtrip %d → %v → %d", elem, parts, got)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"setlearn/internal/dataset"
+	"setlearn/internal/deepsets"
+	"setlearn/internal/hybrid"
+	"setlearn/internal/sets"
+	"setlearn/internal/train"
+)
+
+// EstimatorOptions configures BuildEstimator.
+type EstimatorOptions struct {
+	Model ModelOptions
+	// MaxSubset caps the size of enumerated training subsets (default 3).
+	MaxSubset int
+	// Percentile is the guided-learning eviction threshold; the paper's
+	// cardinality experiments use 90 (§8.2.1). 0 disables the hybrid.
+	Percentile float64
+}
+
+// CardinalityEstimator estimates |{i : q ⊆ S[i]}| for query subsets.
+type CardinalityEstimator struct {
+	hybrid    *hybrid.Estimator
+	maxSubset int
+}
+
+// BuildEstimator trains a learned cardinality estimator over c.
+func BuildEstimator(c *sets.Collection, opts EstimatorOptions) (*CardinalityEstimator, error) {
+	if err := validateCollection(c); err != nil {
+		return nil, err
+	}
+	if opts.MaxSubset == 0 {
+		opts.MaxSubset = 3
+	}
+	st := dataset.CollectSubsets(c, opts.MaxSubset)
+	samples := st.CardinalitySamples()
+	sc := train.FitScaler(samples)
+
+	m, err := deepsets.New(opts.Model.modelConfig(c.MaxID()))
+	if err != nil {
+		return nil, fmt.Errorf("core: build estimator model: %w", err)
+	}
+	res, err := train.Guided(m, samples, sc, train.GuidedConfig{
+		Train:      opts.Model.trainConfig(),
+		Percentile: opts.Percentile,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: train estimator model: %w", err)
+	}
+	return &CardinalityEstimator{
+		hybrid:    hybrid.BuildEstimator(m, sc, res),
+		maxSubset: opts.MaxSubset,
+	}, nil
+}
+
+// Estimate returns the estimated number of sets containing q. Estimates are
+// floored at 1 for in-vocabulary queries (the q-error convention); queries
+// containing unknown elements return 0.
+func (e *CardinalityEstimator) Estimate(q sets.Set) float64 {
+	if len(q) == 0 {
+		return 0
+	}
+	return e.hybrid.Estimate(q)
+}
+
+// Update records an exact cardinality for a subset whose count changed; it
+// is served from the auxiliary structure thereafter (§7.2).
+func (e *CardinalityEstimator) Update(q sets.Set, card float64) {
+	e.hybrid.InsertOutlier(q, card)
+}
+
+// MaxSubset returns the trained subset-size cap.
+func (e *CardinalityEstimator) MaxSubset() int { return e.maxSubset }
+
+// SizeBytes returns the estimator footprint (model + auxiliary map).
+func (e *CardinalityEstimator) SizeBytes() int { return e.hybrid.SizeBytes() }
+
+// Hybrid exposes the underlying hybrid estimator for benchmarking.
+func (e *CardinalityEstimator) Hybrid() *hybrid.Estimator { return e.hybrid }

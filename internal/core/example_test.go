@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+
+	"setlearn/internal/core"
+	"setlearn/internal/sets"
+)
+
+// ExampleBuildEstimator shows the primary workflow: map external names to
+// ids, build a collection, train an estimator, and query it.
+func ExampleBuildEstimator() {
+	dict := sets.NewDict()
+	collection := sets.NewCollection([]sets.Set{
+		dict.SetOf("pizza", "dinner", "yum"),
+		dict.SetOf("code", "go"),
+		dict.SetOf("pizza", "dinner"),
+		dict.SetOf("pizza", "dinner", "friends"),
+	})
+	est, err := core.BuildEstimator(collection, core.EstimatorOptions{
+		Model:      core.ModelOptions{Compressed: true, Epochs: 30, Seed: 1},
+		MaxSubset:  3,
+		Percentile: 90,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	q, _ := dict.QueryOf("pizza", "dinner")
+	fmt.Printf("estimate ≈ %.0f (exact %d)\n", est.Estimate(q), collection.Cardinality(q))
+	// Output: estimate ≈ 3 (exact 3)
+}
+
+// ExampleBuildIndex demonstrates both search types of the learned index.
+func ExampleBuildIndex() {
+	collection := sets.NewCollection([]sets.Set{
+		sets.New(1, 2, 3),
+		sets.New(4, 5),
+		sets.New(1, 2),
+	})
+	idx, err := core.BuildIndex(collection, core.IndexOptions{
+		Model:      core.ModelOptions{Epochs: 30, Seed: 1},
+		MaxSubset:  3,
+		Percentile: 90,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("subset:", idx.Lookup(sets.New(1, 2)))
+	fmt.Println("equal: ", idx.LookupEqual(sets.New(1, 2)))
+	// Output:
+	// subset: 0
+	// equal:  2
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"setlearn/internal/dataset"
+	"setlearn/internal/deepsets"
+	"setlearn/internal/hybrid"
+	"setlearn/internal/sets"
+	"setlearn/internal/train"
+)
+
+// IndexOptions configures BuildIndex.
+type IndexOptions struct {
+	Model ModelOptions
+	// MaxSubset caps the size of enumerated training subsets; the index
+	// guarantees exact answers only for queries up to this size (§7.1.1
+	// applies the same cap at size 6 by the infrequency argument).
+	MaxSubset int
+	// Percentile is the guided-learning eviction threshold (§6); e.g. 90
+	// evicts the hardest 10% of subsets into the auxiliary structure.
+	// 0 disables eviction ("No Removal").
+	Percentile float64
+	// TargetQError, when > 0, switches to the automatic threshold setting
+	// of §6: eviction rounds continue until the kept mean q-error reaches
+	// this target (the paper uses the [1, 1.4] range for indexing).
+	// Overrides Percentile.
+	TargetQError float64
+	// RangeLen is the local-error range width of Algorithm 2 (default 100).
+	RangeLen int
+}
+
+// SetIndex answers "first position where q appears as a subset" over an
+// unordered collection, backed by the hybrid learned structure.
+type SetIndex struct {
+	hybrid    *hybrid.Index
+	maxSubset int
+}
+
+// BuildIndex trains a learned set index over c. The collection is captured
+// by reference; it must not be mutated afterwards except through Insert.
+func BuildIndex(c *sets.Collection, opts IndexOptions) (*SetIndex, error) {
+	if err := validateCollection(c); err != nil {
+		return nil, err
+	}
+	if opts.MaxSubset == 0 {
+		opts.MaxSubset = 3
+	}
+	// Full sets are always included so equality queries work for sets
+	// larger than the subset cap (§4.1 supports both search types).
+	st := dataset.CollectSubsetsWithFull(c, opts.MaxSubset)
+	samples := st.IndexSamples()
+	sc := train.FitScaler(samples)
+
+	m, err := deepsets.New(opts.Model.modelConfig(c.MaxID()))
+	if err != nil {
+		return nil, fmt.Errorf("core: build index model: %w", err)
+	}
+	var res *train.GuidedResult
+	if opts.TargetQError > 0 {
+		res, err = train.AutoGuided(m, samples, sc, train.AutoGuidedConfig{
+			Train:        opts.Model.trainConfig(),
+			TargetQError: opts.TargetQError,
+		})
+	} else {
+		res, err = train.Guided(m, samples, sc, train.GuidedConfig{
+			Train:      opts.Model.trainConfig(),
+			Percentile: opts.Percentile,
+		})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: train index model: %w", err)
+	}
+	h, err := hybrid.BuildIndex(c, m, sc, res, hybrid.IndexConfig{RangeLen: opts.RangeLen})
+	if err != nil {
+		return nil, err
+	}
+	return &SetIndex{hybrid: h, maxSubset: opts.MaxSubset}, nil
+}
+
+// Lookup returns the first position i with q ⊆ S[i], or -1 if q is not a
+// subset of any set (exact for queries within the trained subset-size cap).
+func (i *SetIndex) Lookup(q sets.Set) int {
+	if len(q) == 0 {
+		return -1
+	}
+	return i.hybrid.Lookup(q)
+}
+
+// LookupEqual returns the first position whose set is exactly q, or -1 —
+// the equality search type of §4.1.
+func (i *SetIndex) LookupEqual(q sets.Set) int {
+	if len(q) == 0 {
+		return -1
+	}
+	return i.hybrid.LookupEqual(q)
+}
+
+// Insert registers a new set appended to the collection at position pos: the
+// set's subsets are routed to the auxiliary structure without retraining
+// (§7.2).
+func (i *SetIndex) Insert(s sets.Set, pos int) {
+	sets.Subsets(s, i.maxSubset, func(sub sets.Set) {
+		if i.hybrid.Lookup(sub) < 0 {
+			i.hybrid.InsertOutlier(sub, pos)
+		}
+	})
+}
+
+// MaxSubset returns the trained subset-size cap.
+func (i *SetIndex) MaxSubset() int { return i.maxSubset }
+
+// SizeBytes returns the total structure footprint.
+func (i *SetIndex) SizeBytes() int { return i.hybrid.SizeBytes() }
+
+// MemoryBreakdown reports model, auxiliary-structure, and error-list bytes
+// (Table 7's columns).
+func (i *SetIndex) MemoryBreakdown() (model, aux, errs int) { return i.hybrid.MemoryBreakdown() }
+
+// MaxError returns the global position-error bound of the model.
+func (i *SetIndex) MaxError() int { return i.hybrid.MaxError() }
+
+// Hybrid exposes the underlying hybrid structure for benchmarking.
+func (i *SetIndex) Hybrid() *hybrid.Index { return i.hybrid }

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"setlearn/internal/blockio"
+	"setlearn/internal/bloom"
+	"setlearn/internal/deepsets"
+	"setlearn/internal/hybrid"
+	"setlearn/internal/sets"
+)
+
+// writeHeader and readHeader frame the gob-encoded header so buffered
+// decoders cannot over-read into the following sections.
+func writeHeader(w io.Writer, hdr coreHeader) error {
+	return blockio.Write(w, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(hdr)
+	})
+}
+
+func readHeader(r io.Reader) (coreHeader, error) {
+	var hdr coreHeader
+	block, err := blockio.Read(r)
+	if err != nil {
+		return hdr, err
+	}
+	err = gob.NewDecoder(block).Decode(&hdr)
+	return hdr, err
+}
+
+// Trained structures persist to a single stream so they can be built once
+// and reopened (the paper's models "extract the weights … and store"
+// them, §8.2.2). An index additionally needs its collection at load time.
+
+type coreHeader struct {
+	MaxSubset int
+	Threshold float64 // membership filter only
+	Sandwich  bool    // membership filter only: a pre-filter block follows
+}
+
+// Save persists the trained index (model, error bounds, auxiliary
+// structure). The collection itself is not written.
+func (i *SetIndex) Save(w io.Writer) error {
+	if err := writeHeader(w, coreHeader{MaxSubset: i.maxSubset}); err != nil {
+		return fmt.Errorf("core: save index: %w", err)
+	}
+	return i.hybrid.Save(w)
+}
+
+// LoadIndex restores a SetIndex over the same collection it was built on.
+func LoadIndex(r io.Reader, c *sets.Collection) (*SetIndex, error) {
+	hdr, err := readHeader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load index: %w", err)
+	}
+	h, err := hybrid.LoadIndex(r, c)
+	if err != nil {
+		return nil, err
+	}
+	return &SetIndex{hybrid: h, maxSubset: hdr.MaxSubset}, nil
+}
+
+// Save persists the trained estimator.
+func (e *CardinalityEstimator) Save(w io.Writer) error {
+	if err := writeHeader(w, coreHeader{MaxSubset: e.maxSubset}); err != nil {
+		return fmt.Errorf("core: save estimator: %w", err)
+	}
+	return e.hybrid.Save(w)
+}
+
+// LoadCardinalityEstimator restores an estimator saved by Save.
+func LoadCardinalityEstimator(r io.Reader) (*CardinalityEstimator, error) {
+	hdr, err := readHeader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load estimator: %w", err)
+	}
+	h, err := hybrid.LoadEstimator(r)
+	if err != nil {
+		return nil, err
+	}
+	return &CardinalityEstimator{hybrid: h, maxSubset: hdr.MaxSubset}, nil
+}
+
+// Save persists the trained membership filter (model, threshold, backup
+// Bloom filter).
+func (f *MembershipFilter) Save(w io.Writer) error {
+	if err := writeHeader(w, coreHeader{
+		MaxSubset: f.maxSubset, Threshold: f.threshold, Sandwich: f.pre != nil,
+	}); err != nil {
+		return fmt.Errorf("core: save filter: %w", err)
+	}
+	if err := blockio.Write(w, f.model.Save); err != nil {
+		return fmt.Errorf("core: save filter model: %w", err)
+	}
+	if err := blockio.Write(w, f.backup.Save); err != nil {
+		return fmt.Errorf("core: save filter backup: %w", err)
+	}
+	if f.pre != nil {
+		if err := blockio.Write(w, f.pre.Save); err != nil {
+			return fmt.Errorf("core: save filter pre-filter: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadMembershipFilter restores a filter saved by Save.
+func LoadMembershipFilter(r io.Reader) (*MembershipFilter, error) {
+	hdr, err := readHeader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load filter: %w", err)
+	}
+	mBlock, err := blockio.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load filter model: %w", err)
+	}
+	m, err := deepsets.Load(mBlock)
+	if err != nil {
+		return nil, fmt.Errorf("core: load filter model: %w", err)
+	}
+	bBlock, err := blockio.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load filter backup: %w", err)
+	}
+	backup, err := bloom.Load(bBlock)
+	if err != nil {
+		return nil, fmt.Errorf("core: load filter backup: %w", err)
+	}
+	f := &MembershipFilter{
+		model:     m,
+		pred:      m.NewPredictorPool(),
+		backup:    backup,
+		threshold: hdr.Threshold,
+		maxSubset: hdr.MaxSubset,
+	}
+	if hdr.Sandwich {
+		pBlock, err := blockio.Read(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: load filter pre-filter: %w", err)
+		}
+		if f.pre, err = bloom.Load(pBlock); err != nil {
+			return nil, fmt.Errorf("core: load filter pre-filter: %w", err)
+		}
+	}
+	return f, nil
+}

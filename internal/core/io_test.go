@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"setlearn/internal/dataset"
+	"setlearn/internal/sets"
+)
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	c := dataset.GenerateSD(200, 40, 51)
+	idx, err := BuildIndex(c, IndexOptions{Model: fastModel(true), MaxSubset: 2, Percentile: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadIndex(bytes.NewReader(buf.Bytes()), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxSubset() != idx.MaxSubset() || got.MaxError() != idx.MaxError() {
+		t.Fatal("metadata lost in round trip")
+	}
+	st := dataset.CollectSubsets(c, 2)
+	for i, k := range st.Keys {
+		if i%7 != 0 {
+			continue
+		}
+		q := st.ByKey[k].Set
+		if a, b := idx.Lookup(q), got.Lookup(q); a != b {
+			t.Fatalf("lookup diverged after round trip: %d vs %d for %v", a, b, q)
+		}
+	}
+}
+
+func TestIndexLoadRequiresCollection(t *testing.T) {
+	c := dataset.GenerateSD(100, 30, 52)
+	idx, err := BuildIndex(c, IndexOptions{Model: fastModel(false), MaxSubset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndex(bytes.NewReader(buf.Bytes()), sets.NewCollection(nil)); err == nil {
+		t.Fatal("expected error without collection")
+	}
+}
+
+func TestEstimatorSaveLoadRoundTrip(t *testing.T) {
+	c := dataset.GenerateSD(200, 40, 53)
+	est, err := BuildEstimator(c, EstimatorOptions{Model: fastModel(true), MaxSubset: 2, Percentile: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCardinalityEstimator(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dataset.CollectSubsets(c, 2)
+	for i, k := range st.Keys {
+		if i%7 != 0 {
+			continue
+		}
+		q := st.ByKey[k].Set
+		a, b := est.Estimate(q), got.Estimate(q)
+		// Weights round-trip at float32 precision, so allow tiny drift.
+		if diff := a - b; diff > 1e-4*(1+a) || diff < -1e-4*(1+a) {
+			t.Fatalf("estimate diverged after round trip: %v vs %v for %v", a, b, q)
+		}
+	}
+}
+
+func TestFilterSaveLoadRoundTrip(t *testing.T) {
+	c := dataset.GenerateRW(200, 400, 54)
+	f, err := BuildMembershipFilter(c, FilterOptions{Model: fastModel(true), MaxSubset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMembershipFilter(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BackupCount() != f.BackupCount() {
+		t.Fatal("backup filter lost entries")
+	}
+	st := dataset.CollectSubsets(c, 2)
+	for i, k := range st.Keys {
+		if i%5 != 0 {
+			continue
+		}
+		q := st.ByKey[k].Set
+		if a, b := f.Contains(q), got.Contains(q); a != b {
+			t.Fatalf("membership diverged after round trip for %v", q)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	junk := bytes.NewReader([]byte("garbage stream"))
+	if _, err := LoadCardinalityEstimator(junk); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := LoadMembershipFilter(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+	c := sets.NewCollection([]sets.Set{sets.New(1)})
+	if _, err := LoadIndex(bytes.NewReader([]byte("junk")), c); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestIndexLoadRejectsWrongCollection(t *testing.T) {
+	c := dataset.GenerateSD(150, 40, 58)
+	idx, err := BuildIndex(c, IndexOptions{Model: fastModel(false), MaxSubset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := dataset.GenerateSD(150, 40, 59) // different seed, same shape
+	if _, err := LoadIndex(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("expected fingerprint mismatch error")
+	}
+	// Appending to the original collection is fine (updates, §7.2).
+	c.Append(sets.New(900, 901))
+	if _, err := LoadIndex(bytes.NewReader(buf.Bytes()), c); err != nil {
+		t.Fatalf("grown original collection must load: %v", err)
+	}
+}

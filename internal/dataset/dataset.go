@@ -1,0 +1,126 @@
+// Package dataset generates the evaluation collections and training data.
+//
+// The paper evaluates on two proprietary real-world datasets (RW: company
+// server logs; Tweets: hashtags from a 50 GB Twitter crawl) and one
+// synthetic dataset (SD). The real datasets are not available, so this
+// package generates seeded synthetic equivalents that reproduce the
+// properties the paper relies on (Table 2 and §7.1.1): RW — heavy Zipf
+// skew, set sizes 2–8, large vocabulary; Tweets — Zipf's-law hashtag
+// frequencies, set sizes 1–12; SD — small vocabulary with frequently
+// co-occurring elements, set sizes 6–7, following the paper's own recipe.
+package dataset
+
+import (
+	"math/rand"
+
+	"setlearn/internal/sets"
+)
+
+// GenerateRW synthesizes a server-log-like collection: n sets of 2–8
+// elements drawn from a Zipf(s=1.3) distribution over vocab element ids, so
+// most elements are rare and subset cardinalities are heavily skewed.
+func GenerateRW(n, vocab int, seed int64) *sets.Collection {
+	return generateZipf(n, vocab, seed, 1.3, 2, 8)
+}
+
+// GenerateTweets synthesizes a hashtag-like collection: n sets of 1–12
+// elements with Zipf(s=1.1) frequencies (§7.1.1: "hashtag frequency
+// distribution follows Zipf's law").
+func GenerateTweets(n, vocab int, seed int64) *sets.Collection {
+	return generateZipf(n, vocab, seed, 1.1, 1, 12)
+}
+
+// GenerateSD synthesizes the paper's SD dataset: n sets of 6–7 elements
+// combined nearly uniformly from a small vocabulary, so few unique elements
+// appear often across many sets.
+func GenerateSD(n, vocab int, seed int64) *sets.Collection {
+	return generateZipf(n, vocab, seed, 1.01, 6, 7)
+}
+
+func generateZipf(n, vocab int, seed int64, s float64, minSize, maxSize int) *sets.Collection {
+	if n <= 0 || vocab <= 1 {
+		panic("dataset: need n > 0 and vocab > 1")
+	}
+	if minSize < 1 || maxSize < minSize || maxSize > vocab {
+		panic("dataset: invalid set size range")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, s, 1, uint64(vocab-1))
+	out := make([]sets.Set, 0, n)
+	seen := make(map[uint32]bool, maxSize)
+	for len(out) < n {
+		k := minSize + rng.Intn(maxSize-minSize+1)
+		ids := make([]uint32, 0, k)
+		clear(seen)
+		// Rejection-sample distinct elements; Zipf repeats head elements
+		// often, so cap the attempts and fall back to uniform fill.
+		for attempts := 0; len(ids) < k && attempts < 20*k; attempts++ {
+			id := uint32(zipf.Uint64())
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		for len(ids) < k {
+			id := uint32(rng.Intn(vocab))
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		out = append(out, sets.New(ids...))
+	}
+	return sets.NewCollection(out)
+}
+
+// Scale bundles the collection sizes used by the experiment harness. The
+// paper's scales (RW up to 3M sets, full subset enumeration) are GPU-scale;
+// these presets preserve every relationship under test at CPU-trainable N
+// (see DESIGN.md §5).
+type Scale struct {
+	Name        string
+	RWN         int // RW collection size
+	RWVocab     int
+	TweetsN     int
+	TweetsVocab int
+	SDN         int
+	SDVocab     int
+	MaxSubset   int // training-data subset size cap (§7.1.1 caps at 6)
+	Epochs      int
+}
+
+// Preset scales.
+var (
+	Tiny   = Scale{Name: "tiny", RWN: 300, RWVocab: 500, TweetsN: 300, TweetsVocab: 400, SDN: 200, SDVocab: 60, MaxSubset: 2, Epochs: 5}
+	Small  = Scale{Name: "small", RWN: 2000, RWVocab: 3000, TweetsN: 2000, TweetsVocab: 2500, SDN: 1000, SDVocab: 120, MaxSubset: 3, Epochs: 15}
+	Medium = Scale{Name: "medium", RWN: 20000, RWVocab: 30000, TweetsN: 15000, TweetsVocab: 20000, SDN: 8000, SDVocab: 400, MaxSubset: 3, Epochs: 25}
+	// Paper documents the original sizes for reference; running it on the
+	// CPU substrate is impractical (see DESIGN.md).
+	Paper = Scale{Name: "paper", RWN: 3000000, RWVocab: 346893, TweetsN: 1900000, TweetsVocab: 73618, SDN: 100000, SDVocab: 5661, MaxSubset: 6, Epochs: 100}
+)
+
+// ScaleByName resolves a preset name.
+func ScaleByName(name string) (Scale, bool) {
+	for _, s := range []Scale{Tiny, Small, Medium, Paper} {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scale{}, false
+}
+
+// Datasets returns the named evaluation collections for a scale, mirroring
+// the paper's dataset lineup (RW, Tweets, SD).
+func (sc Scale) Datasets() []NamedCollection {
+	return []NamedCollection{
+		{Name: "RW", Collection: GenerateRW(sc.RWN, sc.RWVocab, 101)},
+		{Name: "Tweets", Collection: GenerateTweets(sc.TweetsN, sc.TweetsVocab, 202)},
+		{Name: "SD", Collection: GenerateSD(sc.SDN, sc.SDVocab, 303)},
+	}
+}
+
+// NamedCollection pairs a collection with its dataset name.
+type NamedCollection struct {
+	Name       string
+	Collection *sets.Collection
+}

@@ -1,0 +1,406 @@
+// Package deepsets implements the paper's learned set models: the
+// permutation-invariant DeepSets architecture (§3.2, Figure 2) and its
+// compressed variant (§5, Figure 4).
+//
+// Uncompressed (LSM):   y = ρ( Σ_{x∈X} φ(embed(x)) )
+// Compressed (CLSM):    y = ρ( Σ_{x∈X} φ(embed₁(sv₁(x)) ‖ … ‖ embed_ns(sv_ns(x))) )
+//
+// In the compressed model each element id is split into ns sub-elements
+// (quotient/remainder chains, internal/compress); each sub-element position
+// has its own small embedding table. The per-element φ transformation is
+// applied to the concatenated sub-embeddings *before* the sum pool — this
+// preserves the binding between an element's quotient and remainder, which
+// a plain sum would destroy (the X-vs-Z counterexample in §5).
+package deepsets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"setlearn/internal/ad"
+	"setlearn/internal/compress"
+	"setlearn/internal/mat"
+	"setlearn/internal/nn"
+	"setlearn/internal/sets"
+)
+
+// Pooling selects the permutation-invariant aggregation of the per-element
+// φ outputs (§3.2 lists max, mean, sum, and log-sum-exp; sum is the
+// default and the only multiplicity-aware choice, which matters for
+// cardinality targets).
+type Pooling int
+
+// Supported pooling operations.
+const (
+	SumPool Pooling = iota
+	MeanPool
+	MaxPool
+	LSEPool // log-sum-exp, the smooth maximum
+)
+
+// String implements fmt.Stringer.
+func (p Pooling) String() string {
+	switch p {
+	case SumPool:
+		return "sum"
+	case MeanPool:
+		return "mean"
+	case MaxPool:
+		return "max"
+	case LSEPool:
+		return "logsumexp"
+	default:
+		return fmt.Sprintf("Pooling(%d)", int(p))
+	}
+}
+
+// Config describes a model. The zero value is not usable; call Validate or
+// construct via New which applies defaults.
+type Config struct {
+	MaxID uint32 // largest element id the model accepts
+
+	EmbedDim  int   // per-(sub-)element embedding dimensionality
+	PhiHidden []int // hidden layer sizes of the per-element network φ
+	PhiOut    int   // output dimensionality of φ (the pooled representation)
+	RhoHidden []int // hidden layer sizes of the set-level network ρ
+
+	// Compressed selects the CLSM variant; NS is the number of
+	// sub-elements (≥2) and SVD the divisor (0 = optimal ⌈maxID^(1/ns)⌉;
+	// larger values trade memory back for accuracy, Table 6).
+	Compressed bool
+	NS         int
+	SVD        uint32
+
+	HiddenAct nn.Activation // activation of hidden layers (default ReLU)
+	OutputAct nn.Activation // final activation (default Sigmoid, §4)
+	Pool      Pooling       // aggregation over φ outputs (default SumPool)
+
+	Seed int64 // weight-initialization seed
+}
+
+func (c *Config) applyDefaults() {
+	if c.EmbedDim == 0 {
+		c.EmbedDim = 8
+	}
+	if c.PhiOut == 0 {
+		c.PhiOut = 32
+	}
+	if len(c.PhiHidden) == 0 {
+		c.PhiHidden = []int{c.PhiOut}
+	}
+	if c.HiddenAct == nn.Identity {
+		c.HiddenAct = nn.ReLU
+	}
+	// OutputAct zero value is Identity, a legitimate choice (digit sum);
+	// regression/classification builders set Sigmoid explicitly.
+	if c.Compressed {
+		if c.NS == 0 {
+			c.NS = 2
+		}
+		if c.SVD == 0 {
+			c.SVD = compress.Divisor(c.MaxID+1, c.NS)
+		}
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.EmbedDim <= 0 || c.PhiOut <= 0 {
+		return fmt.Errorf("deepsets: EmbedDim and PhiOut must be positive (%d, %d)", c.EmbedDim, c.PhiOut)
+	}
+	if c.Compressed {
+		if c.NS < 2 {
+			return fmt.Errorf("deepsets: compressed model needs NS ≥ 2, got %d", c.NS)
+		}
+		if c.SVD < 2 {
+			return fmt.Errorf("deepsets: compressed model needs SVD ≥ 2, got %d", c.SVD)
+		}
+	}
+	return nil
+}
+
+// Model is a trained or trainable learned set model.
+type Model struct {
+	cfg    Config
+	embeds []*nn.Embedding // 1 table (LSM) or NS tables (CLSM)
+	phi    *nn.MLP
+	rho    *nn.MLP
+	params []*nn.Param
+}
+
+// New constructs a model with freshly initialized weights.
+func New(cfg Config) (*Model, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{cfg: cfg}
+
+	var phiIn int
+	if cfg.Compressed {
+		vocabs := compress.VocabSizes(cfg.MaxID, cfg.SVD, cfg.NS)
+		for i, v := range vocabs {
+			m.embeds = append(m.embeds, nn.NewEmbedding(fmt.Sprintf("emb%d", i), v, cfg.EmbedDim, rng))
+		}
+		phiIn = cfg.NS * cfg.EmbedDim
+	} else {
+		m.embeds = []*nn.Embedding{nn.NewEmbedding("emb", int(cfg.MaxID)+1, cfg.EmbedDim, rng)}
+		phiIn = cfg.EmbedDim
+	}
+
+	phiSizes := append([]int{phiIn}, cfg.PhiHidden...)
+	phiSizes = append(phiSizes, cfg.PhiOut)
+	m.phi = nn.NewMLP("phi", phiSizes, cfg.HiddenAct, cfg.HiddenAct, rng)
+
+	rhoSizes := append([]int{cfg.PhiOut}, cfg.RhoHidden...)
+	rhoSizes = append(rhoSizes, 1)
+	m.rho = nn.NewMLP("rho", rhoSizes, cfg.HiddenAct, cfg.OutputAct, rng)
+
+	for _, e := range m.embeds {
+		m.params = append(m.params, e.Params()...)
+	}
+	m.params = append(m.params, m.phi.Params()...)
+	m.params = append(m.params, m.rho.Params()...)
+	return m, nil
+}
+
+// Config returns the model configuration (with defaults applied).
+func (m *Model) Config() Config { return m.cfg }
+
+// Params returns all trainable parameters.
+func (m *Model) Params() []*nn.Param { return m.params }
+
+// NumParams returns the total scalar parameter count.
+func (m *Model) NumParams() int { return nn.NumParams(m.params) }
+
+// SizeBytes returns the serialized model size (float32 weights), the
+// memory measure used throughout the paper's evaluation.
+func (m *Model) SizeBytes() int { return nn.SizeBytes(m.params) }
+
+// EmbeddingSizeBytes returns the portion of SizeBytes spent on embedding
+// tables — the term compression attacks.
+func (m *Model) EmbeddingSizeBytes() int {
+	var ps []*nn.Param
+	for _, e := range m.embeds {
+		ps = append(ps, e.Params()...)
+	}
+	return nn.SizeBytes(ps)
+}
+
+// elementNode records the per-element pipeline (embedding, optional
+// compression and concat, φ) on the tape.
+func (m *Model) elementNode(t *ad.Tape, id uint32, buf []uint32) *ad.Node {
+	if id > m.cfg.MaxID {
+		panic(fmt.Sprintf("deepsets: element id %d exceeds MaxID %d", id, m.cfg.MaxID))
+	}
+	var in *ad.Node
+	if m.cfg.Compressed {
+		parts := compress.Compress(buf[:0], id, m.cfg.SVD, m.cfg.NS)
+		subs := make([]*ad.Node, len(parts))
+		for i, p := range parts {
+			subs[i] = m.embeds[i].Apply(t, int(p))
+		}
+		in = t.Concat(subs...)
+	} else {
+		in = m.embeds[0].Apply(t, int(id))
+	}
+	return m.phi.Apply(t, in)
+}
+
+// Apply records the full model on the tape and returns the output node
+// (after the output activation). The empty set is rejected: the paper's
+// queries are non-empty subsets.
+func (m *Model) Apply(t *ad.Tape, s sets.Set) *ad.Node {
+	return m.applyWith(t, s, m.rho.Apply)
+}
+
+// ApplyLogit is Apply without the final activation, exposing the logit for
+// numerically stable binary cross-entropy.
+func (m *Model) ApplyLogit(t *ad.Tape, s sets.Set) *ad.Node {
+	return m.applyWith(t, s, m.rho.ApplyLogit)
+}
+
+func (m *Model) applyWith(t *ad.Tape, s sets.Set, rho func(*ad.Tape, *ad.Node) *ad.Node) *ad.Node {
+	if len(s) == 0 {
+		panic("deepsets: empty set")
+	}
+	var buf [8]uint32
+	parts := make([]*ad.Node, len(s))
+	for i, id := range s {
+		parts[i] = m.elementNode(t, id, buf[:0])
+	}
+	var pooled *ad.Node
+	switch m.cfg.Pool {
+	case MeanPool:
+		pooled = t.MeanPool(parts)
+	case MaxPool:
+		pooled = t.MaxPool(parts)
+	case LSEPool:
+		pooled = t.LogSumExpPool(parts)
+	default:
+		pooled = t.SumPool(parts)
+	}
+	return rho(t, pooled)
+}
+
+// Predictor holds preallocated scratch for tape-free single-query
+// inference. It is not safe for concurrent use; create one per goroutine.
+type Predictor struct {
+	m        *Model
+	catBuf   []float64
+	pool     []float64
+	phiS     *nn.InferScratch
+	rhoS     *nn.InferScratch
+	partsBuf []uint32
+	lseSum   []float64 // scratch for log-sum-exp pooling
+}
+
+// NewPredictor returns inference scratch bound to m.
+func (m *Model) NewPredictor() *Predictor {
+	in := m.cfg.EmbedDim
+	if m.cfg.Compressed {
+		in *= m.cfg.NS
+	}
+	return &Predictor{
+		m:        m,
+		catBuf:   make([]float64, in),
+		pool:     make([]float64, m.cfg.PhiOut),
+		phiS:     m.phi.NewInferScratch(),
+		rhoS:     m.rho.NewInferScratch(),
+		partsBuf: make([]uint32, 0, 8),
+	}
+}
+
+func (p *Predictor) pooled(s sets.Set) []float64 {
+	if len(s) == 0 {
+		panic("deepsets: empty set")
+	}
+	m := p.m
+	if m.cfg.Pool == LSEPool {
+		return p.pooledLSE(s)
+	}
+	if m.cfg.Pool == MaxPool {
+		mat.Fill(p.pool, math.Inf(-1))
+	} else {
+		mat.Fill(p.pool, 0)
+	}
+	for _, id := range s {
+		if id > m.cfg.MaxID {
+			panic(fmt.Sprintf("deepsets: element id %d exceeds MaxID %d", id, m.cfg.MaxID))
+		}
+		var in []float64
+		if m.cfg.Compressed {
+			parts := compress.Compress(p.partsBuf[:0], id, m.cfg.SVD, m.cfg.NS)
+			for i, part := range parts {
+				copy(p.catBuf[i*m.cfg.EmbedDim:], m.embeds[i].Row(int(part)))
+			}
+			in = p.catBuf
+		} else {
+			in = m.embeds[0].Row(int(id))
+		}
+		phiOut := m.phi.Infer(p.phiS, in)
+		if m.cfg.Pool == MaxPool {
+			for i, v := range phiOut {
+				if v > p.pool[i] {
+					p.pool[i] = v
+				}
+			}
+		} else {
+			mat.AddTo(p.pool, phiOut)
+		}
+	}
+	if m.cfg.Pool == MeanPool {
+		mat.Scale(p.pool, 1/float64(len(s)))
+	}
+	return p.pool
+}
+
+// phiFor computes φ for one element into the scratch and returns it.
+func (p *Predictor) phiFor(id uint32) []float64 {
+	m := p.m
+	if id > m.cfg.MaxID {
+		panic(fmt.Sprintf("deepsets: element id %d exceeds MaxID %d", id, m.cfg.MaxID))
+	}
+	var in []float64
+	if m.cfg.Compressed {
+		parts := compress.Compress(p.partsBuf[:0], id, m.cfg.SVD, m.cfg.NS)
+		for i, part := range parts {
+			copy(p.catBuf[i*m.cfg.EmbedDim:], m.embeds[i].Row(int(part)))
+		}
+		in = p.catBuf
+	} else {
+		in = m.embeds[0].Row(int(id))
+	}
+	return m.phi.Infer(p.phiS, in)
+}
+
+// pooledLSE is the tape-free log-sum-exp pooling path. It recomputes φ in
+// a second pass instead of buffering per-element outputs, trading FLOPs for
+// zero allocation.
+func (p *Predictor) pooledLSE(s sets.Set) []float64 {
+	mat.Fill(p.pool, math.Inf(-1))
+	for _, id := range s {
+		for i, v := range p.phiFor(id) {
+			if v > p.pool[i] {
+				p.pool[i] = v
+			}
+		}
+	}
+	if p.lseSum == nil {
+		p.lseSum = make([]float64, len(p.pool))
+	}
+	mat.Fill(p.lseSum, 0)
+	for _, id := range s {
+		for i, v := range p.phiFor(id) {
+			p.lseSum[i] += math.Exp(v - p.pool[i])
+		}
+	}
+	for i := range p.pool {
+		p.pool[i] += math.Log(p.lseSum[i])
+	}
+	return p.pool
+}
+
+// Predict returns the model output (after the output activation) for s.
+func (p *Predictor) Predict(s sets.Set) float64 {
+	return p.m.rho.Infer(p.rhoS, p.pooled(s))[0]
+}
+
+// PredictLogit returns the pre-activation output for s.
+func (p *Predictor) PredictLogit(s sets.Set) float64 {
+	return p.m.rho.InferLogit(p.rhoS, p.pooled(s))[0]
+}
+
+// PredictorPool is a concurrency-safe wrapper around per-goroutine
+// Predictors, letting one trained structure serve parallel query streams.
+type PredictorPool struct {
+	m    *Model
+	pool sync.Pool
+}
+
+// NewPredictorPool returns a pool bound to m.
+func (m *Model) NewPredictorPool() *PredictorPool {
+	p := &PredictorPool{m: m}
+	p.pool.New = func() any { return m.NewPredictor() }
+	return p
+}
+
+// Predict evaluates the model for s; safe for concurrent use.
+func (p *PredictorPool) Predict(s sets.Set) float64 {
+	pred := p.pool.Get().(*Predictor)
+	out := pred.Predict(s)
+	p.pool.Put(pred)
+	return out
+}
+
+// PredictLogit evaluates the pre-activation output for s; safe for
+// concurrent use.
+func (p *PredictorPool) PredictLogit(s sets.Set) float64 {
+	pred := p.pool.Get().(*Predictor)
+	out := pred.PredictLogit(s)
+	p.pool.Put(pred)
+	return out
+}

@@ -1,0 +1,350 @@
+package deepsets
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"setlearn/internal/ad"
+	"setlearn/internal/nn"
+	"setlearn/internal/sets"
+)
+
+func newTestModel(t *testing.T, compressed bool) *Model {
+	t.Helper()
+	m, err := New(Config{
+		MaxID:      999,
+		EmbedDim:   4,
+		PhiHidden:  []int{8},
+		PhiOut:     8,
+		RhoHidden:  []int{8},
+		Compressed: compressed,
+		OutputAct:  nn.Sigmoid,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigDefaults(t *testing.T) {
+	m, err := New(Config{MaxID: 100, Compressed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.Config()
+	if cfg.NS != 2 || cfg.SVD < 2 || cfg.EmbedDim == 0 || cfg.PhiOut == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	if err := (Config{EmbedDim: -1, PhiOut: 4}).Validate(); err == nil {
+		t.Fatal("expected error for negative EmbedDim")
+	}
+	if err := (Config{EmbedDim: 4, PhiOut: 4, Compressed: true, NS: 1, SVD: 10}).Validate(); err == nil {
+		t.Fatal("expected error for NS=1")
+	}
+	if err := (Config{EmbedDim: 4, PhiOut: 4, Compressed: true, NS: 2, SVD: 1}).Validate(); err == nil {
+		t.Fatal("expected error for SVD=1")
+	}
+}
+
+func TestPermutationInvariance(t *testing.T) {
+	for _, compressed := range []bool{false, true} {
+		m := newTestModel(t, compressed)
+		p := m.NewPredictor()
+		// Same elements presented in different orders must give identical
+		// outputs. sets.New canonicalizes, so feed raw Set slices directly.
+		a := sets.Set{7, 130, 999}
+		b := sets.Set{999, 7, 130}
+		if got, want := p.Predict(b), p.Predict(a); got != want {
+			t.Fatalf("compressed=%v: permutation changed output %v vs %v", compressed, got, want)
+		}
+	}
+}
+
+func TestVariableSetSizes(t *testing.T) {
+	m := newTestModel(t, true)
+	p := m.NewPredictor()
+	for n := 1; n <= 8; n++ {
+		ids := make([]uint32, n)
+		for i := range ids {
+			ids[i] = uint32(i * 111)
+		}
+		out := p.Predict(sets.New(ids...))
+		if math.IsNaN(out) || out < 0 || out > 1 {
+			t.Fatalf("size %d: output %v out of sigmoid range", n, out)
+		}
+	}
+}
+
+func TestCompressedDistinguishesRecombinedSubelements(t *testing.T) {
+	// The §5 counterexample: X = {(q1,r1),(q2,r2)} vs Z = {(q2,r1),(q1,r2)}.
+	// With SVD=10: X={91,12} → (9,1),(1,2); Z={11,92} → (1,1),(9,2).
+	// A model that pooled sub-embeddings independently could not tell them
+	// apart; the φ-before-pool architecture must.
+	m, err := New(Config{
+		MaxID: 99, EmbedDim: 4, PhiHidden: []int{8}, PhiOut: 8,
+		Compressed: true, NS: 2, SVD: 10, OutputAct: nn.Sigmoid, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPredictor()
+	x := p.Predict(sets.New(91, 12))
+	z := p.Predict(sets.New(11, 92))
+	if x == z {
+		t.Fatalf("recombined sub-element sets indistinguishable: both %v", x)
+	}
+}
+
+func TestPredictMatchesTapedForward(t *testing.T) {
+	for _, compressed := range []bool{false, true} {
+		m := newTestModel(t, compressed)
+		p := m.NewPredictor()
+		rng := rand.New(rand.NewSource(9))
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(6)
+			ids := make([]uint32, n)
+			for i := range ids {
+				ids[i] = uint32(rng.Intn(1000))
+			}
+			s := sets.New(ids...)
+			tp := ad.NewTape()
+			want := m.Apply(tp, s).Value[0]
+			if got := p.Predict(s); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("compressed=%v: Predict %v vs tape %v", compressed, got, want)
+			}
+			tp2 := ad.NewTape()
+			wantLogit := m.ApplyLogit(tp2, s).Value[0]
+			if got := p.PredictLogit(s); math.Abs(got-wantLogit) > 1e-12 {
+				t.Fatalf("compressed=%v: PredictLogit %v vs tape %v", compressed, got, wantLogit)
+			}
+		}
+	}
+}
+
+func TestLogitSigmoidConsistency(t *testing.T) {
+	m := newTestModel(t, false)
+	p := m.NewPredictor()
+	s := sets.New(1, 2, 3)
+	logit := p.PredictLogit(s)
+	if got := p.Predict(s); math.Abs(got-nn.StableSigmoid(logit)) > 1e-12 {
+		t.Fatalf("sigmoid(logit) %v vs Predict %v", nn.StableSigmoid(logit), got)
+	}
+}
+
+func TestCompressionShrinksModel(t *testing.T) {
+	// The motivating claim of §5: for a large vocabulary the compressed
+	// model is drastically smaller, because the embedding matrix dominates.
+	mk := func(compressed bool) *Model {
+		m, err := New(Config{
+			MaxID: 200000, EmbedDim: 8, PhiHidden: []int{16}, PhiOut: 16,
+			RhoHidden: []int{16}, Compressed: compressed, OutputAct: nn.Sigmoid, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	lsm, clsm := mk(false), mk(true)
+	if clsm.SizeBytes()*10 > lsm.SizeBytes() {
+		t.Fatalf("compression should shrink ≥10x here: LSM %d bytes, CLSM %d bytes",
+			lsm.SizeBytes(), clsm.SizeBytes())
+	}
+	if clsm.EmbeddingSizeBytes() >= lsm.EmbeddingSizeBytes() {
+		t.Fatal("compressed embeddings must be smaller")
+	}
+}
+
+func TestModelLearnsSetRegression(t *testing.T) {
+	// End-to-end trainability on both variants: fit y = |X|/8 (normalized
+	// set size), a function any permutation-invariant model must learn.
+	for _, compressed := range []bool{false, true} {
+		m, err := New(Config{
+			MaxID: 99, EmbedDim: 4, PhiHidden: []int{8}, PhiOut: 8,
+			RhoHidden: []int{8}, Compressed: compressed, OutputAct: nn.Sigmoid, Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := nn.NewAdam(0.01)
+		rng := rand.New(rand.NewSource(11))
+		for step := 0; step < 3000; step++ {
+			n := 1 + rng.Intn(8)
+			ids := make([]uint32, 0, n)
+			for len(ids) < n {
+				ids = append(ids, uint32(rng.Intn(100)))
+			}
+			s := sets.New(ids...)
+			target := float64(len(s)) / 8
+			tp := ad.NewTape()
+			out := m.Apply(tp, s)
+			_, g := nn.MSELoss(out.Value[0], target)
+			tp.Backward(out, []float64{g})
+			opt.Step(m.Params())
+		}
+		p := m.NewPredictor()
+		var sumErr float64
+		const trials = 100
+		testRng := rand.New(rand.NewSource(77))
+		for i := 0; i < trials; i++ {
+			n := 1 + testRng.Intn(8)
+			ids := make([]uint32, 0, n)
+			for len(ids) < n {
+				ids = append(ids, uint32(testRng.Intn(100)))
+			}
+			s := sets.New(ids...)
+			sumErr += math.Abs(p.Predict(s) - float64(len(s))/8)
+		}
+		if mae := sumErr / trials; mae > 0.08 {
+			t.Fatalf("compressed=%v: failed to learn set size, MAE %v", compressed, mae)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, compressed := range []bool{false, true} {
+		m := newTestModel(t, compressed)
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, p2 := m.NewPredictor(), m2.NewPredictor()
+		s := sets.New(3, 500, 999)
+		a, b := p1.Predict(s), p2.Predict(s)
+		if math.Abs(a-b) > 1e-6 {
+			t.Fatalf("compressed=%v: round trip %v vs %v", compressed, a, b)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestPanicsOnEmptySetAndOutOfRangeID(t *testing.T) {
+	m := newTestModel(t, false)
+	p := m.NewPredictor()
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("empty predict", func() { p.Predict(sets.New()) })
+	expectPanic("id out of range", func() { p.Predict(sets.New(1000)) })
+	expectPanic("empty apply", func() { m.Apply(ad.NewTape(), sets.New()) })
+}
+
+func TestNumParamsConsistent(t *testing.T) {
+	m := newTestModel(t, true)
+	if m.SizeBytes() != 4*m.NumParams() {
+		t.Fatalf("SizeBytes %d vs 4*NumParams %d", m.SizeBytes(), 4*m.NumParams())
+	}
+	if m.EmbeddingSizeBytes() >= m.SizeBytes() {
+		t.Fatal("embedding bytes must be a strict subset of total")
+	}
+}
+
+func BenchmarkPredictLSM(b *testing.B) {
+	m, _ := New(Config{MaxID: 99999, EmbedDim: 8, PhiHidden: []int{32}, PhiOut: 32,
+		RhoHidden: []int{32}, OutputAct: nn.Sigmoid, Seed: 1})
+	p := m.NewPredictor()
+	s := sets.New(5, 999, 42000, 77777)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Predict(s)
+	}
+}
+
+func BenchmarkPredictCLSM(b *testing.B) {
+	m, _ := New(Config{MaxID: 99999, EmbedDim: 8, PhiHidden: []int{32}, PhiOut: 32,
+		RhoHidden: []int{32}, Compressed: true, OutputAct: nn.Sigmoid, Seed: 1})
+	p := m.NewPredictor()
+	s := sets.New(5, 999, 42000, 77777)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Predict(s)
+	}
+}
+
+func BenchmarkTrainStepCLSM(b *testing.B) {
+	m, _ := New(Config{MaxID: 99999, EmbedDim: 8, PhiHidden: []int{32}, PhiOut: 32,
+		RhoHidden: []int{32}, Compressed: true, OutputAct: nn.Sigmoid, Seed: 1})
+	opt := nn.NewAdam(0.001)
+	s := sets.New(5, 999, 42000, 77777)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tp := ad.NewTape()
+		out := m.Apply(tp, s)
+		_, g := nn.MSELoss(out.Value[0], 0.5)
+		tp.Backward(out, []float64{g})
+		opt.Step(m.Params())
+	}
+}
+
+func TestPoolingVariants(t *testing.T) {
+	for _, pool := range []Pooling{SumPool, MeanPool, MaxPool} {
+		m, err := New(Config{
+			MaxID: 99, EmbedDim: 4, PhiHidden: []int{8}, PhiOut: 8,
+			RhoHidden: []int{8}, OutputAct: nn.Sigmoid, Pool: pool, Seed: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.NewPredictor()
+		// Permutation invariance holds for every pooling choice.
+		a := p.Predict(sets.Set{7, 30, 99})
+		b := p.Predict(sets.Set{99, 7, 30})
+		if a != b {
+			t.Fatalf("pool=%v: permutation changed output", pool)
+		}
+		// Predict must match the taped forward for every pooling choice.
+		s := sets.New(5, 60, 88)
+		tp := ad.NewTape()
+		want := m.Apply(tp, s).Value[0]
+		if got := p.Predict(s); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("pool=%v: Predict %v vs tape %v", pool, got, want)
+		}
+	}
+}
+
+func TestPoolingString(t *testing.T) {
+	if SumPool.String() != "sum" || MeanPool.String() != "mean" || MaxPool.String() != "max" {
+		t.Fatal("Pooling labels wrong")
+	}
+}
+
+func TestSumPoolIsMultiplicityAware(t *testing.T) {
+	// Sum pooling distinguishes {x} from the multiset {x,x}; mean and max
+	// cannot. This is why cardinality models default to sum.
+	mk := func(pool Pooling) float64 {
+		m, err := New(Config{
+			MaxID: 9, EmbedDim: 2, PhiHidden: []int{4}, PhiOut: 4,
+			RhoHidden: []int{4}, OutputAct: nn.Sigmoid, Pool: pool, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.NewPredictor()
+		return p.Predict(sets.Set{3, 3}) - p.Predict(sets.Set{3})
+	}
+	if mk(SumPool) == 0 {
+		t.Fatal("sum pool should distinguish multiplicity")
+	}
+	if mk(MeanPool) != 0 || mk(MaxPool) != 0 {
+		t.Fatal("mean/max pools should be multiplicity blind")
+	}
+}

@@ -1,0 +1,37 @@
+package deepsets
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"setlearn/internal/nn"
+)
+
+// Save writes the model configuration and weights to w. The format is the
+// gob-encoded Config followed by the float32 parameter blob.
+func (m *Model) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(m.cfg); err != nil {
+		return fmt.Errorf("deepsets: save config: %w", err)
+	}
+	if err := nn.SaveParams(w, m.params); err != nil {
+		return fmt.Errorf("deepsets: save params: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model saved by Save.
+func Load(r io.Reader) (*Model, error) {
+	var cfg Config
+	if err := gob.NewDecoder(r).Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("deepsets: load config: %w", err)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("deepsets: load: %w", err)
+	}
+	if err := nn.LoadParams(r, m.params); err != nil {
+		return nil, fmt.Errorf("deepsets: load params: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,84 @@
+package digits
+
+import (
+	"testing"
+)
+
+func TestRunSmokeAndShapes(t *testing.T) {
+	res, sizes, err := Run(Config{
+		TrainSets: 300, TrainMaxM: 6, MaxVal: 10,
+		TestMs: []int{3, 6, 12}, TestSets: 50, Epochs: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, r := range res {
+		for _, name := range []ModelName{DeepSets, CDeepSets, LSTM, GRU} {
+			mae, ok := r.MAE[name]
+			if !ok {
+				t.Fatalf("M=%d missing %s", r.M, name)
+			}
+			if mae < 0 {
+				t.Fatalf("negative MAE for %s", name)
+			}
+		}
+	}
+	if sizes.CDeepSetsBytes >= sizes.DeepSetsBytes {
+		// With MaxVal as small as 10 compression may not shrink much, but
+		// it must never grow past the uncompressed table.
+		t.Fatalf("compressed embeddings %d ≥ uncompressed %d",
+			sizes.CDeepSetsBytes, sizes.DeepSetsBytes)
+	}
+}
+
+func TestCompressionShrinksEmbeddingsAtLargerRange(t *testing.T) {
+	// §8.5.1 varies digits up to 100/1000 to expose the memory difference.
+	_, sizes, err := Run(Config{
+		TrainSets: 50, TrainMaxM: 4, MaxVal: 1000,
+		TestMs: []int{4}, TestSets: 10, Epochs: 1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes.CDeepSetsBytes*4 > sizes.DeepSetsBytes {
+		t.Fatalf("expected ≥4x embedding shrink at MaxVal=1000: %d vs %d",
+			sizes.CDeepSetsBytes, sizes.DeepSetsBytes)
+	}
+}
+
+func TestDeepSetsGeneralizesBeyondTrainingSize(t *testing.T) {
+	// The headline claim of Figure 7: trained on ≤10 digits, DeepSets
+	// stays accurate at M≫10 while the sequence models degrade. Relative
+	// MAE (per true sum) must be far better for DeepSets at M=50.
+	res, _, err := Run(Config{
+		TrainSets: 1500, TrainMaxM: 10, MaxVal: 10,
+		TestMs: []int{50}, TestSets: 100, Epochs: 12, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.MAE[DeepSets] >= r.MAE[LSTM] || r.MAE[DeepSets] >= r.MAE[GRU] {
+		t.Fatalf("DeepSets should beat sequence models at M=50: ds=%v lstm=%v gru=%v",
+			r.MAE[DeepSets], r.MAE[LSTM], r.MAE[GRU])
+	}
+}
+
+func TestSampleDeterministicAcrossSeeds(t *testing.T) {
+	a, _, err := Run(Config{TrainSets: 50, TestMs: []int{5}, TestSets: 20, Epochs: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Run(Config{TrainSets: 50, TestMs: []int{5}, TestSets: 20, Epochs: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []ModelName{DeepSets, CDeepSets, LSTM, GRU} {
+		if a[0].MAE[name] != b[0].MAE[name] {
+			t.Fatalf("%s not deterministic: %v vs %v", name, a[0].MAE[name], b[0].MAE[name])
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package hybrid implements the paper's hybrid structure with error bounds
+// (§6, Figure 5, Algorithm 2): a learned model answering for the easy bulk
+// of the data, an auxiliary exact structure holding evicted outliers (and
+// later updates, §7.2), and per-range local error bounds that confine the
+// sequential search of the index task to a small window.
+package hybrid
+
+import (
+	"fmt"
+
+	"setlearn/internal/bptree"
+	"setlearn/internal/dataset"
+	"setlearn/internal/deepsets"
+	"setlearn/internal/sets"
+	"setlearn/internal/train"
+)
+
+// Index is the hybrid learned set index.
+type Index struct {
+	collection *sets.Collection
+	model      *deepsets.Model
+	scaler     train.Scaler
+	pred       *deepsets.PredictorPool
+
+	aux *bptree.Tree // outlier subsets: permutation-invariant hash → first position
+
+	rangeLen int
+	errors   []int // per-range max |est − truth| over kept training samples
+	maxErr   int   // global bound, for the local-vs-global comparison (§8.3.3)
+}
+
+// IndexConfig tunes index construction.
+type IndexConfig struct {
+	// RangeLen is the width (in positions) of each local error range; the
+	// paper uses 100 (§8.3.2). Smaller ranges mean tighter bounds and more
+	// memory.
+	RangeLen int
+	// AuxOrder is the B+ tree order for the outlier structure.
+	AuxOrder int
+}
+
+func (c *IndexConfig) applyDefaults() {
+	if c.RangeLen == 0 {
+		c.RangeLen = 100
+	}
+	if c.AuxOrder == 0 {
+		c.AuxOrder = bptree.DefaultOrder
+	}
+}
+
+// BuildIndex assembles the hybrid index from a guided-training result: the
+// model answers for kept samples within per-range error bounds; outliers go
+// to the auxiliary B+ tree.
+func BuildIndex(c *sets.Collection, m *deepsets.Model, sc train.Scaler, res *train.GuidedResult, cfg IndexConfig) (*Index, error) {
+	cfg.applyDefaults()
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("hybrid: empty collection")
+	}
+	idx := &Index{
+		collection: c,
+		model:      m,
+		scaler:     sc,
+		pred:       m.NewPredictorPool(),
+		aux:        bptree.New(cfg.AuxOrder),
+		rangeLen:   cfg.RangeLen,
+		errors:     make([]int, (c.Len()+cfg.RangeLen-1)/cfg.RangeLen),
+	}
+	for _, s := range res.Outliers {
+		idx.aux.Insert(s.Set.Hash(), uint32(s.Target))
+	}
+	for _, s := range res.Kept {
+		est := idx.estimatePos(s.Set)
+		diff := est - int(s.Target)
+		if diff < 0 {
+			diff = -diff
+		}
+		r := idx.rangeOf(est)
+		if diff > idx.errors[r] {
+			idx.errors[r] = diff
+		}
+		if diff > idx.maxErr {
+			idx.maxErr = diff
+		}
+	}
+	return idx, nil
+}
+
+func (idx *Index) rangeOf(pos int) int {
+	if pos < 0 {
+		pos = 0
+	}
+	r := pos / idx.rangeLen
+	if r >= len(idx.errors) {
+		r = len(idx.errors) - 1
+	}
+	return r
+}
+
+// inVocab reports whether every element of q is representable by the model.
+// Out-of-vocabulary elements cannot occur in the indexed collection, so such
+// queries are resolved without consulting the model.
+func inVocab(m *deepsets.Model, q sets.Set) bool {
+	return len(q) == 0 || q[len(q)-1] <= m.Config().MaxID
+}
+
+// estimatePos runs the model and maps the output to an integer position.
+func (idx *Index) estimatePos(q sets.Set) int {
+	est := int(idx.scaler.Unscale(idx.pred.Predict(q)) + 0.5)
+	if est < 0 {
+		est = 0
+	}
+	if est >= idx.collection.Len() {
+		est = idx.collection.Len() - 1
+	}
+	return est
+}
+
+// Lookup implements Algorithm 2: consult the auxiliary structure first,
+// otherwise predict a position and scan the window bounded by the local
+// error of the predicted range. It returns the first position i with
+// q ⊆ S[i], or -1 if the query is not found within the bounds.
+func (idx *Index) Lookup(q sets.Set) int {
+	if vals, ok := idx.aux.Get(q.Hash()); ok {
+		// Verify against the collection: distinct sets could collide on the
+		// 64-bit hash, and the paper's aux stores exact first positions.
+		for _, pos := range vals {
+			if idx.collection.At(int(pos)).ContainsAll(q) {
+				return int(pos)
+			}
+		}
+	}
+	if !inVocab(idx.model, q) {
+		return -1
+	}
+	est := idx.estimatePos(q)
+	e := idx.errors[idx.rangeOf(est)]
+	return idx.collection.FirstPositionInRange(q, est-e, est+e)
+}
+
+// LookupEqual implements the §4.1 equality search: the first position i
+// with S[i] exactly equal to q. The search starts from the left bound of
+// the same error window as Lookup ("the equality search for the first
+// position starts from the left position", Algorithm 2). The error bound
+// covers q's first *subset* occurrence, which precedes or equals its first
+// exact occurrence; when a proper superset shadows the exact match beyond
+// the window, the scan continues rightward, trading the latency bound for
+// correctness on that rare path.
+func (idx *Index) LookupEqual(q sets.Set) int {
+	if vals, ok := idx.aux.Get(q.Hash()); ok {
+		for _, pos := range vals {
+			if idx.collection.At(int(pos)).Equal(q) {
+				return int(pos)
+			}
+		}
+	}
+	if !inVocab(idx.model, q) {
+		return -1
+	}
+	est := idx.estimatePos(q)
+	e := idx.errors[idx.rangeOf(est)]
+	lo := est - e
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i < idx.collection.Len(); i++ {
+		if idx.collection.At(i).Equal(q) {
+			return i
+		}
+	}
+	return -1
+}
+
+// LookupGlobalBound is Lookup using the single global error bound instead of
+// the per-range bounds — the baseline of the §8.3.3 comparison.
+func (idx *Index) LookupGlobalBound(q sets.Set) int {
+	if vals, ok := idx.aux.Get(q.Hash()); ok {
+		for _, pos := range vals {
+			if idx.collection.At(int(pos)).ContainsAll(q) {
+				return int(pos)
+			}
+		}
+	}
+	if !inVocab(idx.model, q) {
+		return -1
+	}
+	est := idx.estimatePos(q)
+	return idx.collection.FirstPositionInRange(q, est-idx.maxErr, est+idx.maxErr)
+}
+
+// WindowSize returns the scan window the index would use for q — the cost
+// proxy reported in the local-vs-global experiment.
+func (idx *Index) WindowSize(q sets.Set) int {
+	if !inVocab(idx.model, q) {
+		return 0
+	}
+	est := idx.estimatePos(q)
+	return 2*idx.errors[idx.rangeOf(est)] + 1
+}
+
+// MaxError returns the global maximum absolute position error.
+func (idx *Index) MaxError() int { return idx.maxErr }
+
+// MeanLocalError averages the per-range error bounds.
+func (idx *Index) MeanLocalError() float64 {
+	if len(idx.errors) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range idx.errors {
+		s += float64(e)
+	}
+	return s / float64(len(idx.errors))
+}
+
+// InsertOutlier registers an updated or new subset position in the
+// auxiliary structure without retraining (§7.2): queries consult the aux
+// first, so it immediately overrides the model.
+func (idx *Index) InsertOutlier(q sets.Set, pos int) {
+	idx.aux.Insert(q.Hash(), uint32(pos))
+}
+
+// AuxLen returns the number of entries in the auxiliary structure.
+func (idx *Index) AuxLen() int { return idx.aux.Len() }
+
+// MemoryBreakdown reports the component sizes in bytes: model, auxiliary
+// structure, and error list — the three columns of Table 7.
+func (idx *Index) MemoryBreakdown() (model, aux, errs int) {
+	return idx.model.SizeBytes(), idx.aux.SizeBytes(), 8 * len(idx.errors)
+}
+
+// SizeBytes returns the total structure footprint.
+func (idx *Index) SizeBytes() int {
+	m, a, e := idx.MemoryBreakdown()
+	return m + a + e
+}
+
+// Estimator is the hybrid cardinality estimator: exact answers for evicted
+// outliers from a hash map, model estimates for everything else.
+type Estimator struct {
+	model  *deepsets.Model
+	scaler train.Scaler
+	pred   *deepsets.PredictorPool
+	aux    map[string]float64 // outlier subset key → exact cardinality
+}
+
+// BuildEstimator assembles the hybrid estimator from a guided-training
+// result.
+func BuildEstimator(m *deepsets.Model, sc train.Scaler, res *train.GuidedResult) *Estimator {
+	e := &Estimator{
+		model:  m,
+		scaler: sc,
+		pred:   m.NewPredictorPool(),
+		aux:    make(map[string]float64, len(res.Outliers)),
+	}
+	for _, s := range res.Outliers {
+		e.aux[s.Set.Key()] = s.Target
+	}
+	return e
+}
+
+// Estimate returns the cardinality estimate for q: exact if q was evicted
+// as an outlier, the model's prediction otherwise (§6: "querying for
+// cardinality … requires only the prediction of the model").
+func (e *Estimator) Estimate(q sets.Set) float64 {
+	if card, ok := e.aux[q.Key()]; ok {
+		return card
+	}
+	if !inVocab(e.model, q) {
+		return 0 // out-of-vocabulary elements cannot occur in the collection
+	}
+	est := e.scaler.Unscale(e.pred.Predict(q))
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// InsertOutlier records an exact cardinality for q in the auxiliary map.
+func (e *Estimator) InsertOutlier(q sets.Set, card float64) {
+	e.aux[q.Key()] = card
+}
+
+// AuxLen returns the number of outliers held by the auxiliary map.
+func (e *Estimator) AuxLen() int { return len(e.aux) }
+
+// SizeBytes returns the estimator footprint: model plus an estimate of the
+// auxiliary map (per-entry key bytes, value, and Go map overhead).
+func (e *Estimator) SizeBytes() int {
+	total := e.model.SizeBytes()
+	for k := range e.aux {
+		total += len(k) + 8 + mapEntryOverhead
+	}
+	return total
+}
+
+// mapEntryOverhead approximates Go's per-entry map cost (bucket slot, key
+// header, padding).
+const mapEntryOverhead = 32
+
+// EstimateSamples is a convenience that returns q-errors of the estimator
+// against ground-truth samples.
+func (e *Estimator) EstimateSamples(samples []dataset.Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		est := e.Estimate(s.Set)
+		truth := s.Target
+		if est < 1 {
+			est = 1
+		}
+		if truth < 1 {
+			truth = 1
+		}
+		if est > truth {
+			out[i] = est / truth
+		} else {
+			out[i] = truth / est
+		}
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package hybrid
+
+import (
+	"sync"
+	"testing"
+
+	"setlearn/internal/dataset"
+	"setlearn/internal/deepsets"
+	"setlearn/internal/nn"
+	"setlearn/internal/sets"
+	"setlearn/internal/train"
+)
+
+// buildFixture trains a small index model over an SD-like collection and
+// returns everything needed to assemble hybrid structures.
+type fixture struct {
+	c       *sets.Collection
+	st      *dataset.SubsetStats
+	model   *deepsets.Model
+	scaler  train.Scaler
+	guided  *train.GuidedResult
+	samples []dataset.Sample
+}
+
+func buildFixture(tb testing.TB, percentile float64) *fixture {
+	tb.Helper()
+	c := dataset.GenerateSD(400, 50, 21)
+	st := dataset.CollectSubsets(c, 3)
+	samples := st.IndexSamples()
+	sc := train.FitScaler(samples)
+	m, err := deepsets.New(deepsets.Config{
+		MaxID: c.MaxID(), EmbedDim: 4, PhiHidden: []int{16}, PhiOut: 16,
+		RhoHidden: []int{32}, OutputAct: nn.Sigmoid, Seed: 7,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := train.Guided(m, samples, sc, train.GuidedConfig{
+		Train:      train.Config{Epochs: 20, LR: 0.01, Seed: 9, Workers: 1},
+		Percentile: percentile,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &fixture{c: c, st: st, model: m, scaler: sc, guided: res, samples: samples}
+}
+
+func TestIndexFindsEveryTrainedSubset(t *testing.T) {
+	f := buildFixture(t, 90)
+	idx, err := BuildIndex(f.c, f.model, f.scaler, f.guided, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The error bounds are computed over kept samples and the aux holds the
+	// outliers, so every trained subset must be found at its exact first
+	// position — the correctness guarantee of §6.
+	for i, s := range f.samples {
+		if i%5 != 0 { // sample for speed
+			continue
+		}
+		got := idx.Lookup(s.Set)
+		if got != int(s.Target) {
+			t.Fatalf("Lookup(%v)=%d want %d", s.Set, got, int(s.Target))
+		}
+	}
+}
+
+func TestIndexGlobalBoundAgrees(t *testing.T) {
+	f := buildFixture(t, 90)
+	idx, err := BuildIndex(f.c, f.model, f.scaler, f.guided, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range f.samples {
+		if i%11 != 0 {
+			continue
+		}
+		if a, b := idx.Lookup(s.Set), idx.LookupGlobalBound(s.Set); a != b {
+			t.Fatalf("local %d vs global %d for %v", a, b, s.Set)
+		}
+	}
+}
+
+func TestLocalErrorTighterThanGlobal(t *testing.T) {
+	f := buildFixture(t, 90)
+	idx, err := BuildIndex(f.c, f.model, f.scaler, f.guided, IndexConfig{RangeLen: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.MaxError() > 0 && idx.MeanLocalError() >= float64(idx.MaxError()) {
+		t.Fatalf("mean local error %v should be below global max %d",
+			idx.MeanLocalError(), idx.MaxError())
+	}
+	// Window size must respect the local bound.
+	for i, s := range f.samples {
+		if i%37 != 0 {
+			continue
+		}
+		if w := idx.WindowSize(s.Set); w > 2*idx.MaxError()+1 {
+			t.Fatalf("window %d exceeds global bound", w)
+		}
+	}
+}
+
+func TestIndexAuxHoldsOutliers(t *testing.T) {
+	f := buildFixture(t, 75)
+	idx, err := BuildIndex(f.c, f.model, f.scaler, f.guided, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.AuxLen() != len(f.guided.Outliers) {
+		t.Fatalf("aux holds %d, outliers %d", idx.AuxLen(), len(f.guided.Outliers))
+	}
+	for i, s := range f.guided.Outliers {
+		if i%7 != 0 {
+			continue
+		}
+		if got := idx.Lookup(s.Set); got != int(s.Target) {
+			t.Fatalf("outlier %v resolved to %d want %d", s.Set, got, int(s.Target))
+		}
+	}
+}
+
+func TestIndexUnseenQueryWithinCollection(t *testing.T) {
+	f := buildFixture(t, 90)
+	idx, err := BuildIndex(f.c, f.model, f.scaler, f.guided, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query absent from the collection: Lookup must not invent a position.
+	absent := sets.New(9999)
+	if got := idx.Lookup(absent); got != -1 {
+		t.Fatalf("absent query resolved to %d", got)
+	}
+}
+
+func TestIndexUpdateViaInsertOutlier(t *testing.T) {
+	f := buildFixture(t, 90)
+	idx, err := BuildIndex(f.c, f.model, f.scaler, f.guided, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §7.2: an update is absorbed by the aux structure without retraining.
+	pos := f.c.Append(sets.New(9999, 10000))
+	q := sets.New(9999, 10000)
+	idx.InsertOutlier(q, pos)
+	if got := idx.Lookup(q); got != pos {
+		t.Fatalf("updated subset resolved to %d want %d", got, pos)
+	}
+}
+
+func TestIndexMemoryBreakdown(t *testing.T) {
+	f := buildFixture(t, 90)
+	idx, err := BuildIndex(f.c, f.model, f.scaler, f.guided, IndexConfig{RangeLen: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, a, e := idx.MemoryBreakdown()
+	if m != f.model.SizeBytes() {
+		t.Fatalf("model bytes %d vs %d", m, f.model.SizeBytes())
+	}
+	if len(f.guided.Outliers) > 0 && a == 0 {
+		t.Fatal("aux bytes zero despite outliers")
+	}
+	wantRanges := (f.c.Len() + 99) / 100
+	if e != 8*wantRanges {
+		t.Fatalf("error list bytes %d want %d", e, 8*wantRanges)
+	}
+	if idx.SizeBytes() != m+a+e {
+		t.Fatal("SizeBytes must equal the sum of the breakdown")
+	}
+}
+
+func TestBuildIndexRejectsEmptyCollection(t *testing.T) {
+	f := buildFixture(t, 0)
+	empty := sets.NewCollection(nil)
+	if _, err := BuildIndex(empty, f.model, f.scaler, f.guided, IndexConfig{}); err == nil {
+		t.Fatal("expected error for empty collection")
+	}
+}
+
+func TestEstimatorExactOnOutliersModelElsewhere(t *testing.T) {
+	c := dataset.GenerateSD(400, 50, 22)
+	st := dataset.CollectSubsets(c, 3)
+	samples := st.CardinalitySamples()
+	sc := train.FitScaler(samples)
+	m, err := deepsets.New(deepsets.Config{
+		MaxID: c.MaxID(), EmbedDim: 4, PhiHidden: []int{16}, PhiOut: 16,
+		RhoHidden: []int{32}, OutputAct: nn.Sigmoid, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := train.Guided(m, samples, sc, train.GuidedConfig{
+		Train:      train.Config{Epochs: 15, LR: 0.01, Seed: 10, Workers: 1},
+		Percentile: 90,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := BuildEstimator(m, sc, res)
+	if est.AuxLen() != len(res.Outliers) {
+		t.Fatal("aux size mismatch")
+	}
+	for i, s := range res.Outliers {
+		if i%5 != 0 {
+			continue
+		}
+		if got := est.Estimate(s.Set); got != s.Target {
+			t.Fatalf("outlier estimate %v want exact %v", got, s.Target)
+		}
+	}
+	// Hybrid must beat the raw model on the full sample set (§8.2.1).
+	hybridQE := train.Mean(est.EstimateSamples(samples))
+	rawQE := train.Mean(train.QErrors(m, samples, sc))
+	if hybridQE > rawQE {
+		t.Fatalf("hybrid q-error %v worse than raw %v", hybridQE, rawQE)
+	}
+	if hybridQE < 1 {
+		t.Fatalf("impossible mean q-error %v", hybridQE)
+	}
+}
+
+func TestEstimatorFloorsAtOne(t *testing.T) {
+	f := buildFixture(t, 0)
+	est := BuildEstimator(f.model, train.Scaler{Min: 0, Max: 1}, f.guided)
+	if got := est.Estimate(sets.New(1, 2, 3)); got < 1 {
+		t.Fatalf("estimate %v below 1", got)
+	}
+}
+
+func TestEstimatorInsertOutlier(t *testing.T) {
+	f := buildFixture(t, 0)
+	est := BuildEstimator(f.model, f.scaler, f.guided)
+	before := est.SizeBytes()
+	est.InsertOutlier(sets.New(123, 456), 7)
+	if got := est.Estimate(sets.New(123, 456)); got != 7 {
+		t.Fatalf("inserted outlier returned %v", got)
+	}
+	if est.SizeBytes() <= before {
+		t.Fatal("SizeBytes must grow with aux entries")
+	}
+}
+
+func TestConcurrentQueriesRaceFree(t *testing.T) {
+	// The hybrid structures must serve parallel query streams; run with
+	// -race to catch predictor-state sharing.
+	f := buildFixture(t, 90)
+	idx, err := BuildIndex(f.c, f.model, f.scaler, f.guided, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := BuildEstimator(f.model, f.scaler, f.guided)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := f.samples[(w*211+i)%len(f.samples)]
+				if got := idx.Lookup(s.Set); got != int(s.Target) {
+					t.Errorf("concurrent Lookup(%v)=%d want %d", s.Set, got, int(s.Target))
+					return
+				}
+				est.Estimate(s.Set)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,170 @@
+package hybrid
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"setlearn/internal/blockio"
+	"setlearn/internal/bptree"
+	"setlearn/internal/deepsets"
+	"setlearn/internal/sets"
+	"setlearn/internal/train"
+)
+
+// Serialized form of the hybrid structures. The collection an Index serves
+// is not persisted — it is the data being indexed; the caller supplies it
+// again at load time (as a database would reopen its heap file).
+
+type indexHeader struct {
+	Scaler   train.Scaler
+	RangeLen int
+	Errors   []int
+	MaxErr   int
+	AuxKeys  []uint64
+	AuxVals  []uint32
+	AuxOrder int
+	// Collection fingerprint: the index is only valid over the collection
+	// it was built on, so Load verifies these.
+	NumSets   int
+	FirstHash uint64
+	LastHash  uint64
+}
+
+// Save persists the index: model weights, scaler, error bounds, and the
+// auxiliary structure's entries.
+func (idx *Index) Save(w io.Writer) error {
+	if err := blockio.Write(w, idx.model.Save); err != nil {
+		return fmt.Errorf("hybrid: save index model: %w", err)
+	}
+	hdr := indexHeader{
+		Scaler:    idx.scaler,
+		RangeLen:  idx.rangeLen,
+		Errors:    idx.errors,
+		MaxErr:    idx.maxErr,
+		AuxOrder:  bptree.DefaultOrder,
+		NumSets:   idx.collection.Len(),
+		FirstHash: idx.collection.At(0).Hash(),
+		LastHash:  idx.collection.At(idx.collection.Len() - 1).Hash(),
+	}
+	idx.aux.Ascend(func(k uint64, v uint32) bool {
+		hdr.AuxKeys = append(hdr.AuxKeys, k)
+		hdr.AuxVals = append(hdr.AuxVals, v)
+		return true
+	})
+	if err := blockio.Write(w, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(hdr)
+	}); err != nil {
+		return fmt.Errorf("hybrid: save index header: %w", err)
+	}
+	return nil
+}
+
+// LoadIndex restores an index saved by Save over the same collection.
+func LoadIndex(r io.Reader, c *sets.Collection) (*Index, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("hybrid: load index requires the indexed collection")
+	}
+	block, err := blockio.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: load index model: %w", err)
+	}
+	m, err := deepsets.Load(block)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: load index model: %w", err)
+	}
+	var hdr indexHeader
+	hBlock, err := blockio.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: load index header: %w", err)
+	}
+	if err := gob.NewDecoder(hBlock).Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("hybrid: load index header: %w", err)
+	}
+	if len(hdr.AuxKeys) != len(hdr.AuxVals) {
+		return nil, fmt.Errorf("hybrid: corrupt aux entries (%d keys, %d values)",
+			len(hdr.AuxKeys), len(hdr.AuxVals))
+	}
+	if hdr.RangeLen <= 0 || len(hdr.Errors) == 0 {
+		return nil, fmt.Errorf("hybrid: corrupt index header")
+	}
+	// Updates may have appended sets since Save, so the collection may be
+	// longer than at save time — but its saved prefix must match.
+	if c.Len() < hdr.NumSets ||
+		c.At(0).Hash() != hdr.FirstHash ||
+		c.At(hdr.NumSets-1).Hash() != hdr.LastHash {
+		return nil, fmt.Errorf("hybrid: collection does not match the one the index was built on")
+	}
+	idx := &Index{
+		collection: c,
+		model:      m,
+		scaler:     hdr.Scaler,
+		pred:       m.NewPredictorPool(),
+		aux:        bptree.New(hdr.AuxOrder),
+		rangeLen:   hdr.RangeLen,
+		errors:     hdr.Errors,
+		maxErr:     hdr.MaxErr,
+	}
+	for i, k := range hdr.AuxKeys {
+		idx.aux.Insert(k, hdr.AuxVals[i])
+	}
+	return idx, nil
+}
+
+type estimatorHeader struct {
+	Scaler  train.Scaler
+	AuxKeys []string
+	AuxVals []float64
+}
+
+// Save persists the estimator: model weights, scaler, and the auxiliary
+// outlier map.
+func (e *Estimator) Save(w io.Writer) error {
+	if err := blockio.Write(w, e.model.Save); err != nil {
+		return fmt.Errorf("hybrid: save estimator model: %w", err)
+	}
+	hdr := estimatorHeader{Scaler: e.scaler}
+	for k, v := range e.aux {
+		hdr.AuxKeys = append(hdr.AuxKeys, k)
+		hdr.AuxVals = append(hdr.AuxVals, v)
+	}
+	if err := blockio.Write(w, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(hdr)
+	}); err != nil {
+		return fmt.Errorf("hybrid: save estimator header: %w", err)
+	}
+	return nil
+}
+
+// LoadEstimator restores an estimator saved by Save.
+func LoadEstimator(r io.Reader) (*Estimator, error) {
+	block, err := blockio.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: load estimator model: %w", err)
+	}
+	m, err := deepsets.Load(block)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: load estimator model: %w", err)
+	}
+	var hdr estimatorHeader
+	hBlock, err := blockio.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: load estimator header: %w", err)
+	}
+	if err := gob.NewDecoder(hBlock).Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("hybrid: load estimator header: %w", err)
+	}
+	if len(hdr.AuxKeys) != len(hdr.AuxVals) {
+		return nil, fmt.Errorf("hybrid: corrupt aux entries")
+	}
+	e := &Estimator{
+		model:  m,
+		scaler: hdr.Scaler,
+		pred:   m.NewPredictorPool(),
+		aux:    make(map[string]float64, len(hdr.AuxKeys)),
+	}
+	for i, k := range hdr.AuxKeys {
+		e.aux[k] = hdr.AuxVals[i]
+	}
+	return e, nil
+}

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"setlearn/internal/ad"
+)
+
+// Activation identifies the elementwise nonlinearity of a layer.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	Sigmoid
+	Tanh
+	ReLU
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	case ReLU:
+		return "relu"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// Apply records the activation on the tape.
+func (a Activation) Apply(t *ad.Tape, x *ad.Node) *ad.Node {
+	switch a {
+	case Identity:
+		return x
+	case Sigmoid:
+		return t.Sigmoid(x)
+	case Tanh:
+		return t.Tanh(x)
+	case ReLU:
+		return t.ReLU(x)
+	default:
+		panic("nn: unknown activation")
+	}
+}
+
+// ApplyVec applies the activation in place to x — the tape-free inference
+// path.
+func (a Activation) ApplyVec(x []float64) {
+	switch a {
+	case Identity:
+	case Sigmoid:
+		for i, v := range x {
+			x[i] = StableSigmoid(v)
+		}
+	case Tanh:
+		for i, v := range x {
+			x[i] = math.Tanh(v)
+		}
+	case ReLU:
+		for i, v := range x {
+			if v < 0 {
+				x[i] = 0
+			}
+		}
+	default:
+		panic("nn: unknown activation")
+	}
+}
+
+// StableSigmoid computes 1/(1+e^{-x}) without overflow in either tail.
+func StableSigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}

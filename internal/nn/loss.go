@@ -1,0 +1,70 @@
+package nn
+
+import "math"
+
+// The regression models train on log-transformed, min-max-scaled targets
+// (paper §4.1–§4.2). In that space |ŷ−y|·(max−min) equals |log est − log
+// truth| = log q-error, so MAE in scaled space directly minimizes the
+// paper's q-error loss; MSE is its smooth alternative. The classification
+// model (learned Bloom filter) trains with binary cross-entropy on the
+// pre-sigmoid logit for numerical stability.
+
+// MAELoss returns |pred−target| and the gradient d/dpred.
+func MAELoss(pred, target float64) (loss, grad float64) {
+	d := pred - target
+	if d > 0 {
+		return d, 1
+	}
+	if d < 0 {
+		return -d, -1
+	}
+	return 0, 0
+}
+
+// MSELoss returns (pred−target)² and the gradient d/dpred.
+func MSELoss(pred, target float64) (loss, grad float64) {
+	d := pred - target
+	return d * d, 2 * d
+}
+
+// BCEWithLogits returns the binary cross-entropy between sigmoid(logit) and
+// target ∈ {0,1} together with the gradient with respect to the logit,
+// which is simply sigmoid(logit) − target.
+func BCEWithLogits(logit, target float64) (loss, grad float64) {
+	p := StableSigmoid(logit)
+	// Stable formulation: max(x,0) − x·t + log(1+e^{−|x|}).
+	loss = math.Max(logit, 0) - logit*target + math.Log1p(math.Exp(-math.Abs(logit)))
+	return loss, p - target
+}
+
+// QError returns the paper's accuracy metric max(est/truth, truth/est),
+// floored at 1. Both values are clamped below at 1 so that empty results
+// and sub-one estimates do not blow the ratio up to infinity — the standard
+// convention in the cardinality-estimation literature.
+func QError(est, truth float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if truth < 1 {
+		truth = 1
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// MeanQError averages QError over paired slices.
+func MeanQError(est, truth []float64) float64 {
+	if len(est) != len(truth) {
+		panic("nn: MeanQError length mismatch")
+	}
+	if len(est) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range est {
+		s += QError(est[i], truth[i])
+	}
+	return s / float64(len(est))
+}

@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"math/rand"
+
+	"setlearn/internal/ad"
+)
+
+// LSTMCell is a standard long short-term memory cell. It serves as a
+// sequence-model competitor to DeepSets in the digit-summation experiment
+// (Figure 7): unlike DeepSets it is order dependent and does not generalize
+// across set sizes.
+type LSTMCell struct {
+	// Gate weights over the input (W*) and recurrent state (U*).
+	Wi, Ui, Bi *Param
+	Wf, Uf, Bf *Param
+	Wo, Uo, Bo *Param
+	Wg, Ug, Bg *Param
+	hidden     int
+}
+
+// NewLSTMCell returns a Glorot-initialized cell. The forget-gate bias is
+// initialized to 1, the usual trick for stable early training.
+func NewLSTMCell(name string, in, hidden int, rng *rand.Rand) *LSTMCell {
+	mk := func(suffix string, rows, cols int) *Param {
+		p := NewParam(name+"."+suffix, rows, cols)
+		p.GlorotInit(rng, cols, rows)
+		return p
+	}
+	c := &LSTMCell{
+		Wi: mk("Wi", hidden, in), Ui: mk("Ui", hidden, hidden), Bi: NewParam(name+".bi", 1, hidden),
+		Wf: mk("Wf", hidden, in), Uf: mk("Uf", hidden, hidden), Bf: NewParam(name+".bf", 1, hidden),
+		Wo: mk("Wo", hidden, in), Uo: mk("Uo", hidden, hidden), Bo: NewParam(name+".bo", 1, hidden),
+		Wg: mk("Wg", hidden, in), Ug: mk("Ug", hidden, hidden), Bg: NewParam(name+".bg", 1, hidden),
+		hidden: hidden,
+	}
+	for i := range c.Bf.Vec() {
+		c.Bf.Vec()[i] = 1
+	}
+	return c
+}
+
+// Hidden returns the state dimensionality.
+func (c *LSTMCell) Hidden() int { return c.hidden }
+
+// gate records σ or tanh(W·x + U·h + b).
+func gate(t *ad.Tape, W, U, B *Param, x, h *ad.Node, act Activation) *ad.Node {
+	wx := t.Affine(W.Value, W.Grad, B.Vec(), B.GradVec(), x)
+	uh := t.Affine(U.Value, U.Grad, make([]float64, U.Value.Rows), nil, h)
+	return act.Apply(t, t.Add(wx, uh))
+}
+
+// Step records one LSTM step and returns the new hidden and cell states.
+func (c *LSTMCell) Step(t *ad.Tape, x, h, cell *ad.Node) (hNext, cellNext *ad.Node) {
+	i := gate(t, c.Wi, c.Ui, c.Bi, x, h, Sigmoid)
+	f := gate(t, c.Wf, c.Uf, c.Bf, x, h, Sigmoid)
+	o := gate(t, c.Wo, c.Uo, c.Bo, x, h, Sigmoid)
+	g := gate(t, c.Wg, c.Ug, c.Bg, x, h, Tanh)
+	cellNext = t.Add(t.Mul(f, cell), t.Mul(i, g))
+	hNext = t.Mul(o, t.Tanh(cellNext))
+	return hNext, cellNext
+}
+
+// Run records the cell over a sequence of inputs starting from zero state
+// and returns the final hidden state.
+func (c *LSTMCell) Run(t *ad.Tape, xs []*ad.Node) *ad.Node {
+	zero := make([]float64, c.hidden)
+	h, cell := t.Input(zero), t.Input(zero)
+	for _, x := range xs {
+		h, cell = c.Step(t, x, h, cell)
+	}
+	return h
+}
+
+// Params returns all trainable parameters of the cell.
+func (c *LSTMCell) Params() []*Param {
+	return []*Param{
+		c.Wi, c.Ui, c.Bi,
+		c.Wf, c.Uf, c.Bf,
+		c.Wo, c.Uo, c.Bo,
+		c.Wg, c.Ug, c.Bg,
+	}
+}
+
+// GRUCell is a standard gated recurrent unit, the second sequence-model
+// competitor in Figure 7.
+type GRUCell struct {
+	Wz, Uz, Bz *Param
+	Wr, Ur, Br *Param
+	Wh, Uh, Bh *Param
+	hidden     int
+}
+
+// NewGRUCell returns a Glorot-initialized cell.
+func NewGRUCell(name string, in, hidden int, rng *rand.Rand) *GRUCell {
+	mk := func(suffix string, rows, cols int) *Param {
+		p := NewParam(name+"."+suffix, rows, cols)
+		p.GlorotInit(rng, cols, rows)
+		return p
+	}
+	return &GRUCell{
+		Wz: mk("Wz", hidden, in), Uz: mk("Uz", hidden, hidden), Bz: NewParam(name+".bz", 1, hidden),
+		Wr: mk("Wr", hidden, in), Ur: mk("Ur", hidden, hidden), Br: NewParam(name+".br", 1, hidden),
+		Wh: mk("Wh", hidden, in), Uh: mk("Uh", hidden, hidden), Bh: NewParam(name+".bh", 1, hidden),
+		hidden: hidden,
+	}
+}
+
+// Hidden returns the state dimensionality.
+func (c *GRUCell) Hidden() int { return c.hidden }
+
+// Step records one GRU step and returns the new hidden state.
+func (c *GRUCell) Step(t *ad.Tape, x, h *ad.Node) *ad.Node {
+	z := gate(t, c.Wz, c.Uz, c.Bz, x, h, Sigmoid)
+	r := gate(t, c.Wr, c.Ur, c.Br, x, h, Sigmoid)
+	rh := t.Mul(r, h)
+	cand := gate(t, c.Wh, c.Uh, c.Bh, x, rh, Tanh)
+	// h' = (1-z)⊙h + z⊙cand
+	oneMinusZ := t.AffineConst(z, -1, 1)
+	return t.Add(t.Mul(oneMinusZ, h), t.Mul(z, cand))
+}
+
+// Run records the cell over a sequence from zero state and returns the
+// final hidden state.
+func (c *GRUCell) Run(t *ad.Tape, xs []*ad.Node) *ad.Node {
+	h := t.Input(make([]float64, c.hidden))
+	for _, x := range xs {
+		h = c.Step(t, x, h)
+	}
+	return h
+}
+
+// Params returns all trainable parameters of the cell.
+func (c *GRUCell) Params() []*Param {
+	return []*Param{
+		c.Wz, c.Uz, c.Bz,
+		c.Wr, c.Ur, c.Br,
+		c.Wh, c.Uh, c.Bh,
+	}
+}

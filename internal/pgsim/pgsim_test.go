@@ -1,0 +1,132 @@
+package pgsim
+
+import (
+	"testing"
+
+	"setlearn/internal/dataset"
+	"setlearn/internal/sets"
+)
+
+type constEstimator float64
+
+func (c constEstimator) Estimate(sets.Set) float64 { return float64(c) }
+
+func TestCountScanMatchesReference(t *testing.T) {
+	c := dataset.GenerateRW(400, 800, 61)
+	tbl := NewTable(c)
+	qs := dataset.QueryWorkload(c, 100, 3, 62)
+	for _, q := range qs {
+		if got, want := tbl.CountScan(q), c.Cardinality(q); got != want {
+			t.Fatalf("CountScan(%v)=%d want %d", q, got, want)
+		}
+	}
+}
+
+func TestCountIndexedMatchesScan(t *testing.T) {
+	c := dataset.GenerateRW(400, 800, 63)
+	tbl := NewTable(c)
+	tbl.BuildInvertedIndex()
+	qs := dataset.QueryWorkload(c, 200, 3, 64)
+	for _, q := range qs {
+		got, err := tbl.CountIndexed(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := tbl.CountScan(q); got != want {
+			t.Fatalf("CountIndexed(%v)=%d want %d", q, got, want)
+		}
+	}
+}
+
+func TestCountIndexedAbsentElement(t *testing.T) {
+	c := dataset.GenerateRW(100, 200, 65)
+	tbl := NewTable(c)
+	tbl.BuildInvertedIndex()
+	got, err := tbl.CountIndexed(sets.New(999999))
+	if err != nil || got != 0 {
+		t.Fatalf("absent element count %d err %v", got, err)
+	}
+}
+
+func TestCountIndexedEmptyQueryCountsAll(t *testing.T) {
+	c := dataset.GenerateRW(50, 100, 66)
+	tbl := NewTable(c)
+	tbl.BuildInvertedIndex()
+	got, err := tbl.CountIndexed(sets.New())
+	if err != nil || got != 50 {
+		t.Fatalf("empty query count %d err %v", got, err)
+	}
+}
+
+func TestCountIndexedWithoutIndexErrors(t *testing.T) {
+	tbl := NewTable(sets.NewCollection([]sets.Set{sets.New(1)}))
+	if _, err := tbl.CountIndexed(sets.New(1)); err == nil {
+		t.Fatal("expected error before BuildInvertedIndex")
+	}
+}
+
+func TestCountIndexedDisjointPair(t *testing.T) {
+	// Two elements that never co-occur: intersection must be empty even
+	// though both posting lists are non-empty.
+	tbl := NewTable(sets.NewCollection([]sets.Set{sets.New(1, 2), sets.New(3, 4)}))
+	tbl.BuildInvertedIndex()
+	got, err := tbl.CountIndexed(sets.New(1, 3))
+	if err != nil || got != 0 {
+		t.Fatalf("disjoint pair count %d err %v", got, err)
+	}
+}
+
+func TestIndexSizeAccounting(t *testing.T) {
+	c := dataset.GenerateRW(300, 500, 67)
+	tbl := NewTable(c)
+	if tbl.IndexSizeBytes() != 0 {
+		t.Fatal("size must be 0 before building")
+	}
+	tbl.BuildInvertedIndex()
+	var postings int
+	for _, s := range c.Sets {
+		postings += len(s)
+	}
+	if tbl.IndexSizeBytes() < 4*postings {
+		t.Fatalf("IndexSizeBytes %d below raw posting payload %d", tbl.IndexSizeBytes(), 4*postings)
+	}
+}
+
+func TestCountEstimatedUsesPluggedEstimator(t *testing.T) {
+	tbl := NewTable(sets.NewCollection([]sets.Set{sets.New(1)}))
+	if got := tbl.CountEstimated(constEstimator(7.5), sets.New(1)); got != 7.5 {
+		t.Fatalf("estimator answer %v", got)
+	}
+}
+
+func TestRows(t *testing.T) {
+	tbl := NewTable(sets.NewCollection([]sets.Set{sets.New(1), sets.New(2)}))
+	if tbl.Rows() != 2 {
+		t.Fatal("Rows wrong")
+	}
+}
+
+func BenchmarkCountScan(b *testing.B) {
+	c := dataset.GenerateRW(10000, 5000, 68)
+	tbl := NewTable(c)
+	q := dataset.QueryWorkload(c, 1, 2, 69)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.CountScan(q)
+	}
+}
+
+func BenchmarkCountIndexed(b *testing.B) {
+	c := dataset.GenerateRW(10000, 5000, 68)
+	tbl := NewTable(c)
+	tbl.BuildInvertedIndex()
+	q := dataset.QueryWorkload(c, 1, 2, 69)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.CountIndexed(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

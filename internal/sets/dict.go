@@ -1,0 +1,68 @@
+package sets
+
+import "fmt"
+
+// Dict is a bidirectional mapping between external element names (hashtags,
+// log tokens, …) and the dense uint32 ids used everywhere else. Ids are
+// assigned in first-seen order starting at 0.
+type Dict struct {
+	byName map[string]uint32
+	names  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byName: make(map[string]uint32)}
+}
+
+// ID returns the id for name, assigning the next free id on first sight.
+func (d *Dict) ID(name string) uint32 {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := uint32(len(d.names))
+	d.byName[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the id for name if it has been assigned.
+func (d *Dict) Lookup(name string) (uint32, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the name for id.
+func (d *Dict) Name(id uint32) string {
+	if int(id) >= len(d.names) {
+		panic(fmt.Sprintf("sets: dict id %d out of range [0,%d)", id, len(d.names)))
+	}
+	return d.names[id]
+}
+
+// Len returns the number of assigned ids.
+func (d *Dict) Len() int { return len(d.names) }
+
+// SetOf converts names to a canonical Set, assigning ids as needed.
+func (d *Dict) SetOf(names ...string) Set {
+	ids := make([]uint32, len(names))
+	for i, n := range names {
+		ids[i] = d.ID(n)
+	}
+	return New(ids...)
+}
+
+// QueryOf converts names to a canonical Set without assigning new ids; the
+// second return is false if any name is unknown (such a query can never be
+// a subset of the collection).
+func (d *Dict) QueryOf(names ...string) (Set, bool) {
+	ids := make([]uint32, len(names))
+	for i, n := range names {
+		id, ok := d.byName[n]
+		if !ok {
+			return nil, false
+		}
+		ids[i] = id
+	}
+	return New(ids...), true
+}

@@ -1,0 +1,43 @@
+package sets_test
+
+import (
+	"fmt"
+
+	"setlearn/internal/sets"
+)
+
+// The Figure 1 workflow: intern hashtags, build the collection, and ask the
+// three task questions with the exact (linear scan) reference semantics.
+func Example() {
+	dict := sets.NewDict()
+	collection := sets.NewCollection([]sets.Set{
+		dict.SetOf("pizza", "dinner", "yum"),     // T1
+		dict.SetOf("code", "go"),                 // T2
+		dict.SetOf("pizza", "dinner"),            // T3
+		dict.SetOf("pizza", "dinner", "friends"), // T4
+	})
+	q, _ := dict.QueryOf("pizza", "dinner")
+	fmt.Println("cardinality:", collection.Cardinality(q))
+	fmt.Println("first position:", collection.FirstPosition(q))
+	fmt.Println("member:", collection.Member(q))
+	// Output:
+	// cardinality: 3
+	// first position: 0
+	// member: true
+}
+
+func ExampleSubsets() {
+	var subs []string
+	sets.Subsets(sets.New(1, 2, 3), 2, func(s sets.Set) {
+		subs = append(subs, s.String())
+	})
+	fmt.Println(subs)
+	// Output: [[1] [1 2] [1 3] [2] [2 3] [3]]
+}
+
+func ExampleSet_Hash() {
+	a := sets.New(3, 1, 2)
+	b := sets.New(2, 3, 1)
+	fmt.Println(a.Hash() == b.Hash())
+	// Output: true
+}

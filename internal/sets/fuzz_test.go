@@ -1,0 +1,69 @@
+package sets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCollection ensures the parser never panics and that successful
+// parses round-trip through Write.
+func FuzzReadCollection(f *testing.F) {
+	f.Add("1 2 3\n4 5\n")
+	f.Add("# comment\n\n7\n")
+	f.Add("4294967295\n")
+	f.Add("not numbers")
+	f.Add("1 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ReadCollection(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := c.Write(&buf); err != nil {
+			t.Fatalf("Write of parsed collection failed: %v", err)
+		}
+		again, err := ReadCollection(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again.Len() != c.Len() {
+			t.Fatalf("round trip changed set count: %d vs %d", again.Len(), c.Len())
+		}
+		for i := range c.Sets {
+			if !again.Sets[i].Equal(c.Sets[i]) {
+				t.Fatalf("round trip changed set %d", i)
+			}
+		}
+	})
+}
+
+// FuzzSetCanonical checks New's invariants under arbitrary id lists.
+func FuzzSetCanonical(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 2, 1})
+	f.Add([]byte{})
+	f.Add([]byte{255, 0, 128})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ids := make([]uint32, len(raw))
+		for i, b := range raw {
+			ids[i] = uint32(b) * 16777 // spread over a wide range
+		}
+		s := New(ids...)
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				t.Fatalf("not strictly sorted: %v", s)
+			}
+		}
+		// Key and Hash must be stable under re-canonicalization.
+		again := New(append([]uint32(nil), s...)...)
+		if s.Key() != again.Key() || s.Hash() != again.Hash() {
+			t.Fatal("canonical form not a fixed point")
+		}
+		// Every input id must be present.
+		for _, id := range ids {
+			if !s.Contains(id) {
+				t.Fatalf("lost id %d", id)
+			}
+		}
+	})
+}

@@ -1,0 +1,233 @@
+// Package sets provides the set representation shared by every structure in
+// this repository: canonical sorted element-id sets, a string↔id dictionary,
+// permutation-invariant hashing, subset enumeration, and the collection type
+// from the paper's problem statement (§1.1) — an ordered list S = [X₁…X_N]
+// of sets queried by subset containment.
+package sets
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Set is a set of element ids, stored sorted and duplicate-free. The sorted
+// canonical form is what makes hashing and keys permutation invariant.
+type Set []uint32
+
+// New builds a canonical Set from ids in any order, dropping duplicates.
+func New(ids ...uint32) Set {
+	s := make(Set, len(ids))
+	copy(s, ids)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FromSorted wraps ids, which the caller guarantees to already be sorted
+// and unique; it panics otherwise. Use for hot paths that build sets
+// incrementally.
+func FromSorted(ids []uint32) Set {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			panic(fmt.Sprintf("sets: FromSorted input not strictly increasing at %d: %v", i, ids))
+		}
+	}
+	return Set(ids)
+}
+
+// Len returns the number of elements.
+func (s Set) Len() int { return len(s) }
+
+// Equal reports whether s and o contain exactly the same elements.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i, v := range s {
+		if v != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAll reports whether q ⊆ s, by a linear merge over the two sorted
+// slices.
+func (s Set) ContainsAll(q Set) bool {
+	if len(q) > len(s) {
+		return false
+	}
+	i := 0
+	for _, want := range q {
+		for i < len(s) && s[i] < want {
+			i++
+		}
+		if i >= len(s) || s[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Contains reports whether the single element id is in s (binary search).
+func (s Set) Contains(id uint32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	return i < len(s) && s[i] == id
+}
+
+// Clone returns a copy of s.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// Key returns a canonical byte-string key for s, usable as a map key. Two
+// sets are equal iff their keys are equal.
+func (s Set) Key() string {
+	buf := make([]byte, 0, 5*len(s))
+	for _, v := range s {
+		// Varint encoding keeps keys short for the small ids that dominate
+		// Zipf-distributed data.
+		for v >= 0x80 {
+			buf = append(buf, byte(v)|0x80)
+			v >>= 7
+		}
+		buf = append(buf, byte(v))
+	}
+	return string(buf)
+}
+
+// Hash returns a 64-bit FNV-1a hash over the canonical (sorted) element
+// sequence. Because the representation is sorted, the hash is permutation
+// invariant — the property the paper requires of hashed set keys (§8.1.2).
+func (s Set) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range s {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(v >> shift))
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// String renders the set for diagnostics.
+func (s Set) String() string {
+	return fmt.Sprintf("%v", []uint32(s))
+}
+
+// Subsets enumerates every non-empty subset of s with at most maxSize
+// elements, invoking fn with a freshly allocated canonical Set for each.
+// maxSize ≤ 0 means no size limit. The enumeration order is deterministic.
+func Subsets(s Set, maxSize int, fn func(Set)) {
+	if maxSize <= 0 || maxSize > len(s) {
+		maxSize = len(s)
+	}
+	buf := make([]uint32, 0, maxSize)
+	var rec func(start int)
+	rec = func(start int) {
+		for i := start; i < len(s); i++ {
+			buf = append(buf, s[i])
+			sub := make(Set, len(buf))
+			copy(sub, buf)
+			fn(sub)
+			if len(buf) < maxSize {
+				rec(i + 1)
+			}
+			buf = buf[:len(buf)-1]
+		}
+	}
+	rec(0)
+}
+
+// CountSubsets returns the number of non-empty subsets of a set of size n
+// with at most maxSize elements: Σ_{k=1..maxSize} C(n,k).
+func CountSubsets(n, maxSize int) int {
+	if maxSize <= 0 || maxSize > n {
+		maxSize = n
+	}
+	total := 0
+	c := 1
+	for k := 1; k <= maxSize; k++ {
+		c = c * (n - k + 1) / k
+		total += c
+	}
+	return total
+}
+
+// Union returns the set of elements in either a or b.
+func Union(a, b Set) Set {
+	out := make(Set, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Intersect returns the set of elements in both a and b.
+func Intersect(a, b Set) Set {
+	out := make(Set, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Difference returns the elements of a not in b.
+func Difference(a, b Set) Set {
+	out := make(Set, 0, len(a))
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j >= len(b) || b[j] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Jaccard returns |a∩b| / |a∪b|, or 0 when both sets are empty.
+func Jaccard(a, b Set) float64 {
+	inter := len(Intersect(a, b))
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,219 @@
+// Package settransformer implements a compact Set Transformer [Lee et al.,
+// ICML 2019] — the attention-based alternative to DeepSets that the paper
+// evaluates as a design choice and rejects for its larger size and slower
+// execution (§2, §3.2: "the DeepSets model is superiorly faster and
+// smaller, which is crucial when replacing traditional data structures").
+//
+// The architecture here follows the original: an encoder of SAB
+// (set-attention) blocks over the embedded elements, a PMA (pooling by
+// multihead attention) decoder with one learned seed vector, and an output
+// MLP. Layer normalization is omitted (optional in the original) to keep
+// the parameter count honest for the size comparison.
+package settransformer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"setlearn/internal/ad"
+	"setlearn/internal/nn"
+	"setlearn/internal/sets"
+)
+
+// Config describes a Set Transformer model.
+type Config struct {
+	MaxID    uint32
+	EmbedDim int // element embedding and attention width (default 16)
+	Heads    int // attention heads; must divide EmbedDim (default 2)
+	Blocks   int // SAB encoder blocks (default 2)
+	OutAct   nn.Activation
+	Seed     int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.EmbedDim == 0 {
+		c.EmbedDim = 16
+	}
+	if c.Heads == 0 {
+		c.Heads = 2
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 2
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.EmbedDim <= 0 || c.Heads <= 0 || c.Blocks <= 0 {
+		return fmt.Errorf("settransformer: non-positive dimension in %+v", c)
+	}
+	if c.EmbedDim%c.Heads != 0 {
+		return fmt.Errorf("settransformer: heads %d must divide embed dim %d", c.Heads, c.EmbedDim)
+	}
+	return nil
+}
+
+// mha is one multihead attention: queries from one list of nodes, keys and
+// values from another, with per-head projections and a final mixing layer.
+type mha struct {
+	wq, wk, wv []*nn.Dense // one per head, dim → dim/heads
+	mix        *nn.Dense   // dim → dim
+	heads      int
+	headDim    int
+}
+
+func newMHA(name string, dim, heads int, rng *rand.Rand) *mha {
+	m := &mha{heads: heads, headDim: dim / heads}
+	for h := 0; h < heads; h++ {
+		m.wq = append(m.wq, nn.NewDense(fmt.Sprintf("%s.q%d", name, h), dim, m.headDim, nn.Identity, rng))
+		m.wk = append(m.wk, nn.NewDense(fmt.Sprintf("%s.k%d", name, h), dim, m.headDim, nn.Identity, rng))
+		m.wv = append(m.wv, nn.NewDense(fmt.Sprintf("%s.v%d", name, h), dim, m.headDim, nn.Identity, rng))
+	}
+	m.mix = nn.NewDense(name+".mix", dim, dim, nn.Identity, rng)
+	return m
+}
+
+func (m *mha) params() []*nn.Param {
+	var ps []*nn.Param
+	for h := 0; h < m.heads; h++ {
+		ps = append(ps, m.wq[h].Params()...)
+		ps = append(ps, m.wk[h].Params()...)
+		ps = append(ps, m.wv[h].Params()...)
+	}
+	return append(ps, m.mix.Params()...)
+}
+
+// apply attends each query over all keys/values and returns one output node
+// per query.
+func (m *mha) apply(t *ad.Tape, queries, kv []*ad.Node) []*ad.Node {
+	scale := 1 / math.Sqrt(float64(m.headDim))
+	// Project keys and values once per head.
+	ks := make([][]*ad.Node, m.heads)
+	vs := make([][]*ad.Node, m.heads)
+	for h := 0; h < m.heads; h++ {
+		ks[h] = make([]*ad.Node, len(kv))
+		vs[h] = make([]*ad.Node, len(kv))
+		for i, x := range kv {
+			ks[h][i] = m.wk[h].Apply(t, x)
+			vs[h][i] = m.wv[h].Apply(t, x)
+		}
+	}
+	out := make([]*ad.Node, len(queries))
+	for qi, q := range queries {
+		headOuts := make([]*ad.Node, m.heads)
+		for h := 0; h < m.heads; h++ {
+			qh := m.wq[h].Apply(t, q)
+			scores := make([]*ad.Node, len(kv))
+			for i := range kv {
+				scores[i] = t.AffineConst(t.Dot(qh, ks[h][i]), scale, 0)
+			}
+			w := t.Softmax(t.Concat(scores...))
+			weighted := make([]*ad.Node, len(kv))
+			for i := range kv {
+				weighted[i] = t.ScaleByScalar(vs[h][i], t.Slice(w, i, i+1))
+			}
+			headOuts[h] = t.SumPool(weighted)
+		}
+		out[qi] = m.mix.Apply(t, t.Concat(headOuts...))
+	}
+	return out
+}
+
+// sab is a set-attention block: self-attention with a residual connection
+// and a position-wise feed-forward layer (also residual).
+type sab struct {
+	att *mha
+	ff  *nn.Dense
+}
+
+func newSAB(name string, dim, heads int, rng *rand.Rand) *sab {
+	return &sab{
+		att: newMHA(name+".att", dim, heads, rng),
+		ff:  nn.NewDense(name+".ff", dim, dim, nn.ReLU, rng),
+	}
+}
+
+func (s *sab) params() []*nn.Param { return append(s.att.params(), s.ff.Params()...) }
+
+func (s *sab) apply(t *ad.Tape, xs []*ad.Node) []*ad.Node {
+	att := s.att.apply(t, xs, xs)
+	out := make([]*ad.Node, len(xs))
+	for i := range xs {
+		h := t.Add(xs[i], att[i]) // residual
+		out[i] = t.Add(h, s.ff.Apply(t, h))
+	}
+	return out
+}
+
+// Model is the full Set Transformer regressor/classifier.
+type Model struct {
+	cfg    Config
+	embed  *nn.Embedding
+	blocks []*sab
+	seed   *nn.Param // PMA seed vector (1×dim)
+	pma    *mha
+	out    *nn.MLP
+	params []*nn.Param
+}
+
+// New constructs a model with fresh weights.
+func New(cfg Config) (*Model, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{cfg: cfg}
+	m.embed = nn.NewEmbedding("st.emb", int(cfg.MaxID)+1, cfg.EmbedDim, rng)
+	for b := 0; b < cfg.Blocks; b++ {
+		m.blocks = append(m.blocks, newSAB(fmt.Sprintf("st.sab%d", b), cfg.EmbedDim, cfg.Heads, rng))
+	}
+	m.seed = nn.NewParam("st.seed", 1, cfg.EmbedDim)
+	m.seed.GlorotInit(rng, cfg.EmbedDim, cfg.EmbedDim)
+	m.pma = newMHA("st.pma", cfg.EmbedDim, cfg.Heads, rng)
+	m.out = nn.NewMLP("st.out", []int{cfg.EmbedDim, cfg.EmbedDim, 1}, nn.ReLU, cfg.OutAct, rng)
+
+	m.params = append(m.params, m.embed.Params()...)
+	for _, b := range m.blocks {
+		m.params = append(m.params, b.params()...)
+	}
+	m.params = append(m.params, m.seed)
+	m.params = append(m.params, m.pma.params()...)
+	m.params = append(m.params, m.out.Params()...)
+	return m, nil
+}
+
+// Params returns all trainable parameters.
+func (m *Model) Params() []*nn.Param { return m.params }
+
+// SizeBytes returns the float32-serialized model size.
+func (m *Model) SizeBytes() int { return nn.SizeBytes(m.params) }
+
+// Apply records the model on the tape: embed → SAB blocks → PMA → MLP.
+func (m *Model) Apply(t *ad.Tape, s sets.Set) *ad.Node {
+	if len(s) == 0 {
+		panic("settransformer: empty set")
+	}
+	xs := make([]*ad.Node, len(s))
+	for i, id := range s {
+		if id > m.cfg.MaxID {
+			panic(fmt.Sprintf("settransformer: element id %d exceeds MaxID %d", id, m.cfg.MaxID))
+		}
+		xs[i] = m.embed.Apply(t, int(id))
+	}
+	for _, b := range m.blocks {
+		xs = b.apply(t, xs)
+	}
+	seed := t.Param(m.seed.Vec(), m.seed.GradVec())
+	pooled := m.pma.apply(t, []*ad.Node{seed}, xs)[0]
+	return m.out.Apply(t, pooled)
+}
+
+// Predict evaluates the model for s without retaining gradients (a fresh
+// tape per call; attention has no allocation-free fast path here, matching
+// the paper's observation that the Set Transformer is the slower option).
+func (m *Model) Predict(s sets.Set) float64 {
+	t := ad.NewTape()
+	return m.Apply(t, s).Value[0]
+}

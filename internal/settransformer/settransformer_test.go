@@ -1,0 +1,145 @@
+package settransformer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"setlearn/internal/ad"
+	"setlearn/internal/nn"
+	"setlearn/internal/sets"
+)
+
+func newTestModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(Config{MaxID: 99, EmbedDim: 8, Heads: 2, Blocks: 1, OutAct: nn.Sigmoid, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{MaxID: 10, EmbedDim: 7, Heads: 2}); err == nil {
+		t.Fatal("heads must divide embed dim")
+	}
+	if err := (Config{EmbedDim: -1, Heads: 1, Blocks: 1}).Validate(); err == nil {
+		t.Fatal("negative dims must be rejected")
+	}
+}
+
+func TestPermutationInvariance(t *testing.T) {
+	m := newTestModel(t)
+	a := m.Predict(sets.Set{3, 50, 99})
+	b := m.Predict(sets.Set{99, 3, 50})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("Set Transformer must be permutation invariant: %v vs %v", a, b)
+	}
+}
+
+func TestVariableSetSizes(t *testing.T) {
+	m := newTestModel(t)
+	for n := 1; n <= 8; n++ {
+		ids := make([]uint32, n)
+		for i := range ids {
+			ids[i] = uint32(i * 11)
+		}
+		out := m.Predict(sets.New(ids...))
+		if math.IsNaN(out) || out < 0 || out > 1 {
+			t.Fatalf("size %d: output %v out of range", n, out)
+		}
+	}
+}
+
+func TestLearnsSetRegression(t *testing.T) {
+	// Max-element regression: the canonical attention-friendly set task
+	// (softmax pooling natively selects extrema; set *size* would fight
+	// the convex-combination pooling).
+	m, err := New(Config{MaxID: 99, EmbedDim: 8, Heads: 2, Blocks: 1, OutAct: nn.Sigmoid, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := func(s sets.Set) float64 { return float64(s[len(s)-1]) / 100 }
+	opt := nn.NewAdam(0.005)
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 2500; step++ {
+		n := 1 + rng.Intn(8)
+		ids := make([]uint32, 0, n)
+		for len(ids) < n {
+			ids = append(ids, uint32(rng.Intn(100)))
+		}
+		s := sets.New(ids...)
+		tp := ad.NewTape()
+		out := m.Apply(tp, s)
+		_, g := nn.MSELoss(out.Value[0], target(s))
+		tp.Backward(out, []float64{g})
+		opt.Step(m.Params())
+	}
+	var sumErr float64
+	testRng := rand.New(rand.NewSource(4))
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		n := 1 + testRng.Intn(8)
+		ids := make([]uint32, 0, n)
+		for len(ids) < n {
+			ids = append(ids, uint32(testRng.Intn(100)))
+		}
+		s := sets.New(ids...)
+		sumErr += math.Abs(m.Predict(s) - target(s))
+	}
+	if mae := sumErr / trials; mae > 0.08 {
+		t.Fatalf("Set Transformer failed to learn max element: MAE %v", mae)
+	}
+}
+
+func TestGradientsFlowToAllParams(t *testing.T) {
+	// Every parameter — including the PMA seed and attention projections —
+	// must receive gradient from a single training step.
+	m := newTestModel(t)
+	tp := ad.NewTape()
+	out := m.Apply(tp, sets.New(1, 2, 3))
+	tp.Backward(out, []float64{1})
+	zeroed := 0
+	for _, p := range m.Params() {
+		var any bool
+		for _, g := range p.Grad.Data {
+			if g != 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			zeroed++
+			t.Logf("param %s received no gradient", p.Name)
+		}
+	}
+	// ReLU dead units can zero an occasional bias, but wholesale dead
+	// parameters indicate a broken backward path.
+	if zeroed > 2 {
+		t.Fatalf("%d parameters received no gradient", zeroed)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	m := newTestModel(t)
+	if m.SizeBytes() != 4*nn.NumParams(m.Params()) {
+		t.Fatal("SizeBytes must equal 4 bytes per scalar")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	m := newTestModel(t)
+	for name, f := range map[string]func(){
+		"empty":        func() { m.Predict(sets.New()) },
+		"out-of-range": func() { m.Predict(sets.New(100)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,56 @@
+// Package train provides target scaling, the training loop for learned set
+// models, evaluation metrics, and the guided-learning procedure with
+// outlier eviction that powers the paper's hybrid structures (§6).
+package train
+
+import (
+	"math"
+
+	"setlearn/internal/dataset"
+)
+
+// Scaler implements the paper's target transformation (§4.1–4.2): targets
+// are log-transformed and min-max scaled into (0,1), matching the sigmoid
+// output of the regression models. log1p is used so position 0 and
+// cardinality 1 remain representable.
+type Scaler struct {
+	Min, Max float64 // over log1p(target)
+}
+
+// FitScaler computes the scaling bounds from training targets.
+func FitScaler(samples []dataset.Sample) Scaler {
+	if len(samples) == 0 {
+		return Scaler{Min: 0, Max: 1}
+	}
+	sc := Scaler{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, s := range samples {
+		v := math.Log1p(s.Target)
+		if v < sc.Min {
+			sc.Min = v
+		}
+		if v > sc.Max {
+			sc.Max = v
+		}
+	}
+	if sc.Max == sc.Min {
+		sc.Max = sc.Min + 1 // degenerate: all targets equal
+	}
+	return sc
+}
+
+// Scale maps a raw target to (0,1).
+func (sc Scaler) Scale(target float64) float64 {
+	return (math.Log1p(target) - sc.Min) / (sc.Max - sc.Min)
+}
+
+// Unscale inverts Scale; model outputs are clamped into [0,1] first since a
+// sigmoid can saturate slightly outside the fitted band.
+func (sc Scaler) Unscale(v float64) float64 {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return math.Expm1(sc.Min + v*(sc.Max-sc.Min))
+}

@@ -1,0 +1,250 @@
+package train
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"setlearn/internal/ad"
+	"setlearn/internal/dataset"
+	"setlearn/internal/deepsets"
+	"setlearn/internal/nn"
+	"setlearn/internal/sets"
+)
+
+// LossKind selects the regression loss.
+type LossKind int
+
+// Regression losses. MAE in scaled-log space equals log q-error up to the
+// constant (max−min), so it is the default (Table 1's "Q-Error" loss); MSE
+// is the smooth alternative mentioned in §4.1.
+const (
+	LossMAE LossKind = iota
+	LossMSE
+)
+
+// Config controls a training run.
+type Config struct {
+	Epochs    int
+	LR        float64
+	Loss      LossKind
+	BatchSize int     // samples per optimizer step (default 32)
+	ClipNorm  float64 // global gradient-norm clip; 0 disables
+	Workers   int     // parallel gradient replicas (default GOMAXPROCS, ≤ batch)
+	Seed      int64   // shuffling seed
+	// Patience stops training early when the mean epoch loss has not
+	// improved (by at least 0.1%) for this many consecutive epochs;
+	// 0 disables early stopping.
+	Patience int
+	// OnEpoch, when non-nil, receives the epoch number and its mean loss.
+	OnEpoch func(epoch int, meanLoss float64)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 20
+	}
+	if c.LR == 0 {
+		c.LR = 0.005
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.BatchSize {
+		c.Workers = c.BatchSize
+	}
+}
+
+// Regression trains m on samples with targets transformed by sc, minimizing
+// the configured loss in scaled space. It returns the final epoch's mean
+// loss.
+func Regression(m *deepsets.Model, samples []dataset.Sample, sc Scaler, cfg Config) (float64, error) {
+	cfg.applyDefaults()
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("train: no samples")
+	}
+	scaled := make([]float64, len(samples))
+	for i, s := range samples {
+		scaled[i] = sc.Scale(s.Target)
+	}
+	lossFn := nn.MAELoss
+	if cfg.Loss == LossMSE {
+		lossFn = nn.MSELoss
+	}
+	step := func(rep *deepsets.Model, tp *ad.Tape, i int) float64 {
+		tp.Reset()
+		out := rep.Apply(tp, samples[i].Set)
+		loss, g := lossFn(out.Value[0], scaled[i])
+		tp.Backward(out, []float64{g})
+		return loss
+	}
+	return run(m, len(samples), cfg, step)
+}
+
+// Classification trains m as a learned Bloom filter (§4.3) on positive and
+// negative membership samples with binary cross-entropy, returning the final
+// epoch's mean loss.
+func Classification(m *deepsets.Model, md *dataset.MembershipData, cfg Config) (float64, error) {
+	cfg.applyDefaults()
+	n := len(md.Positive) + len(md.Negative)
+	if n == 0 {
+		return 0, fmt.Errorf("train: no samples")
+	}
+	step := func(rep *deepsets.Model, tp *ad.Tape, i int) float64 {
+		tp.Reset()
+		set, target := sets.Set(nil), 1.0
+		if i < len(md.Positive) {
+			set = md.Positive[i]
+		} else {
+			set, target = md.Negative[i-len(md.Positive)], 0
+		}
+		logit := rep.ApplyLogit(tp, set)
+		loss, g := nn.BCEWithLogits(logit.Value[0], target)
+		tp.Backward(logit, []float64{g})
+		return loss
+	}
+	return run(m, n, cfg, step)
+}
+
+// run drives the epoch/batch loop. Each worker owns a full model replica
+// (weights synced from the primary before every batch) and accumulates
+// gradients locally; the primary sums replica gradients, applies one
+// optimizer step, and the cycle repeats. This keeps the tape machinery
+// single-threaded per replica while scaling across cores.
+func run(m *deepsets.Model, n int, cfg Config, step func(rep *deepsets.Model, tp *ad.Tape, i int) float64) (float64, error) {
+	opt := nn.NewAdam(cfg.LR)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(n)
+
+	reps, err := replicas(m, cfg.Workers)
+	if err != nil {
+		return 0, err
+	}
+	tapes := make([]*ad.Tape, len(reps))
+	for i := range tapes {
+		tapes[i] = ad.NewTape()
+	}
+	params := m.Params()
+
+	var lastMean float64
+	best := math.Inf(1)
+	stale := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		shuffle(rng, order)
+		var epochLoss float64
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			batch := order[start:end]
+			epochLoss += runBatch(m, reps, tapes, params, batch, step)
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(params, cfg.ClipNorm)
+			}
+			opt.Step(params)
+		}
+		lastMean = epochLoss / float64(n)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, lastMean)
+		}
+		if cfg.Patience > 0 {
+			if lastMean < best*0.999 {
+				best = lastMean
+				stale = 0
+			} else {
+				stale++
+				if stale >= cfg.Patience {
+					break
+				}
+			}
+		}
+	}
+	return lastMean, nil
+}
+
+// runBatch distributes batch indices across replicas, gathers their
+// gradients into the primary's parameters, and returns the summed loss.
+func runBatch(m *deepsets.Model, reps []*deepsets.Model, tapes []*ad.Tape, params []*nn.Param, batch []int, step func(rep *deepsets.Model, tp *ad.Tape, i int) float64) float64 {
+	if len(reps) == 1 {
+		var total float64
+		for _, i := range batch {
+			total += step(m, tapes[0], i)
+		}
+		return total
+	}
+
+	// Sync replica weights with the primary.
+	for _, rep := range reps[1:] {
+		repParams := rep.Params()
+		for pi, p := range params {
+			copy(repParams[pi].Value.Data, p.Value.Data)
+			repParams[pi].ZeroGrad()
+		}
+	}
+
+	losses := make([]float64, len(reps))
+	var wg sync.WaitGroup
+	for w := range reps {
+		shard := batch[w*len(batch)/len(reps) : (w+1)*len(batch)/len(reps)]
+		if len(shard) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, shard []int) {
+			defer wg.Done()
+			var total float64
+			for _, i := range shard {
+				total += step(reps[w], tapes[w], i)
+			}
+			losses[w] = total
+		}(w, shard)
+	}
+	wg.Wait()
+
+	// Merge replica gradients into the primary (reps[0] IS the primary, its
+	// grads are already in place).
+	for _, rep := range reps[1:] {
+		repParams := rep.Params()
+		for pi, p := range params {
+			dst := p.Grad.Data
+			src := repParams[pi].Grad.Data
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+	}
+	var total float64
+	for _, l := range losses {
+		total += l
+	}
+	return total
+}
+
+// replicas returns [m, clone1, …]: worker copies that share m's
+// architecture but own their parameter storage.
+func replicas(m *deepsets.Model, workers int) ([]*deepsets.Model, error) {
+	reps := []*deepsets.Model{m}
+	for len(reps) < workers {
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			return nil, fmt.Errorf("train: clone model: %w", err)
+		}
+		rep, err := deepsets.Load(&buf)
+		if err != nil {
+			return nil, fmt.Errorf("train: clone model: %w", err)
+		}
+		reps = append(reps, rep)
+	}
+	return reps, nil
+}
+
+func shuffle(rng *rand.Rand, order []int) {
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+}
