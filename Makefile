@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build vet test race bench experiments examples clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,118 @@
+// Command setlearnd serves trained learned structures over HTTP. It loads
+// structures persisted by `setlearn -save` and answers single or batched
+// queries concurrently on /v1/card, /v1/index, and /v1/member, with expvar
+// metrics on /debug/vars and profiling on /debug/pprof/.
+//
+// Usage:
+//
+//	setlearn -task card   -data rw.txt -save est.bin   -query "3,17"
+//	setlearn -task index  -data rw.txt -save idx.bin   -query "3,17"
+//	setlearn -task member -data rw.txt -save mf.bin    -query "3,17"
+//	setlearnd -data rw.txt -index idx.bin -card est.bin -member mf.bin -addr :8080
+//
+//	curl -s localhost:8080/v1/card   -d '{"query":[3,17]}'
+//	curl -s localhost:8080/v1/index  -d '{"queries":[[3,17],[42]]}'
+//	curl -s localhost:8080/v1/member -d '{"query":[3,17]}'
+//
+// The index requires -data (the collection it was built over, reopened like
+// a heap file); the estimator and filter are self-contained. The daemon
+// drains in-flight requests on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"setlearn/internal/core"
+	"setlearn/internal/server"
+	"setlearn/internal/sets"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "collection file (required with -index)")
+	indexPath := flag.String("index", "", "set index saved by setlearn -task index -save")
+	cardPath := flag.String("card", "", "cardinality estimator saved by setlearn -task card -save")
+	memberPath := flag.String("member", "", "membership filter saved by setlearn -task member -save")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+
+	if *indexPath == "" && *cardPath == "" && *memberPath == "" {
+		fmt.Fprintln(os.Stderr, "setlearnd: provide at least one of -index, -card, -member")
+		os.Exit(2)
+	}
+	if *indexPath != "" && *data == "" {
+		fmt.Fprintln(os.Stderr, "setlearnd: -index requires -data (the indexed collection)")
+		os.Exit(2)
+	}
+
+	var st server.Structures
+	if *cardPath != "" {
+		st.Estimator = loadStructure(*cardPath, func(f *os.File) (*core.CardinalityEstimator, error) {
+			return core.LoadCardinalityEstimator(f)
+		})
+		fmt.Printf("loaded estimator from %s (%.3f MB)\n", *cardPath, mbOf(st.Estimator.SizeBytes()))
+	}
+	if *memberPath != "" {
+		st.Filter = loadStructure(*memberPath, func(f *os.File) (*core.MembershipFilter, error) {
+			return core.LoadMembershipFilter(f)
+		})
+		fmt.Printf("loaded filter from %s (%.3f MB)\n", *memberPath, mbOf(st.Filter.SizeBytes()))
+	}
+	if *indexPath != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			fatal(err)
+		}
+		c, err := sets.ReadCollection(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		st.Index = loadStructure(*indexPath, func(f *os.File) (*core.SetIndex, error) {
+			return core.LoadIndex(f, c)
+		})
+		fmt.Printf("loaded index from %s over %d sets (%.3f MB)\n",
+			*indexPath, c.Len(), mbOf(st.Index.SizeBytes()))
+	}
+
+	srv, err := server.New(st, server.Config{Addr: *addr, DrainTimeout: *drain})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		fmt.Printf("serving on %s\n", srv.Addr())
+	}()
+	if err := srv.Run(ctx); err != nil {
+		fatal(err)
+	}
+	fmt.Println("drained, bye")
+}
+
+func mbOf(bytes int) float64 { return float64(bytes) / (1024 * 1024) }
+
+func loadStructure[T any](path string, load func(*os.File) (T, error)) T {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	v, err := load(f)
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "setlearnd:", err)
+	os.Exit(1)
+}

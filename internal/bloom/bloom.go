@@ -151,9 +151,30 @@ func Load(r io.Reader) (*Filter, error) {
 	if uint32(hdr[0]) != filterMagic {
 		return nil, fmt.Errorf("bloom: bad magic %#x", hdr[0])
 	}
-	f := &Filter{m: hdr[1], k: int(hdr[2]), n: hdr[3], bits: make([]uint64, hdr[1]/64)}
-	if err := binary.Read(br, binary.LittleEndian, f.bits); err != nil {
-		return nil, fmt.Errorf("bloom: load bits: %w", err)
+	// Validate before allocating: a corrupt header must not drive a huge
+	// allocation or an unbounded probe loop.
+	if hdr[1] == 0 || hdr[1]%64 != 0 {
+		return nil, fmt.Errorf("bloom: corrupt bit count %d", hdr[1])
+	}
+	if hdr[2] < 1 || hdr[2] > 64 {
+		return nil, fmt.Errorf("bloom: corrupt hash count %d", hdr[2])
+	}
+	f := &Filter{m: hdr[1], k: int(hdr[2]), n: hdr[3]}
+	// Read the bit array in bounded chunks so a corrupt length cannot
+	// allocate far beyond what the stream actually holds.
+	words := hdr[1] / 64
+	const chunk = 1 << 16
+	f.bits = make([]uint64, 0, min(words, chunk))
+	for uint64(len(f.bits)) < words {
+		n := words - uint64(len(f.bits))
+		if n > chunk {
+			n = chunk
+		}
+		part := make([]uint64, n)
+		if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+			return nil, fmt.Errorf("bloom: load bits: %w", err)
+		}
+		f.bits = append(f.bits, part...)
 	}
 	return f, nil
 }

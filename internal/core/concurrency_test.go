@@ -1,0 +1,79 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"setlearn/internal/dataset"
+	"setlearn/internal/sets"
+)
+
+// TestMembershipFilterParallelContains fires 64 goroutines × 150 queries at
+// one filter and requires agreement with single-threaded ground truth; with
+// -race this proves Contains shares no unguarded state (the predictor pool
+// hands each goroutine its own scratch, the Bloom filters are read-only).
+// Plain and sandwiched variants run as parallel subtests.
+func TestMembershipFilterParallelContains(t *testing.T) {
+	c := dataset.GenerateRW(200, 400, 31)
+	for _, tc := range []struct {
+		name     string
+		sandwich bool
+	}{{"plain", false}, {"sandwich", true}} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			f, err := BuildMembershipFilter(c, FilterOptions{
+				Model: fastModel(false), MaxSubset: 2, Sandwich: tc.sandwich,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := dataset.CollectSubsets(c, 2)
+			var queries []sets.Set
+			for i, k := range st.Keys {
+				if i%4 != 0 {
+					continue
+				}
+				queries = append(queries, st.ByKey[k].Set)
+				// A likely-negative sibling for each positive.
+				queries = append(queries, sets.New(c.MaxID()+1+uint32(i)))
+			}
+			truth := make([]bool, len(queries))
+			for i, q := range queries {
+				truth[i] = f.Contains(q)
+			}
+			const goroutines, perG = 64, 150
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						k := (g*53 + i) % len(queries)
+						if got := f.Contains(queries[k]); got != truth[k] {
+							t.Errorf("Contains(%v) = %v, serial %v", queries[k], got, truth[k])
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func BenchmarkFilterContainsParallel(b *testing.B) {
+	c := dataset.GenerateRW(200, 400, 31)
+	f, err := BuildMembershipFilter(c, FilterOptions{Model: fastModel(false), MaxSubset: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := c.At(0)[:2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			f.Contains(q)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"setlearn/internal/dataset"
+	"setlearn/internal/sets"
+)
+
+// TestGoldenRoundTrip guards the `setlearn -save` → `setlearnd` handoff:
+// train tiny structures at a fixed seed, save, load, and require (a) the
+// loaded structure re-serializes byte-identically — the format is fully
+// deterministic, nothing is lost or reordered — and (b) identical answers
+// on a fixed query workload across the handoff.
+func TestGoldenRoundTrip(t *testing.T) {
+	c := dataset.GenerateSD(120, 30, 83)
+	workload := func() []sets.Set {
+		st := dataset.CollectSubsets(c, 2)
+		var qs []sets.Set
+		for i, k := range st.Keys {
+			if i%3 == 0 {
+				qs = append(qs, st.ByKey[k].Set)
+			}
+		}
+		qs = append(qs, sets.New(c.MaxID()+5)) // out-of-vocabulary miss
+		return qs
+	}()
+
+	t.Run("index", func(t *testing.T) {
+		idx, err := BuildIndex(c, IndexOptions{Model: tinyModel(), MaxSubset: 2, Percentile: 90})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first bytes.Buffer
+		if err := idx.Save(&first); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadIndex(bytes.NewReader(first.Bytes()), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var second bytes.Buffer
+		if err := loaded.Save(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("re-serialization not byte-identical: %d vs %d bytes",
+				first.Len(), second.Len())
+		}
+		for _, q := range workload {
+			if a, b := idx.Lookup(q), loaded.Lookup(q); a != b {
+				t.Fatalf("Lookup(%v): trained %d, reloaded %d", q, a, b)
+			}
+			if a, b := idx.LookupEqual(q), loaded.LookupEqual(q); a != b {
+				t.Fatalf("LookupEqual(%v): trained %d, reloaded %d", q, a, b)
+			}
+		}
+	})
+
+	t.Run("estimator", func(t *testing.T) {
+		est, err := BuildEstimator(c, EstimatorOptions{Model: tinyModel(), MaxSubset: 2, Percentile: 90})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Hybrid().AuxLen() == 0 {
+			t.Fatal("fixture must evict outliers so the aux map order matters")
+		}
+		var first bytes.Buffer
+		if err := est.Save(&first); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadCardinalityEstimator(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var second bytes.Buffer
+		if err := loaded.Save(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("re-serialization not byte-identical: %d vs %d bytes",
+				first.Len(), second.Len())
+		}
+		// The loaded model carries float32-rounded weights, so the loaded
+		// estimator is the golden reference: a second load must answer
+		// exactly like it (and the server serves exactly these answers).
+		reload, err := LoadCardinalityEstimator(bytes.NewReader(second.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range workload {
+			if a, b := loaded.Estimate(q), reload.Estimate(q); a != b {
+				t.Fatalf("Estimate(%v): first load %v, second load %v", q, a, b)
+			}
+		}
+	})
+
+	t.Run("filter", func(t *testing.T) {
+		mf, err := BuildMembershipFilter(c, FilterOptions{Model: tinyModel(), MaxSubset: 2, Sandwich: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first bytes.Buffer
+		if err := mf.Save(&first); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadMembershipFilter(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var second bytes.Buffer
+		if err := loaded.Save(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("re-serialization not byte-identical: %d vs %d bytes",
+				first.Len(), second.Len())
+		}
+		for _, q := range workload {
+			if a, b := mf.Contains(q), loaded.Contains(q); a != b {
+				t.Fatalf("Contains(%v): trained %v, reloaded %v", q, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"setlearn/internal/dataset"
+	"setlearn/internal/sets"
+)
+
+// Permutation invariance is the paper's defining property (§3.1): a set
+// query means the same thing in any element order. These tests build each
+// public structure once and assert that every sampled query answers
+// identically under many random shuffles of its element order. The server
+// endpoints get the same treatment in internal/server.
+
+// shuffles returns n random orderings of q's elements.
+func shuffles(q sets.Set, n int, rng *rand.Rand) [][]uint32 {
+	out := make([][]uint32, n)
+	for i := range out {
+		ids := append([]uint32(nil), q...)
+		rng.Shuffle(len(ids), func(a, b int) { ids[a], ids[b] = ids[b], ids[a] })
+		out[i] = ids
+	}
+	return out
+}
+
+// sampleQueries draws multi-element trained subsets plus some larger
+// unseen combinations from the collection.
+func sampleQueries(c *sets.Collection, maxSubset int) []sets.Set {
+	st := dataset.CollectSubsets(c, maxSubset)
+	var qs []sets.Set
+	for i, k := range st.Keys {
+		if q := st.ByKey[k].Set; len(q) >= 2 && i%5 == 0 {
+			qs = append(qs, q)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if s := c.At(i * 13 % c.Len()); len(s) >= 2 {
+			qs = append(qs, s)
+		}
+	}
+	return qs
+}
+
+func TestIndexPermutationInvariance(t *testing.T) {
+	c := dataset.GenerateSD(200, 40, 61)
+	idx, err := BuildIndex(c, IndexOptions{Model: fastModel(false), MaxSubset: 2, Percentile: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	for _, q := range sampleQueries(c, 2) {
+		want := idx.Lookup(q)
+		wantEq := idx.LookupEqual(q)
+		for _, ids := range shuffles(q, 8, rng) {
+			shuffled := sets.New(ids...)
+			if got := idx.Lookup(shuffled); got != want {
+				t.Fatalf("Lookup(%v as %v) = %d, canonical %d", q, ids, got, want)
+			}
+			if got := idx.LookupEqual(shuffled); got != wantEq {
+				t.Fatalf("LookupEqual(%v as %v) = %d, canonical %d", q, ids, got, wantEq)
+			}
+		}
+	}
+}
+
+func TestEstimatorPermutationInvariance(t *testing.T) {
+	c := dataset.GenerateSD(200, 40, 63)
+	est, err := BuildEstimator(c, EstimatorOptions{Model: fastModel(false), MaxSubset: 2, Percentile: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(64))
+	for _, q := range sampleQueries(c, 2) {
+		want := est.Estimate(q)
+		for _, ids := range shuffles(q, 8, rng) {
+			if got := est.Estimate(sets.New(ids...)); got != want {
+				t.Fatalf("Estimate(%v as %v) = %v, canonical %v", q, ids, got, want)
+			}
+		}
+	}
+}
+
+func TestMembershipFilterPermutationInvariance(t *testing.T) {
+	c := dataset.GenerateRW(200, 300, 65)
+	f, err := BuildMembershipFilter(c, FilterOptions{Model: fastModel(false), MaxSubset: 2, Sandwich: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(66))
+	for _, q := range sampleQueries(c, 2) {
+		want := f.Contains(q)
+		wantP := f.ModelProbability(q)
+		for _, ids := range shuffles(q, 8, rng) {
+			shuffled := sets.New(ids...)
+			if got := f.Contains(shuffled); got != want {
+				t.Fatalf("Contains(%v as %v) = %v, canonical %v", q, ids, got, want)
+			}
+			if got := f.ModelProbability(shuffled); got != wantP {
+				t.Fatalf("ModelProbability(%v as %v) = %v, canonical %v", q, ids, got, wantP)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"setlearn/internal/compress"
 	"setlearn/internal/nn"
 )
 
@@ -20,11 +21,94 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
+// Limits a deserialized Config must respect before Load will construct a
+// model from it. They are far above anything the paper's models use (≤ 2
+// hidden layers, ≤ 256 neurons, embedding dim ≤ 32) and exist so a corrupt
+// or hostile stream cannot drive huge allocations, negative-size panics, or
+// out-of-range enum values through New.
+const (
+	maxLoadDim    = 1 << 14 // any single layer width or embedding dim
+	maxLoadLayers = 32      // hidden layers per MLP
+	maxLoadNS     = 16      // sub-elements per element
+	maxLoadParams = 1 << 27 // total scalar parameters (1 GiB at float64)
+)
+
+// validateForLoad bounds a decoded config. It runs before applyDefaults, so
+// zero values (filled with defaults later) are accepted.
+func validateForLoad(cfg Config) error {
+	checkDim := func(what string, v int) error {
+		if v < 0 || v > maxLoadDim {
+			return fmt.Errorf("deepsets: corrupt config: %s %d out of range", what, v)
+		}
+		return nil
+	}
+	if err := checkDim("EmbedDim", cfg.EmbedDim); err != nil {
+		return err
+	}
+	if err := checkDim("PhiOut", cfg.PhiOut); err != nil {
+		return err
+	}
+	if len(cfg.PhiHidden) > maxLoadLayers || len(cfg.RhoHidden) > maxLoadLayers {
+		return fmt.Errorf("deepsets: corrupt config: %d+%d hidden layers",
+			len(cfg.PhiHidden), len(cfg.RhoHidden))
+	}
+	for _, h := range cfg.PhiHidden {
+		if h < 1 || h > maxLoadDim {
+			return fmt.Errorf("deepsets: corrupt config: φ hidden size %d", h)
+		}
+	}
+	for _, h := range cfg.RhoHidden {
+		if h < 1 || h > maxLoadDim {
+			return fmt.Errorf("deepsets: corrupt config: ρ hidden size %d", h)
+		}
+	}
+	if cfg.NS < 0 || cfg.NS > maxLoadNS {
+		return fmt.Errorf("deepsets: corrupt config: NS %d", cfg.NS)
+	}
+	if cfg.HiddenAct < nn.Identity || cfg.HiddenAct > nn.ReLU ||
+		cfg.OutputAct < nn.Identity || cfg.OutputAct > nn.ReLU {
+		return fmt.Errorf("deepsets: corrupt config: activation out of range")
+	}
+	if cfg.Pool < SumPool || cfg.Pool > LSEPool {
+		return fmt.Errorf("deepsets: corrupt config: pooling %d", cfg.Pool)
+	}
+	// The dominant allocation is the embedding table(s): vocab × EmbedDim.
+	// Bound the total before New allocates it. The uncompressed vocabulary
+	// is MaxID+1; compression only shrinks it.
+	embedDim := cfg.EmbedDim
+	if embedDim == 0 {
+		embedDim = 8
+	}
+	if cfg.Compressed {
+		ns := cfg.NS
+		if ns == 0 {
+			ns = 2
+		}
+		if cfg.SVD >= 2 {
+			var total uint64
+			for _, v := range compress.VocabSizes(cfg.MaxID, cfg.SVD, ns) {
+				total += uint64(v) * uint64(embedDim)
+			}
+			if total > maxLoadParams {
+				return fmt.Errorf("deepsets: corrupt config: compressed embeddings of %d parameters exceed load limit", total)
+			}
+		}
+	} else {
+		if total := (uint64(cfg.MaxID) + 1) * uint64(embedDim); total > maxLoadParams {
+			return fmt.Errorf("deepsets: corrupt config: embedding of %d parameters exceeds load limit", total)
+		}
+	}
+	return nil
+}
+
 // Load reads a model saved by Save.
 func Load(r io.Reader) (*Model, error) {
 	var cfg Config
 	if err := gob.NewDecoder(r).Decode(&cfg); err != nil {
 		return nil, fmt.Errorf("deepsets: load config: %w", err)
+	}
+	if err := validateForLoad(cfg); err != nil {
+		return nil, err
 	}
 	m, err := New(cfg)
 	if err != nil {

@@ -1,0 +1,110 @@
+package deepsets
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"setlearn/internal/nn"
+	"setlearn/internal/sets"
+)
+
+// poolFixture builds a model (random weights are fine — inference is
+// deterministic) and a query workload with single-threaded ground truth.
+func poolFixture(tb testing.TB, compressed bool) (*PredictorPool, []sets.Set, []float64) {
+	tb.Helper()
+	m, err := New(Config{
+		MaxID: 500, EmbedDim: 8, PhiHidden: []int{16}, PhiOut: 16,
+		RhoHidden: []int{16}, Compressed: compressed, OutputAct: nn.Sigmoid, Seed: 11,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	queries := make([]sets.Set, 256)
+	for i := range queries {
+		ids := make([]uint32, 1+rng.Intn(5))
+		for j := range ids {
+			ids[j] = uint32(rng.Intn(501))
+		}
+		queries[i] = sets.New(ids...)
+	}
+	pool := m.NewPredictorPool()
+	truth := make([]float64, len(queries))
+	for i, q := range queries {
+		truth[i] = pool.Predict(q)
+	}
+	return pool, queries, truth
+}
+
+// TestPredictorPoolParallel hammers one pool from 64 goroutines × 200
+// predictions and requires bit-identical agreement with the single-threaded
+// ground truth — the guarantee the server's lock-free inference rests on.
+// The LSM and CLSM variants run as parallel subtests.
+func TestPredictorPoolParallel(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		compressed bool
+	}{{"lsm", false}, {"clsm", true}} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			pool, queries, truth := poolFixture(t, tc.compressed)
+			const goroutines, perG = 64, 200
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						k := (g*perG + i*31) % len(queries)
+						if got := pool.Predict(queries[k]); got != truth[k] {
+							t.Errorf("goroutine %d: Predict(%v) = %v, serial %v",
+								g, queries[k], got, truth[k])
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestPredictorPoolLogitParallel covers the second pool entry point.
+func TestPredictorPoolLogitParallel(t *testing.T) {
+	pool, queries, _ := poolFixture(t, false)
+	truth := make([]float64, len(queries))
+	for i, q := range queries {
+		truth[i] = pool.PredictLogit(q)
+	}
+	const goroutines, perG = 64, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := (g + i*17) % len(queries)
+				if got := pool.PredictLogit(queries[k]); got != truth[k] {
+					t.Errorf("PredictLogit(%v) = %v, serial %v", queries[k], got, truth[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkPredictorPoolParallel(b *testing.B) {
+	pool, queries, _ := poolFixture(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			pool.Predict(queries[i%len(queries)])
+			i++
+		}
+	})
+}

@@ -7,6 +7,7 @@ package hybrid
 
 import (
 	"fmt"
+	"sync"
 
 	"setlearn/internal/bptree"
 	"setlearn/internal/dataset"
@@ -15,14 +16,18 @@ import (
 	"setlearn/internal/train"
 )
 
-// Index is the hybrid learned set index.
+// Index is the hybrid learned set index. Queries are safe for concurrent
+// use: the model, scaler, and error bounds are read-only after build, the
+// predictor pool hands each goroutine its own scratch, and the auxiliary
+// structure (the only state InsertOutlier mutates) is guarded by auxMu.
 type Index struct {
 	collection *sets.Collection
 	model      *deepsets.Model
 	scaler     train.Scaler
 	pred       *deepsets.PredictorPool
 
-	aux *bptree.Tree // outlier subsets: permutation-invariant hash → first position
+	auxMu sync.RWMutex
+	aux   *bptree.Tree // outlier subsets: permutation-invariant hash → first position
 
 	rangeLen int
 	errors   []int // per-range max |est − truth| over kept training samples
@@ -115,12 +120,21 @@ func (idx *Index) estimatePos(q sets.Set) int {
 	return est
 }
 
+// auxGet reads the auxiliary structure under the read lock. The returned
+// slice is shared with the tree and must not be mutated by callers.
+func (idx *Index) auxGet(key uint64) ([]uint32, bool) {
+	idx.auxMu.RLock()
+	vals, ok := idx.aux.Get(key)
+	idx.auxMu.RUnlock()
+	return vals, ok
+}
+
 // Lookup implements Algorithm 2: consult the auxiliary structure first,
 // otherwise predict a position and scan the window bounded by the local
 // error of the predicted range. It returns the first position i with
 // q ⊆ S[i], or -1 if the query is not found within the bounds.
 func (idx *Index) Lookup(q sets.Set) int {
-	if vals, ok := idx.aux.Get(q.Hash()); ok {
+	if vals, ok := idx.auxGet(q.Hash()); ok {
 		// Verify against the collection: distinct sets could collide on the
 		// 64-bit hash, and the paper's aux stores exact first positions.
 		for _, pos := range vals {
@@ -146,7 +160,7 @@ func (idx *Index) Lookup(q sets.Set) int {
 // the window, the scan continues rightward, trading the latency bound for
 // correctness on that rare path.
 func (idx *Index) LookupEqual(q sets.Set) int {
-	if vals, ok := idx.aux.Get(q.Hash()); ok {
+	if vals, ok := idx.auxGet(q.Hash()); ok {
 		for _, pos := range vals {
 			if idx.collection.At(int(pos)).Equal(q) {
 				return int(pos)
@@ -173,7 +187,7 @@ func (idx *Index) LookupEqual(q sets.Set) int {
 // LookupGlobalBound is Lookup using the single global error bound instead of
 // the per-range bounds — the baseline of the §8.3.3 comparison.
 func (idx *Index) LookupGlobalBound(q sets.Set) int {
-	if vals, ok := idx.aux.Get(q.Hash()); ok {
+	if vals, ok := idx.auxGet(q.Hash()); ok {
 		for _, pos := range vals {
 			if idx.collection.At(int(pos)).ContainsAll(q) {
 				return int(pos)
@@ -216,16 +230,25 @@ func (idx *Index) MeanLocalError() float64 {
 // auxiliary structure without retraining (§7.2): queries consult the aux
 // first, so it immediately overrides the model.
 func (idx *Index) InsertOutlier(q sets.Set, pos int) {
+	idx.auxMu.Lock()
 	idx.aux.Insert(q.Hash(), uint32(pos))
+	idx.auxMu.Unlock()
 }
 
 // AuxLen returns the number of entries in the auxiliary structure.
-func (idx *Index) AuxLen() int { return idx.aux.Len() }
+func (idx *Index) AuxLen() int {
+	idx.auxMu.RLock()
+	defer idx.auxMu.RUnlock()
+	return idx.aux.Len()
+}
 
 // MemoryBreakdown reports the component sizes in bytes: model, auxiliary
 // structure, and error list — the three columns of Table 7.
 func (idx *Index) MemoryBreakdown() (model, aux, errs int) {
-	return idx.model.SizeBytes(), idx.aux.SizeBytes(), 8 * len(idx.errors)
+	idx.auxMu.RLock()
+	auxBytes := idx.aux.SizeBytes()
+	idx.auxMu.RUnlock()
+	return idx.model.SizeBytes(), auxBytes, 8 * len(idx.errors)
 }
 
 // SizeBytes returns the total structure footprint.
@@ -235,12 +258,16 @@ func (idx *Index) SizeBytes() int {
 }
 
 // Estimator is the hybrid cardinality estimator: exact answers for evicted
-// outliers from a hash map, model estimates for everything else.
+// outliers from a hash map, model estimates for everything else. Estimate
+// is safe for concurrent use; the auxiliary map (the only state
+// InsertOutlier mutates) is guarded by auxMu.
 type Estimator struct {
 	model  *deepsets.Model
 	scaler train.Scaler
 	pred   *deepsets.PredictorPool
-	aux    map[string]float64 // outlier subset key → exact cardinality
+
+	auxMu sync.RWMutex
+	aux   map[string]float64 // outlier subset key → exact cardinality
 }
 
 // BuildEstimator assembles the hybrid estimator from a guided-training
@@ -262,7 +289,10 @@ func BuildEstimator(m *deepsets.Model, sc train.Scaler, res *train.GuidedResult)
 // as an outlier, the model's prediction otherwise (§6: "querying for
 // cardinality … requires only the prediction of the model").
 func (e *Estimator) Estimate(q sets.Set) float64 {
-	if card, ok := e.aux[q.Key()]; ok {
+	e.auxMu.RLock()
+	card, ok := e.aux[q.Key()]
+	e.auxMu.RUnlock()
+	if ok {
 		return card
 	}
 	if !inVocab(e.model, q) {
@@ -277,15 +307,23 @@ func (e *Estimator) Estimate(q sets.Set) float64 {
 
 // InsertOutlier records an exact cardinality for q in the auxiliary map.
 func (e *Estimator) InsertOutlier(q sets.Set, card float64) {
+	e.auxMu.Lock()
 	e.aux[q.Key()] = card
+	e.auxMu.Unlock()
 }
 
 // AuxLen returns the number of outliers held by the auxiliary map.
-func (e *Estimator) AuxLen() int { return len(e.aux) }
+func (e *Estimator) AuxLen() int {
+	e.auxMu.RLock()
+	defer e.auxMu.RUnlock()
+	return len(e.aux)
+}
 
 // SizeBytes returns the estimator footprint: model plus an estimate of the
 // auxiliary map (per-entry key bytes, value, and Go map overhead).
 func (e *Estimator) SizeBytes() int {
+	e.auxMu.RLock()
+	defer e.auxMu.RUnlock()
 	total := e.model.SizeBytes()
 	for k := range e.aux {
 		total += len(k) + 8 + mapEntryOverhead

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"setlearn/internal/blockio"
 	"setlearn/internal/bptree"
@@ -47,11 +48,13 @@ func (idx *Index) Save(w io.Writer) error {
 		FirstHash: idx.collection.At(0).Hash(),
 		LastHash:  idx.collection.At(idx.collection.Len() - 1).Hash(),
 	}
+	idx.auxMu.RLock()
 	idx.aux.Ascend(func(k uint64, v uint32) bool {
 		hdr.AuxKeys = append(hdr.AuxKeys, k)
 		hdr.AuxVals = append(hdr.AuxVals, v)
 		return true
 	})
+	idx.auxMu.RUnlock()
 	if err := blockio.Write(w, func(w io.Writer) error {
 		return gob.NewEncoder(w).Encode(hdr)
 	}); err != nil {
@@ -87,6 +90,19 @@ func LoadIndex(r io.Reader, c *sets.Collection) (*Index, error) {
 	}
 	if hdr.RangeLen <= 0 || len(hdr.Errors) == 0 {
 		return nil, fmt.Errorf("hybrid: corrupt index header")
+	}
+	if hdr.AuxOrder < 3 || hdr.AuxOrder > 1<<16 {
+		return nil, fmt.Errorf("hybrid: corrupt aux order %d", hdr.AuxOrder)
+	}
+	if hdr.NumSets <= 0 {
+		return nil, fmt.Errorf("hybrid: corrupt set count %d", hdr.NumSets)
+	}
+	for _, v := range hdr.AuxVals {
+		// Positions index the collection at query time; bound them now so a
+		// corrupt stream cannot plant an out-of-range panic in Lookup.
+		if int(v) >= hdr.NumSets {
+			return nil, fmt.Errorf("hybrid: aux position %d beyond collection of %d", v, hdr.NumSets)
+		}
 	}
 	// Updates may have appended sets since Save, so the collection may be
 	// longer than at save time — but its saved prefix must match.
@@ -124,10 +140,18 @@ func (e *Estimator) Save(w io.Writer) error {
 		return fmt.Errorf("hybrid: save estimator model: %w", err)
 	}
 	hdr := estimatorHeader{Scaler: e.scaler}
-	for k, v := range e.aux {
+	e.auxMu.RLock()
+	for k := range e.aux {
 		hdr.AuxKeys = append(hdr.AuxKeys, k)
-		hdr.AuxVals = append(hdr.AuxVals, v)
 	}
+	// Sorted keys make the serialized form deterministic (map iteration
+	// order is not), so save → load → save round-trips byte-identically.
+	sort.Strings(hdr.AuxKeys)
+	hdr.AuxVals = make([]float64, len(hdr.AuxKeys))
+	for i, k := range hdr.AuxKeys {
+		hdr.AuxVals[i] = e.aux[k]
+	}
+	e.auxMu.RUnlock()
 	if err := blockio.Write(w, func(w io.Writer) error {
 		return gob.NewEncoder(w).Encode(hdr)
 	}); err != nil {

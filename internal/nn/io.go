@@ -66,6 +66,9 @@ func LoadParams(r io.Reader, params []*Param) error {
 		if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
 			return fmt.Errorf("nn: read header for %s: %w", p.Name, err)
 		}
+		if hdr[0] > 4096 {
+			return fmt.Errorf("nn: corrupt name length %d for %s", hdr[0], p.Name)
+		}
 		name := make([]byte, hdr[0])
 		if _, err := io.ReadFull(br, name); err != nil {
 			return fmt.Errorf("nn: read name for %s: %w", p.Name, err)

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"setlearn/internal/sets"
+)
+
+// maxBatch bounds the number of queries a single batched request may carry;
+// larger workloads should be split client-side so one request cannot
+// monopolize the server.
+const maxBatch = 4096
+
+// queryRequest is the shared request body of every /v1 endpoint. Exactly
+// one of Query (single) or Queries (batch) must be present. Equal selects
+// the §4.1 equality search and is honored by /v1/index only.
+type queryRequest struct {
+	Query   []uint32   `json:"query,omitempty"`
+	Queries [][]uint32 `json:"queries,omitempty"`
+	Equal   bool       `json:"equal,omitempty"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// apiError carries an HTTP status through the handler plumbing.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeRequest parses and validates a request body into canonical query
+// sets. It returns the queries and whether the request was a batch.
+func decodeRequest(r *http.Request) (*queryRequest, []sets.Set, bool, *apiError) {
+	if r.Method != http.MethodPost {
+		return nil, nil, false, &apiError{
+			status: http.StatusMethodNotAllowed,
+			msg:    fmt.Sprintf("method %s not allowed; POST a JSON body", r.Method),
+		}
+	}
+	var req queryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, false, badRequest("bad request body: %v", err)
+	}
+	switch {
+	case req.Query != nil && req.Queries != nil:
+		return nil, nil, false, badRequest(`provide exactly one of "query" or "queries"`)
+	case req.Query != nil:
+		if len(req.Query) == 0 {
+			return nil, nil, false, badRequest("query must be non-empty")
+		}
+		return &req, []sets.Set{sets.New(req.Query...)}, false, nil
+	case req.Queries != nil:
+		if len(req.Queries) == 0 {
+			return nil, nil, false, badRequest("queries must be non-empty")
+		}
+		if len(req.Queries) > maxBatch {
+			return nil, nil, false, badRequest("batch of %d exceeds limit %d", len(req.Queries), maxBatch)
+		}
+		qs := make([]sets.Set, len(req.Queries))
+		for i, ids := range req.Queries {
+			if len(ids) == 0 {
+				return nil, nil, false, badRequest("query %d must be non-empty", i)
+			}
+			qs[i] = sets.New(ids...)
+		}
+		return &req, qs, true, nil
+	default:
+		return nil, nil, false, badRequest(`provide "query" (single) or "queries" (batch)`)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleQuery adapts one structure-specific answer function into an HTTP
+// handler with shared decoding, batching, metrics, and error handling.
+// singleField and batchField name the JSON response keys; answer resolves
+// one canonical query.
+func (s *Server) handleQuery(name, singleField, batchField string, ready func() bool, answer func(q sets.Set, equal bool) any) http.HandlerFunc {
+	m := metricsFor(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.requests.Add(1)
+		if !ready() {
+			m.errors.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorResponse{Error: name + " structure not loaded"})
+			return
+		}
+		req, qs, batch, apiErr := decodeRequest(r)
+		if apiErr != nil {
+			m.errors.Add(1)
+			writeJSON(w, apiErr.status, errorResponse{Error: apiErr.msg})
+			return
+		}
+		m.queries.Add(int64(len(qs)))
+		if batch {
+			out := make([]any, len(qs))
+			for i, q := range qs {
+				out[i] = answer(q, req.Equal)
+			}
+			writeJSON(w, http.StatusOK, map[string]any{batchField: out})
+		} else {
+			writeJSON(w, http.StatusOK, map[string]any{singleField: answer(qs[0], req.Equal)})
+		}
+		m.observe(time.Since(start))
+	}
+}
+
+func (s *Server) handleCard() http.HandlerFunc {
+	return s.handleQuery("card", "estimate", "estimates",
+		func() bool { return s.st.Estimator != nil },
+		func(q sets.Set, _ bool) any { return s.st.Estimator.Estimate(q) })
+}
+
+func (s *Server) handleIndex() http.HandlerFunc {
+	return s.handleQuery("index", "position", "positions",
+		func() bool { return s.st.Index != nil },
+		func(q sets.Set, equal bool) any {
+			if equal {
+				return s.st.Index.LookupEqual(q)
+			}
+			return s.st.Index.Lookup(q)
+		})
+}
+
+func (s *Server) handleMember() http.HandlerFunc {
+	return s.handleQuery("member", "member", "members",
+		func() bool { return s.st.Filter != nil },
+		func(q sets.Set, _ bool) any { return s.st.Filter.Contains(q) })
+}
+
+// statusResponse describes the serving state for /v1/status.
+type statusResponse struct {
+	Structures map[string]bool `json:"structures"` // endpoint name → loaded
+	Endpoints  []string        `json:"endpoints"`
+}
+
+func (s *Server) handleStatus() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statusResponse{
+			Structures: map[string]bool{
+				"card":   s.st.Estimator != nil,
+				"index":  s.st.Index != nil,
+				"member": s.st.Filter != nil,
+			},
+			Endpoints: []string{"/v1/card", "/v1/index", "/v1/member", "/v1/status", "/healthz", "/debug/vars", "/debug/pprof/"},
+		})
+	}
+}

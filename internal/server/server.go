@@ -1,0 +1,150 @@
+// Package server exposes the three trained structures of the paper — set
+// index (§4.1), cardinality estimator (§4.2), membership filter (§4.3) —
+// behind a concurrent HTTP JSON API, turning the one-shot CLI structures
+// into a long-lived query service. Inference runs through
+// deepsets.PredictorPool (one predictor per goroutine, lock-free), so
+// parallel requests never serialize on model scratch; the hybrid auxiliary
+// structures are internally guarded, making every endpoint safe under
+// concurrent queries and updates.
+//
+// Endpoints (all POST, JSON):
+//
+//	/v1/card    {"query":[ids]} → {"estimate":x}   | {"queries":[[ids]…]} → {"estimates":[…]}
+//	/v1/index   {"query":[ids]} → {"position":p}   | batch → {"positions":[…]}; "equal":true selects equality search
+//	/v1/member  {"query":[ids]} → {"member":b}     | batch → {"members":[…]}
+//	/v1/status  GET/POST → which structures are loaded
+//	/healthz    liveness probe
+//	/debug/vars expvar counters and latency histograms per endpoint
+//	/debug/pprof/ runtime profiling
+package server
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"setlearn/internal/core"
+)
+
+// Structures bundles the trained structures to serve. Any field may be nil;
+// its endpoint then answers 503.
+type Structures struct {
+	Index     *core.SetIndex
+	Estimator *core.CardinalityEstimator
+	Filter    *core.MembershipFilter
+}
+
+// Config tunes the HTTP server.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to finish after the context is canceled (default 10s).
+	DrainTimeout time.Duration
+	// ReadTimeout and WriteTimeout guard against slow clients holding
+	// connections (defaults 10s / 30s).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+}
+
+// Server serves the structures over HTTP.
+type Server struct {
+	st   Structures
+	cfg  Config
+	http *http.Server
+	addr chan net.Addr // resolved listen address, buffered 1
+}
+
+// New assembles a server over st. At least one structure must be non-nil.
+func New(st Structures, cfg Config) (*Server, error) {
+	if st.Index == nil && st.Estimator == nil && st.Filter == nil {
+		return nil, fmt.Errorf("server: no structures to serve")
+	}
+	cfg.applyDefaults()
+	s := &Server{st: st, cfg: cfg, addr: make(chan net.Addr, 1)}
+	s.http = &http.Server{
+		Addr:         cfg.Addr,
+		Handler:      s.Handler(),
+		ReadTimeout:  cfg.ReadTimeout,
+		WriteTimeout: cfg.WriteTimeout,
+	}
+	return s, nil
+}
+
+// Handler returns the full route table; usable directly under
+// httptest.Server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/card", s.handleCard())
+	mux.HandleFunc("/v1/index", s.handleIndex())
+	mux.HandleFunc("/v1/member", s.handleMember())
+	mux.HandleFunc("/v1/status", s.handleStatus())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	// expvar and pprof register themselves on http.DefaultServeMux; this
+	// server uses its own mux, so mount them explicitly.
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Run listens on the configured address and serves until ctx is canceled,
+// then drains in-flight requests for up to DrainTimeout before returning.
+// It returns nil on a clean drain.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.addr <- ln.Addr()
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.http.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("server: serve: %w", err)
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := s.http.Shutdown(drainCtx); err != nil {
+		s.http.Close()
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	return nil
+}
+
+// Addr reports the resolved listen address once Run has bound its listener;
+// useful with ":0" configs in tests and scripts.
+func (s *Server) Addr() net.Addr {
+	a := <-s.addr
+	s.addr <- a
+	return a
+}

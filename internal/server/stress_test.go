@@ -1,0 +1,179 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestStressConcurrentMixedQueries is the headline concurrency battery: 64
+// goroutines fire 100 mixed single/batch requests each, spread across all
+// three endpoints, and every response must equal the single-threaded ground
+// truth captured before the server started. Run with -race this proves the
+// served structures share no unguarded mutable state.
+func TestStressConcurrentMixedQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	f, ts := fullServer(t)
+
+	const (
+		goroutines         = 64
+		requestsPerRoutine = 100
+		batchEvery         = 4 // every 4th request is a batch
+		batchLen           = 8
+	)
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = goroutines
+
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for r := 0; r < requestsPerRoutine; r++ {
+				endpoint := r % 3
+				if r%batchEvery == 0 {
+					if err := stressBatch(client, ts.URL, f, rng, endpoint, batchLen); err != nil {
+						errc <- fmt.Errorf("goroutine %d request %d: %w", g, r, err)
+						return
+					}
+				} else {
+					if err := stressSingle(client, ts.URL, f, rng, endpoint); err != nil {
+						errc <- fmt.Errorf("goroutine %d request %d: %w", g, r, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func stressPost(client *http.Client, url string, body any, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func stressSingle(client *http.Client, base string, f *fixture, rng *rand.Rand, endpoint int) error {
+	i := rng.Intn(len(f.queries))
+	q := f.queries[i]
+	switch endpoint {
+	case 0:
+		var cr cardResp
+		if err := stressPost(client, base+"/v1/card", map[string]any{"query": idsOf(q)}, &cr); err != nil {
+			return err
+		}
+		if cr.Estimate == nil || *cr.Estimate != f.estimates[i] {
+			return fmt.Errorf("card(%v) = %v, ground truth %v", q, cr.Estimate, f.estimates[i])
+		}
+	case 1:
+		var ir indexResp
+		if err := stressPost(client, base+"/v1/index", map[string]any{"query": idsOf(q)}, &ir); err != nil {
+			return err
+		}
+		if ir.Position == nil || *ir.Position != f.positions[i] {
+			return fmt.Errorf("index(%v) = %v, ground truth %d", q, ir.Position, f.positions[i])
+		}
+	default:
+		var mr memberResp
+		if err := stressPost(client, base+"/v1/member", map[string]any{"query": idsOf(q)}, &mr); err != nil {
+			return err
+		}
+		if mr.Member == nil || *mr.Member != f.members[i] {
+			return fmt.Errorf("member(%v) = %v, ground truth %v", q, mr.Member, f.members[i])
+		}
+	}
+	return nil
+}
+
+func stressBatch(client *http.Client, base string, f *fixture, rng *rand.Rand, endpoint, batchLen int) error {
+	picks := make([]int, batchLen)
+	batch := make([][]uint32, batchLen)
+	for j := range picks {
+		picks[j] = rng.Intn(len(f.queries))
+		batch[j] = idsOf(f.queries[picks[j]])
+	}
+	switch endpoint {
+	case 0:
+		var cr cardResp
+		if err := stressPost(client, base+"/v1/card", map[string]any{"queries": batch}, &cr); err != nil {
+			return err
+		}
+		if len(cr.Estimates) != batchLen {
+			return fmt.Errorf("card batch size %d, want %d", len(cr.Estimates), batchLen)
+		}
+		for j, i := range picks {
+			if cr.Estimates[j] != f.estimates[i] {
+				return fmt.Errorf("card batch[%d] = %v, ground truth %v", j, cr.Estimates[j], f.estimates[i])
+			}
+		}
+	case 1:
+		var ir indexResp
+		if err := stressPost(client, base+"/v1/index", map[string]any{"queries": batch}, &ir); err != nil {
+			return err
+		}
+		if len(ir.Positions) != batchLen {
+			return fmt.Errorf("index batch size %d, want %d", len(ir.Positions), batchLen)
+		}
+		for j, i := range picks {
+			if ir.Positions[j] != f.positions[i] {
+				return fmt.Errorf("index batch[%d] = %d, ground truth %d", j, ir.Positions[j], f.positions[i])
+			}
+		}
+	default:
+		var mr memberResp
+		if err := stressPost(client, base+"/v1/member", map[string]any{"queries": batch}, &mr); err != nil {
+			return err
+		}
+		if len(mr.Members) != batchLen {
+			return fmt.Errorf("member batch size %d, want %d", len(mr.Members), batchLen)
+		}
+		for j, i := range picks {
+			if mr.Members[j] != f.members[i] {
+				return fmt.Errorf("member batch[%d] = %v, ground truth %v", j, mr.Members[j], f.members[i])
+			}
+		}
+	}
+	return nil
+}
+
+// BenchmarkServerCardParallel measures served throughput over the loopback
+// HTTP stack with one client goroutine per core.
+func BenchmarkServerCardParallel(b *testing.B) {
+	f, ts := fullServer(b)
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 256
+	q := f.queries[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			var cr cardResp
+			if err := stressPost(client, ts.URL+"/v1/card", map[string]any{"query": idsOf(q)}, &cr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
