@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples clean
+.PHONY: all build vet test race bench bench-inference experiments examples clean
 
 all: build vet test race
 
@@ -20,6 +20,12 @@ race:
 # per-operation query benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Measure the φ fast path (uncached vs φ-table vs φ-cache vs batched) and
+# refresh the committed BENCH_inference.json trajectory.
+bench-inference:
+	$(GO) test -run '^$$' -bench 'BenchmarkInference' -benchmem .
+	BENCH_INFERENCE_OUT=BENCH_inference.json $(GO) run ./cmd/experiments -exp inference -scale small
 
 # Regenerate the paper's full evaluation at small scale (minutes).
 experiments:

@@ -215,6 +215,75 @@ func BenchmarkQueryBloomLearned(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Inference fast-path benchmarks: the φ-table / φ-cache / batched execution
+// modes on the uncompressed cardinality-shaped model, set size 8. The
+// acceptance bar is BenchmarkInferencePhiTable ≥5× faster per op than
+// BenchmarkInferenceUncached (outputs are bit-identical; see
+// deepsets.TestAccelBitIdentical and the "inference" experiment).
+
+func inferenceFixture(b *testing.B) *bench.InferenceFixture {
+	b.Helper()
+	f, err := bench.BuildInferenceFixture(false, uint32(dataset.Tiny.RWVocab-1), 8, 256, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkInferenceUncached runs φ from scratch for every element.
+func BenchmarkInferenceUncached(b *testing.B) {
+	f := inferenceFixture(b)
+	f.Model.SetPhiAccel(nil)
+	p := f.Model.NewPredictor()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(f.Queries[i%len(f.Queries)])
+	}
+}
+
+// BenchmarkInferencePhiTable reads φ rows from the precomputed table.
+func BenchmarkInferencePhiTable(b *testing.B) {
+	f := inferenceFixture(b)
+	f.Model.SetPhiAccel(f.Model.BuildPhiTable())
+	p := f.Model.NewPredictor()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(f.Queries[i%len(f.Queries)])
+	}
+}
+
+// BenchmarkInferencePhiCache reads φ through the sharded cache, sized to
+// half the universe so eviction stays on the measured path.
+func BenchmarkInferencePhiCache(b *testing.B) {
+	f := inferenceFixture(b)
+	cfg := f.Model.Config()
+	f.Model.SetPhiAccel(f.Model.NewPhiCache(dataset.Tiny.RWVocab/2*cfg.PhiOut*8, 0))
+	p := f.Model.NewPredictor()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(f.Queries[i%len(f.Queries)])
+	}
+}
+
+// BenchmarkInferenceBatchPhiTable answers the whole 256-query workload per
+// iteration through PredictBatch over the φ-table; ns/op is per batch, so
+// per-query cost is ns/op ÷ 256.
+func BenchmarkInferenceBatchPhiTable(b *testing.B) {
+	f := inferenceFixture(b)
+	f.Model.SetPhiAccel(f.Model.BuildPhiTable())
+	p := f.Model.NewPredictor()
+	dst := make([]float64, len(f.Queries))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PredictBatch(dst, f.Queries)
+	}
+}
+
 // BenchmarkQueryBloomTraditional measures the traditional Bloom filter.
 func BenchmarkQueryBloomTraditional(b *testing.B) {
 	s := bloomSuite(b)

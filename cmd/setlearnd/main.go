@@ -40,6 +40,8 @@ func main() {
 	cardPath := flag.String("card", "", "cardinality estimator saved by setlearn -task card -save")
 	memberPath := flag.String("member", "", "membership filter saved by setlearn -task member -save")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	phiTable := flag.Bool("phi-table", true, "precompute the full φ-table when it fits the φ memory budget")
+	phiCacheMB := flag.Int("phi-cache-mb", 64, "φ memory budget in MiB per structure: φ-table if it fits, sharded φ-cache otherwise; 0 disables the fast path")
 	flag.Parse()
 
 	if *indexPath == "" && *cardPath == "" && *memberPath == "" {
@@ -51,18 +53,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The φ fast path memoizes per-element MLP outputs (bit-identical
+	// results, large latency win). Loads auto-enable a default; the flags
+	// override it per this process.
+	fp := core.FastPathOptions{CacheBytes: *phiCacheMB << 20}
+	if *phiTable {
+		fp.TableBudgetBytes = *phiCacheMB << 20
+	}
+
 	var st server.Structures
 	if *cardPath != "" {
 		st.Estimator = loadStructure(*cardPath, func(f *os.File) (*core.CardinalityEstimator, error) {
 			return core.LoadCardinalityEstimator(f)
 		})
-		fmt.Printf("loaded estimator from %s (%.3f MB)\n", *cardPath, mbOf(st.Estimator.SizeBytes()))
+		fmt.Printf("loaded estimator from %s (%.3f MB, φ %s)\n",
+			*cardPath, mbOf(st.Estimator.SizeBytes()), st.Estimator.EnableFastPath(fp))
 	}
 	if *memberPath != "" {
 		st.Filter = loadStructure(*memberPath, func(f *os.File) (*core.MembershipFilter, error) {
 			return core.LoadMembershipFilter(f)
 		})
-		fmt.Printf("loaded filter from %s (%.3f MB)\n", *memberPath, mbOf(st.Filter.SizeBytes()))
+		fmt.Printf("loaded filter from %s (%.3f MB, φ %s)\n",
+			*memberPath, mbOf(st.Filter.SizeBytes()), st.Filter.EnableFastPath(fp))
 	}
 	if *indexPath != "" {
 		f, err := os.Open(*data)
@@ -77,8 +89,8 @@ func main() {
 		st.Index = loadStructure(*indexPath, func(f *os.File) (*core.SetIndex, error) {
 			return core.LoadIndex(f, c)
 		})
-		fmt.Printf("loaded index from %s over %d sets (%.3f MB)\n",
-			*indexPath, c.Len(), mbOf(st.Index.SizeBytes()))
+		fmt.Printf("loaded index from %s over %d sets (%.3f MB, φ %s)\n",
+			*indexPath, c.Len(), mbOf(st.Index.SizeBytes()), st.Index.EnableFastPath(fp))
 	}
 
 	srv, err := server.New(st, server.Config{Addr: *addr, DrainTimeout: *drain})

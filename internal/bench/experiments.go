@@ -34,6 +34,7 @@ var Registry = map[string]Runner{
 	"fig8":      RunFig8,
 	"table12":   RunTable12,
 	"buildtime": RunBuildTime,
+	"inference": RunInference,
 }
 
 // Names returns all experiment ids in sorted order.

@@ -49,6 +49,7 @@ func BuildEstimator(c *sets.Collection, opts EstimatorOptions) (*CardinalityEsti
 	if err != nil {
 		return nil, fmt.Errorf("core: train estimator model: %w", err)
 	}
+	enableFastPath(m, DefaultFastPath)
 	return &CardinalityEstimator{
 		hybrid:    hybrid.BuildEstimator(m, sc, res),
 		maxSubset: opts.MaxSubset,
@@ -63,6 +64,13 @@ func (e *CardinalityEstimator) Estimate(q sets.Set) float64 {
 		return 0
 	}
 	return e.hybrid.Estimate(q)
+}
+
+// EstimateBatch answers every query in qs, writing estimates into dst
+// (grown as needed) and returning it. Model evaluations share one pooled
+// predictor; answers match per-query Estimate exactly.
+func (e *CardinalityEstimator) EstimateBatch(dst []float64, qs []sets.Set) []float64 {
+	return e.hybrid.EstimateBatch(dst, qs)
 }
 
 // Update records an exact cardinality for a subset whose count changed; it

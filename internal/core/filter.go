@@ -114,6 +114,7 @@ func BuildMembershipFilter(c *sets.Collection, opts FilterOptions) (*MembershipF
 	for _, s := range falseNegatives {
 		f.backup.Add(s.Hash())
 	}
+	enableFastPath(m, DefaultFastPath)
 	return f, nil
 }
 
@@ -164,10 +165,40 @@ func (f *MembershipFilter) SizeBytes() int {
 // ModelSizeBytes returns the learned model's share of SizeBytes.
 func (f *MembershipFilter) ModelSizeBytes() int { return f.model.SizeBytes() }
 
+// containsFused answers qs into out (same length) with one pooled
+// predictor: the cheap pre-checks (empty, out-of-vocabulary, sandwich
+// pre-filter) short-circuit, and the queries that actually need the model
+// run through a single PredictBatch. Answers match per-query Contains.
+func (f *MembershipFilter) containsFused(out []bool, qs []sets.Set) {
+	need := make([]sets.Set, 0, len(qs))
+	needAt := make([]int, 0, len(qs))
+	for i, q := range qs {
+		switch {
+		case len(q) == 0:
+			out[i] = true // the empty set is a subset of everything
+		case q[len(q)-1] > f.model.Config().MaxID:
+			out[i] = false // unknown element: cannot occur
+		case f.pre != nil && !f.pre.Contains(q.Hash()):
+			out[i] = false // sandwich pre-filter: definitely absent
+		default:
+			need = append(need, q)
+			needAt = append(needAt, i)
+		}
+	}
+	if len(need) == 0 {
+		return
+	}
+	probs := f.pred.PredictBatch(nil, need)
+	for j, q := range need {
+		out[needAt[j]] = probs[j] > f.threshold || f.backup.Contains(q.Hash())
+	}
+}
+
 // ContainsBatch answers many membership queries, fanning out across
 // workers (the predictor pool makes the filter safe for concurrent use) —
 // a first step toward the multi-set multi-membership querying the paper
-// names as future work (§9).
+// names as future work (§9). Each worker's slice runs through the fused
+// batch path, so model evaluations are batched per worker.
 func (f *MembershipFilter) ContainsBatch(qs []sets.Set, workers int) []bool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -177,9 +208,7 @@ func (f *MembershipFilter) ContainsBatch(qs []sets.Set, workers int) []bool {
 	}
 	out := make([]bool, len(qs))
 	if workers <= 1 {
-		for i, q := range qs {
-			out[i] = f.Contains(q)
-		}
+		f.containsFused(out, qs)
 		return out
 	}
 	var wg sync.WaitGroup
@@ -188,9 +217,7 @@ func (f *MembershipFilter) ContainsBatch(qs []sets.Set, workers int) []bool {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = f.Contains(qs[i])
-			}
+			f.containsFused(out[lo:hi], qs[lo:hi])
 		}(lo, hi)
 	}
 	wg.Wait()

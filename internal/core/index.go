@@ -75,6 +75,7 @@ func BuildIndex(c *sets.Collection, opts IndexOptions) (*SetIndex, error) {
 	if err != nil {
 		return nil, err
 	}
+	enableFastPath(m, DefaultFastPath)
 	return &SetIndex{hybrid: h, maxSubset: opts.MaxSubset}, nil
 }
 
@@ -94,6 +95,15 @@ func (i *SetIndex) LookupEqual(q sets.Set) int {
 		return -1
 	}
 	return i.hybrid.LookupEqual(q)
+}
+
+// LookupBatch answers every query in qs, writing first positions (or -1)
+// into dst, which is grown as needed and returned. equal selects the §4.1
+// equality search. Model evaluations for the whole batch share one pooled
+// predictor, amortizing φ lookups and ρ scratch; answers match per-query
+// Lookup/LookupEqual exactly.
+func (i *SetIndex) LookupBatch(dst []int, qs []sets.Set, equal bool) []int {
+	return i.hybrid.LookupBatch(dst, qs, equal)
 }
 
 // Insert registers a new set appended to the collection at position pos: the

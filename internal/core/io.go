@@ -59,6 +59,7 @@ func LoadIndex(r io.Reader, c *sets.Collection) (*SetIndex, error) {
 	if err != nil {
 		return nil, err
 	}
+	enableFastPath(h.Model(), DefaultFastPath)
 	return &SetIndex{hybrid: h, maxSubset: hdr.MaxSubset}, nil
 }
 
@@ -80,6 +81,7 @@ func LoadCardinalityEstimator(r io.Reader) (*CardinalityEstimator, error) {
 	if err != nil {
 		return nil, err
 	}
+	enableFastPath(h.Model(), DefaultFastPath)
 	return &CardinalityEstimator{hybrid: h, maxSubset: hdr.MaxSubset}, nil
 }
 
@@ -143,5 +145,6 @@ func LoadMembershipFilter(r io.Reader) (*MembershipFilter, error) {
 			return nil, fmt.Errorf("core: load filter pre-filter: %w", err)
 		}
 	}
+	enableFastPath(m, DefaultFastPath)
 	return f, nil
 }

@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"setlearn/internal/ad"
 	"setlearn/internal/compress"
@@ -128,6 +129,10 @@ type Model struct {
 	phi    *nn.MLP
 	rho    *nn.MLP
 	params []*nn.Param
+
+	// accel is the optional φ fast path (phi.go); atomic so an accel can be
+	// attached or cleared while predictor pools are serving queries.
+	accel atomic.Pointer[accelBox]
 }
 
 // New constructs a model with freshly initialized weights.
@@ -256,6 +261,16 @@ type Predictor struct {
 	rhoS     *nn.InferScratch
 	partsBuf []uint32
 	lseSum   []float64 // scratch for log-sum-exp pooling
+	lseBuf   []float64 // buffered per-element φ outputs for LSE (len(s) × PhiOut)
+	phiBuf   []float64 // destination for φ-cache hits (PhiOut)
+
+	// Per-batch memo: within one PredictBatch call, each distinct element id
+	// runs φ (or hits the shared cache) at most once. memoIdx maps id to an
+	// offset into memoSlab; both are reset at batch start, so no eviction
+	// policy is needed.
+	memoOn   bool
+	memoIdx  map[uint32]int32
+	memoSlab []float64
 }
 
 // NewPredictor returns inference scratch bound to m.
@@ -271,7 +286,62 @@ func (m *Model) NewPredictor() *Predictor {
 		phiS:     m.phi.NewInferScratch(),
 		rhoS:     m.rho.NewInferScratch(),
 		partsBuf: make([]uint32, 0, 8),
+		phiBuf:   make([]float64, m.cfg.PhiOut),
 	}
+}
+
+// phiInput validates id and prepares the φ input vector: the element's
+// embedding row (LSM) or the concatenated sub-embeddings (CLSM).
+func (p *Predictor) phiInput(id uint32) []float64 {
+	m := p.m
+	if id > m.cfg.MaxID {
+		panic(fmt.Sprintf("deepsets: element id %d exceeds MaxID %d", id, m.cfg.MaxID))
+	}
+	if m.cfg.Compressed {
+		parts := compress.Compress(p.partsBuf[:0], id, m.cfg.SVD, m.cfg.NS)
+		for i, part := range parts {
+			copy(p.catBuf[i*m.cfg.EmbedDim:], m.embeds[i].Row(int(part)))
+		}
+		return p.catBuf
+	}
+	return m.embeds[0].Row(int(id))
+}
+
+// phiFor computes φ for one element into the scratch and returns it.
+func (p *Predictor) phiFor(id uint32) []float64 {
+	return p.m.phi.Infer(p.phiS, p.phiInput(id))
+}
+
+// phiInto computes φ for one element directly into dst (len PhiOut). The φ
+// stack runs exactly as in phiFor, so the bits match.
+func (p *Predictor) phiInto(id uint32, dst []float64) {
+	p.m.phi.InferInto(p.phiS, p.phiInput(id), dst)
+}
+
+// phiRow returns φ for one element through the cheapest available source:
+// the per-batch memo, then the installed accel (table or sharded cache),
+// then the φ MLP. The returned slice is scratch — consume before the next
+// phiRow call.
+func (p *Predictor) phiRow(accel PhiAccel, id uint32) []float64 {
+	out := p.m.cfg.PhiOut
+	if p.memoOn {
+		if off, ok := p.memoIdx[id]; ok {
+			return p.memoSlab[off : int(off)+out]
+		}
+	}
+	var v []float64
+	if accel != nil {
+		v = accel.phiVec(p, id)
+	} else {
+		v = p.phiFor(id)
+	}
+	if p.memoOn {
+		off := len(p.memoSlab)
+		p.memoSlab = append(p.memoSlab, v...)
+		p.memoIdx[id] = int32(off)
+		return p.memoSlab[off : off+out]
+	}
+	return v
 }
 
 func (p *Predictor) pooled(s sets.Set) []float64 {
@@ -279,8 +349,9 @@ func (p *Predictor) pooled(s sets.Set) []float64 {
 		panic("deepsets: empty set")
 	}
 	m := p.m
+	accel := m.PhiAccel()
 	if m.cfg.Pool == LSEPool {
-		return p.pooledLSE(s)
+		return p.pooledLSE(s, accel)
 	}
 	if m.cfg.Pool == MaxPool {
 		mat.Fill(p.pool, math.Inf(-1))
@@ -288,20 +359,7 @@ func (p *Predictor) pooled(s sets.Set) []float64 {
 		mat.Fill(p.pool, 0)
 	}
 	for _, id := range s {
-		if id > m.cfg.MaxID {
-			panic(fmt.Sprintf("deepsets: element id %d exceeds MaxID %d", id, m.cfg.MaxID))
-		}
-		var in []float64
-		if m.cfg.Compressed {
-			parts := compress.Compress(p.partsBuf[:0], id, m.cfg.SVD, m.cfg.NS)
-			for i, part := range parts {
-				copy(p.catBuf[i*m.cfg.EmbedDim:], m.embeds[i].Row(int(part)))
-			}
-			in = p.catBuf
-		} else {
-			in = m.embeds[0].Row(int(id))
-		}
-		phiOut := m.phi.Infer(p.phiS, in)
+		phiOut := p.phiRow(accel, id)
 		if m.cfg.Pool == MaxPool {
 			for i, v := range phiOut {
 				if v > p.pool[i] {
@@ -318,34 +376,32 @@ func (p *Predictor) pooled(s sets.Set) []float64 {
 	return p.pool
 }
 
-// phiFor computes φ for one element into the scratch and returns it.
-func (p *Predictor) phiFor(id uint32) []float64 {
-	m := p.m
-	if id > m.cfg.MaxID {
-		panic(fmt.Sprintf("deepsets: element id %d exceeds MaxID %d", id, m.cfg.MaxID))
+// pooledLSE is the tape-free log-sum-exp pooling path. Per-element φ outputs
+// are buffered in predictor-owned scratch so φ runs once per element (it used
+// to run twice: once for the max pass, once for the exp-sum pass), still
+// allocation-free after the scratch grows to the largest set seen. The pass
+// order — max, then exp-sum, then log — matches the unbuffered original, so
+// results are bit-identical.
+func (p *Predictor) pooledLSE(s sets.Set, accel PhiAccel) []float64 {
+	out := p.m.cfg.PhiOut
+	need := len(s) * out
+	if cap(p.lseBuf) < need {
+		p.lseBuf = make([]float64, need)
 	}
-	var in []float64
-	if m.cfg.Compressed {
-		parts := compress.Compress(p.partsBuf[:0], id, m.cfg.SVD, m.cfg.NS)
-		for i, part := range parts {
-			copy(p.catBuf[i*m.cfg.EmbedDim:], m.embeds[i].Row(int(part)))
+	buf := p.lseBuf[:need]
+	for i, id := range s {
+		dst := buf[i*out : (i+1)*out]
+		if accel == nil && !p.memoOn {
+			p.phiInto(id, dst)
+		} else {
+			copy(dst, p.phiRow(accel, id))
 		}
-		in = p.catBuf
-	} else {
-		in = m.embeds[0].Row(int(id))
 	}
-	return m.phi.Infer(p.phiS, in)
-}
-
-// pooledLSE is the tape-free log-sum-exp pooling path. It recomputes φ in
-// a second pass instead of buffering per-element outputs, trading FLOPs for
-// zero allocation.
-func (p *Predictor) pooledLSE(s sets.Set) []float64 {
 	mat.Fill(p.pool, math.Inf(-1))
-	for _, id := range s {
-		for i, v := range p.phiFor(id) {
-			if v > p.pool[i] {
-				p.pool[i] = v
+	for i := range s {
+		for j, v := range buf[i*out : (i+1)*out] {
+			if v > p.pool[j] {
+				p.pool[j] = v
 			}
 		}
 	}
@@ -353,9 +409,9 @@ func (p *Predictor) pooledLSE(s sets.Set) []float64 {
 		p.lseSum = make([]float64, len(p.pool))
 	}
 	mat.Fill(p.lseSum, 0)
-	for _, id := range s {
-		for i, v := range p.phiFor(id) {
-			p.lseSum[i] += math.Exp(v - p.pool[i])
+	for i := range s {
+		for j, v := range buf[i*out : (i+1)*out] {
+			p.lseSum[j] += math.Exp(v - p.pool[j])
 		}
 	}
 	for i := range p.pool {
@@ -374,6 +430,44 @@ func (p *Predictor) PredictLogit(s sets.Set) float64 {
 	return p.m.rho.InferLogit(p.rhoS, p.pooled(s))[0]
 }
 
+// beginBatch arms the per-batch φ memo; endBatch disarms it. The memo slab
+// is reused across batches, the id index is cleared each time.
+func (p *Predictor) beginBatch() {
+	// A φ-table already serves every id as a zero-copy O(1) row read; the
+	// memo would only add map traffic on top. Memoize for the cache,
+	// uncached, and any other accel mode.
+	if _, ok := p.m.PhiAccel().(*PhiTable); ok {
+		return
+	}
+	if p.memoIdx == nil {
+		p.memoIdx = make(map[uint32]int32, 64)
+	} else {
+		clear(p.memoIdx)
+	}
+	p.memoSlab = p.memoSlab[:0]
+	p.memoOn = true
+}
+
+func (p *Predictor) endBatch() { p.memoOn = false }
+
+// PredictBatch evaluates the model for every query in qs, writing outputs
+// into dst (grown if needed) and returning it. Within the batch each
+// distinct element id runs φ at most once — repeated ids across queries are
+// served from a per-batch memo — and ρ scratch is reused across queries.
+func (p *Predictor) PredictBatch(dst []float64, qs []sets.Set) []float64 {
+	if cap(dst) < len(qs) {
+		dst = make([]float64, len(qs))
+	} else {
+		dst = dst[:len(qs)]
+	}
+	p.beginBatch()
+	defer p.endBatch()
+	for i, q := range qs {
+		dst[i] = p.m.rho.Infer(p.rhoS, p.pooled(q))[0]
+	}
+	return dst
+}
+
 // PredictorPool is a concurrency-safe wrapper around per-goroutine
 // Predictors, letting one trained structure serve parallel query streams.
 type PredictorPool struct {
@@ -388,19 +482,28 @@ func (m *Model) NewPredictorPool() *PredictorPool {
 	return p
 }
 
-// Predict evaluates the model for s; safe for concurrent use.
+// Predict evaluates the model for s; safe for concurrent use. The pooled
+// predictor is returned via defer so a panicking query (e.g. id > MaxID)
+// does not leak it.
 func (p *PredictorPool) Predict(s sets.Set) float64 {
 	pred := p.pool.Get().(*Predictor)
-	out := pred.Predict(s)
-	p.pool.Put(pred)
-	return out
+	defer p.pool.Put(pred)
+	return pred.Predict(s)
 }
 
 // PredictLogit evaluates the pre-activation output for s; safe for
 // concurrent use.
 func (p *PredictorPool) PredictLogit(s sets.Set) float64 {
 	pred := p.pool.Get().(*Predictor)
-	out := pred.PredictLogit(s)
-	p.pool.Put(pred)
-	return out
+	defer p.pool.Put(pred)
+	return pred.PredictLogit(s)
+}
+
+// PredictBatch evaluates every query in qs with one pooled predictor,
+// amortizing scratch and φ-memo setup across the batch; safe for concurrent
+// use.
+func (p *PredictorPool) PredictBatch(dst []float64, qs []sets.Set) []float64 {
+	pred := p.pool.Get().(*Predictor)
+	defer p.pool.Put(pred)
+	return pred.PredictBatch(dst, qs)
 }

@@ -1,0 +1,248 @@
+// φ acceleration: the fused inference fast path.
+//
+// After training, φ(embed(x)) is a pure function of the element id, so the
+// DeepSets decomposition f(X) = ρ(Σ φ(embed(x))) makes per-element work
+// memoizable by construction. Two structures exploit that:
+//
+//   - PhiTable precomputes φ for the whole universe — (MaxID+1) × PhiOut
+//     float64s — turning a size-k query into k vector adds plus one ρ
+//     evaluation. Reads are lock-free (the table is immutable after build).
+//   - PhiCache is the fallback for universes whose table would not fit a
+//     memory budget: a lock-sharded, fixed-size cache with round-robin
+//     eviction. Hits copy the vector out under a shard read lock; misses
+//     run the φ MLP and insert.
+//
+// Both produce bit-identical predictions to the uncached path: the vectors
+// they serve are the exact float64 outputs of the same φ kernel.
+package deepsets
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// AccelStats describes the state of a φ acceleration structure; the server
+// exports it per endpoint under /debug/vars.
+type AccelStats struct {
+	Mode    string `json:"mode"`              // "table" or "cache"
+	Hits    uint64 `json:"hits"`              // φ served without running the MLP (cache only)
+	Misses  uint64 `json:"misses"`            // φ recomputed and inserted (cache only)
+	Entries int    `json:"entries"`           // φ vectors currently materialized
+	Shards  int    `json:"shards,omitempty"`  // lock shards (cache only)
+	Bytes   int    `json:"bytes"`             // vector storage footprint
+}
+
+// PhiAccel is a φ acceleration structure pluggable into a Model via
+// SetPhiAccel: either the fully precomputed PhiTable or the sharded
+// fixed-size PhiCache. Only this package implements it.
+type PhiAccel interface {
+	Stats() AccelStats
+	SizeBytes() int
+	// phiVec returns φ(embed(id)). The slice is owned by the accel or the
+	// predictor's scratch: valid until the next phiVec call through p, and
+	// must not be mutated.
+	phiVec(p *Predictor, id uint32) []float64
+}
+
+// accelBox wraps the interface so Model can hold it in an atomic.Pointer
+// (attaching an accel while queries are in flight must be race-free).
+type accelBox struct{ a PhiAccel }
+
+// SetPhiAccel installs a φ acceleration structure (nil removes it). The
+// structure caches φ outputs for the model's *current* weights; rebuild it
+// after any further training. Safe to call concurrently with predictions.
+func (m *Model) SetPhiAccel(a PhiAccel) {
+	if a == nil {
+		m.accel.Store(nil)
+		return
+	}
+	m.accel.Store(&accelBox{a: a})
+}
+
+// PhiAccel returns the installed acceleration structure, or nil.
+func (m *Model) PhiAccel() PhiAccel {
+	if b := m.accel.Load(); b != nil {
+		return b.a
+	}
+	return nil
+}
+
+// AccelStats reports the installed acceleration structure's counters; ok is
+// false when inference runs uncached.
+func (m *Model) AccelStats() (AccelStats, bool) {
+	a := m.PhiAccel()
+	if a == nil {
+		return AccelStats{}, false
+	}
+	return a.Stats(), true
+}
+
+// PhiTableBytes returns the memory a full φ-table for cfg would occupy —
+// the fit test against a configured budget. Defaults are applied first so
+// the estimate matches what New would build.
+func PhiTableBytes(cfg Config) int {
+	cfg.applyDefaults()
+	return (int(cfg.MaxID) + 1) * cfg.PhiOut * 8
+}
+
+// PhiTable holds φ(embed(id)) for every id in the universe. Immutable after
+// BuildPhiTable, so reads need no synchronization.
+type PhiTable struct {
+	maxID uint32
+	out   int
+	data  []float64 // (maxID+1) × out, row-major by id
+}
+
+// BuildPhiTable precomputes φ for the whole universe [0, MaxID]. For the
+// compressed model (§5) the id is decompressed into sub-embeddings exactly
+// as the uncached path does, so the table is valid for LSM and CLSM alike.
+func (m *Model) BuildPhiTable() *PhiTable {
+	t := &PhiTable{
+		maxID: m.cfg.MaxID,
+		out:   m.cfg.PhiOut,
+		data:  make([]float64, (int(m.cfg.MaxID)+1)*m.cfg.PhiOut),
+	}
+	p := m.NewPredictor()
+	for id := 0; id <= int(m.cfg.MaxID); id++ {
+		p.phiInto(uint32(id), t.row(uint32(id)))
+	}
+	return t
+}
+
+func (t *PhiTable) row(id uint32) []float64 {
+	return t.data[int(id)*t.out : (int(id)+1)*t.out]
+}
+
+// phiVec returns a read-only view of the precomputed row.
+func (t *PhiTable) phiVec(_ *Predictor, id uint32) []float64 {
+	if id > t.maxID {
+		panic(fmt.Sprintf("deepsets: element id %d exceeds MaxID %d", id, t.maxID))
+	}
+	return t.row(id)
+}
+
+// SizeBytes returns the table footprint.
+func (t *PhiTable) SizeBytes() int { return len(t.data) * 8 }
+
+// Stats implements PhiAccel. The table has no miss path and counts nothing
+// on reads to keep them free of shared-memory writes.
+func (t *PhiTable) Stats() AccelStats {
+	return AccelStats{Mode: "table", Entries: int(t.maxID) + 1, Bytes: t.SizeBytes()}
+}
+
+// PhiCache is a lock-sharded, fixed-size φ memo for universes too large to
+// tabulate. Each shard owns a slab of slots recycled round-robin; the map
+// from id to slot lives beside it. Hits copy the vector into the caller's
+// predictor scratch under the shard read lock (a slot may be recycled the
+// moment the lock drops), misses run the φ MLP outside any lock and insert.
+type PhiCache struct {
+	out   int
+	mask  uint32
+	shard []phiShard
+}
+
+type phiShard struct {
+	mu   sync.RWMutex
+	idx  map[uint32]int32 // id → slot
+	ids  []uint32         // slot → id (meaningful for slot < full)
+	slab []float64        // len(ids) × out
+	full int              // slots filled so far
+	next int              // round-robin eviction cursor once full
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewPhiCache sizes a sharded φ-cache to maxBytes of vector storage spread
+// over the given number of lock shards (default 64, rounded up to a power
+// of two). Each shard holds at least one slot, so tiny budgets still work.
+func (m *Model) NewPhiCache(maxBytes, shards int) *PhiCache {
+	if shards <= 0 {
+		shards = 64
+	}
+	pow := 1
+	for pow < shards {
+		pow <<= 1
+	}
+	shards = pow
+	out := m.cfg.PhiOut
+	slots := maxBytes / (out * 8) / shards
+	if slots < 1 {
+		slots = 1
+	}
+	c := &PhiCache{out: out, mask: uint32(shards - 1), shard: make([]phiShard, shards)}
+	for i := range c.shard {
+		c.shard[i] = phiShard{
+			idx:  make(map[uint32]int32, slots),
+			ids:  make([]uint32, slots),
+			slab: make([]float64, slots*out),
+		}
+	}
+	return c
+}
+
+// shardOf spreads ids across shards with a multiply-xor hash so dense id
+// ranges do not pile onto one lock.
+func (c *PhiCache) shardOf(id uint32) *phiShard {
+	h := id * 2654435761
+	h ^= h >> 16
+	return &c.shard[h&c.mask]
+}
+
+func (c *PhiCache) phiVec(p *Predictor, id uint32) []float64 {
+	sh := c.shardOf(id)
+	sh.mu.RLock()
+	if slot, ok := sh.idx[id]; ok {
+		copy(p.phiBuf, sh.slab[int(slot)*c.out:int(slot+1)*c.out])
+		sh.mu.RUnlock()
+		sh.hits.Add(1)
+		return p.phiBuf
+	}
+	sh.mu.RUnlock()
+	sh.misses.Add(1)
+	v := p.phiFor(id) // validates id and runs the full φ MLP
+	sh.mu.Lock()
+	if _, ok := sh.idx[id]; !ok {
+		var slot int
+		if sh.full < len(sh.ids) {
+			slot = sh.full
+			sh.full++
+		} else {
+			slot = sh.next
+			sh.next++
+			if sh.next == len(sh.ids) {
+				sh.next = 0
+			}
+			delete(sh.idx, sh.ids[slot])
+		}
+		sh.ids[slot] = id
+		copy(sh.slab[slot*c.out:(slot+1)*c.out], v)
+		sh.idx[id] = int32(slot)
+	}
+	sh.mu.Unlock()
+	return v
+}
+
+// SizeBytes returns the slab footprint across all shards.
+func (c *PhiCache) SizeBytes() int {
+	total := 0
+	for i := range c.shard {
+		total += len(c.shard[i].slab) * 8
+	}
+	return total
+}
+
+// Stats aggregates the per-shard counters.
+func (c *PhiCache) Stats() AccelStats {
+	st := AccelStats{Mode: "cache", Shards: len(c.shard), Bytes: c.SizeBytes()}
+	for i := range c.shard {
+		sh := &c.shard[i]
+		st.Hits += sh.hits.Load()
+		st.Misses += sh.misses.Load()
+		sh.mu.RLock()
+		st.Entries += sh.full
+		sh.mu.RUnlock()
+	}
+	return st
+}

@@ -1,0 +1,267 @@
+package deepsets
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"setlearn/internal/nn"
+	"setlearn/internal/sets"
+)
+
+// phiFixtureModel builds a model for one pooling × compression combination.
+// Random weights suffice: the fast path must match the slow path bit for
+// bit regardless of training.
+func phiFixtureModel(tb testing.TB, pool Pooling, compressed bool) *Model {
+	tb.Helper()
+	m, err := New(Config{
+		MaxID: 700, EmbedDim: 6, PhiHidden: []int{12}, PhiOut: 12,
+		RhoHidden: []int{12}, Compressed: compressed, Pool: pool,
+		OutputAct: nn.Sigmoid, Seed: 23,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func phiFixtureQueries(n, maxID int, seed int64) []sets.Set {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]sets.Set, n)
+	for i := range qs {
+		ids := make([]uint32, 1+rng.Intn(6))
+		for j := range ids {
+			ids[j] = uint32(rng.Intn(maxID + 1))
+		}
+		qs[i] = sets.New(ids...)
+	}
+	return qs
+}
+
+// TestAccelBitIdentical is the central fast-path guarantee: with a PhiTable
+// or a sharded PhiCache installed, Predict, PredictLogit, and PredictBatch
+// return exactly the bits of the uncached path, for all four poolings,
+// compressed and uncompressed.
+func TestAccelBitIdentical(t *testing.T) {
+	pools := []Pooling{SumPool, MeanPool, MaxPool, LSEPool}
+	for _, compressed := range []bool{false, true} {
+		for _, pl := range pools {
+			pl, compressed := pl, compressed
+			name := pl.String()
+			if compressed {
+				name = "clsm/" + name
+			} else {
+				name = "lsm/" + name
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				m := phiFixtureModel(t, pl, compressed)
+				qs := phiFixtureQueries(200, int(m.Config().MaxID), 31)
+				p := m.NewPredictor()
+
+				truth := make([]float64, len(qs))
+				truthLogit := make([]float64, len(qs))
+				for i, q := range qs {
+					truth[i] = p.Predict(q)
+					truthLogit[i] = p.PredictLogit(q)
+				}
+
+				check := func(t *testing.T, mode string) {
+					pred := m.NewPredictor()
+					for i, q := range qs {
+						if got := pred.Predict(q); got != truth[i] {
+							t.Fatalf("%s: Predict(%v) = %v, uncached %v", mode, q, got, truth[i])
+						}
+						if got := pred.PredictLogit(q); got != truthLogit[i] {
+							t.Fatalf("%s: PredictLogit(%v) = %v, uncached %v", mode, q, got, truthLogit[i])
+						}
+					}
+					batch := pred.PredictBatch(nil, qs)
+					for i := range qs {
+						if batch[i] != truth[i] {
+							t.Fatalf("%s: PredictBatch[%d] = %v, uncached %v", mode, i, batch[i], truth[i])
+						}
+					}
+				}
+
+				m.SetPhiAccel(m.BuildPhiTable())
+				check(t, "table")
+
+				// A cache far smaller than the universe forces constant
+				// eviction; results must not change.
+				m.SetPhiAccel(m.NewPhiCache(100*m.Config().PhiOut*8, 8))
+				check(t, "cache")
+
+				m.SetPhiAccel(nil)
+				check(t, "uncached-batch")
+			})
+		}
+	}
+}
+
+// TestPhiTableBytes pins the fit-test arithmetic the auto-enable logic in
+// internal/core relies on.
+func TestPhiTableBytes(t *testing.T) {
+	cfg := Config{MaxID: 99, PhiOut: 16, EmbedDim: 4}
+	if got, want := PhiTableBytes(cfg), 100*16*8; got != want {
+		t.Fatalf("PhiTableBytes = %d, want %d", got, want)
+	}
+	m := phiFixtureModel(t, SumPool, false)
+	tab := m.BuildPhiTable()
+	if tab.SizeBytes() != PhiTableBytes(m.Config()) {
+		t.Fatalf("table SizeBytes %d != PhiTableBytes %d", tab.SizeBytes(), PhiTableBytes(m.Config()))
+	}
+	st := tab.Stats()
+	if st.Mode != "table" || st.Entries != 701 {
+		t.Fatalf("table stats: %+v", st)
+	}
+}
+
+// TestPhiCacheStats exercises the hit/miss counters and the eviction path.
+func TestPhiCacheStats(t *testing.T) {
+	m := phiFixtureModel(t, SumPool, false)
+	out := m.Config().PhiOut
+	// 4 shards × 2 slots: 8 vectors total, far below the 701-id universe.
+	c := m.NewPhiCache(8*out*8, 4)
+	m.SetPhiAccel(c)
+	p := m.NewPredictor()
+	qs := phiFixtureQueries(300, int(m.Config().MaxID), 37)
+	for _, q := range qs {
+		p.Predict(q)
+	}
+	st := c.Stats()
+	if st.Mode != "cache" || st.Shards != 4 {
+		t.Fatalf("cache stats: %+v", st)
+	}
+	if st.Misses == 0 {
+		t.Fatal("expected misses on a cold cache")
+	}
+	if st.Entries > 8 {
+		t.Fatalf("cache grew past its budget: %d entries", st.Entries)
+	}
+	if st.Bytes != 8*out*8 {
+		t.Fatalf("cache bytes = %d, want %d", st.Bytes, 8*out*8)
+	}
+	// Repeated single-element queries must hit.
+	q := sets.New(5)
+	p.Predict(q)
+	before := c.Stats().Hits
+	p.Predict(q)
+	if c.Stats().Hits <= before {
+		t.Fatal("expected a cache hit on an immediately repeated id")
+	}
+}
+
+// TestPhiCacheConcurrent hammers one sharded cache from 64 goroutines with
+// a cache small enough to evict constantly, and requires every prediction to
+// stay bit-identical to the uncached ground truth. Run under -race this is
+// the fast path's central concurrency test.
+func TestPhiCacheConcurrent(t *testing.T) {
+	for _, compressed := range []bool{false, true} {
+		compressed := compressed
+		name := "lsm"
+		if compressed {
+			name = "clsm"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m := phiFixtureModel(t, SumPool, compressed)
+			qs := phiFixtureQueries(256, int(m.Config().MaxID), 41)
+			p := m.NewPredictor()
+			truth := make([]float64, len(qs))
+			for i, q := range qs {
+				truth[i] = p.Predict(q)
+			}
+			// 64 vectors of cache for a 701-id universe: most lookups miss
+			// and the eviction cursor wraps continuously.
+			m.SetPhiAccel(m.NewPhiCache(64*m.Config().PhiOut*8, 16))
+			pool := m.NewPredictorPool()
+			const goroutines, perG = 64, 200
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						k := (g*perG + i*13) % len(qs)
+						if got := pool.Predict(qs[k]); got != truth[k] {
+							t.Errorf("goroutine %d: Predict(%v) = %v, want %v", g, qs[k], got, truth[k])
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			st := m.PhiAccel().Stats()
+			if st.Hits+st.Misses == 0 {
+				t.Fatal("cache saw no traffic")
+			}
+		})
+	}
+}
+
+// TestPredictorPoolPanicSafety verifies the pool survives panicking queries
+// without leaking predictors: after many out-of-vocabulary panics the pool
+// still serves correct answers (the deferred Put returned each predictor).
+func TestPredictorPoolPanicSafety(t *testing.T) {
+	m := phiFixtureModel(t, SumPool, false)
+	pool := m.NewPredictorPool()
+	good := sets.New(1, 2, 3)
+	want := pool.Predict(good)
+	oov := sets.New(m.Config().MaxID + 1)
+	for i := 0; i < 50; i++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for out-of-vocabulary id")
+				}
+			}()
+			pool.Predict(oov)
+		}()
+	}
+	if got := pool.Predict(good); got != want {
+		t.Fatalf("pool corrupted after panics: got %v want %v", got, want)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected PredictLogit panic for out-of-vocabulary id")
+			}
+		}()
+		pool.PredictLogit(oov)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected PredictBatch panic for out-of-vocabulary id")
+			}
+		}()
+		pool.PredictBatch(nil, []sets.Set{good, oov})
+	}()
+	if got := pool.Predict(good); got != want {
+		t.Fatalf("pool corrupted after batch panic: got %v want %v", got, want)
+	}
+}
+
+// TestPredictBatchMemo checks the per-batch memo resets between batches and
+// does not leak results across calls with different accel states.
+func TestPredictBatchMemo(t *testing.T) {
+	m := phiFixtureModel(t, SumPool, false)
+	p := m.NewPredictor()
+	qs := phiFixtureQueries(64, int(m.Config().MaxID), 43)
+	first := append([]float64(nil), p.PredictBatch(nil, qs)...)
+	// Re-running the same batch through the same predictor must reproduce
+	// the same bits (stale memo state would skew them).
+	second := p.PredictBatch(nil, qs)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("batch %d: %v then %v across repeated batches", i, first[i], second[i])
+		}
+	}
+	// And single-query calls between batches see no memo at all.
+	for i, q := range qs[:8] {
+		if got := p.Predict(q); got != first[i] {
+			t.Fatalf("single-query after batch: %v want %v", got, first[i])
+		}
+	}
+}

@@ -110,7 +110,12 @@ func inVocab(m *deepsets.Model, q sets.Set) bool {
 
 // estimatePos runs the model and maps the output to an integer position.
 func (idx *Index) estimatePos(q sets.Set) int {
-	est := int(idx.scaler.Unscale(idx.pred.Predict(q)) + 0.5)
+	return idx.clampPos(idx.scaler.Unscale(idx.pred.Predict(q)))
+}
+
+// clampPos rounds an unscaled model output to a valid collection position.
+func (idx *Index) clampPos(unscaled float64) int {
+	est := int(unscaled + 0.5)
 	if est < 0 {
 		est = 0
 	}
@@ -129,49 +134,36 @@ func (idx *Index) auxGet(key uint64) ([]uint32, bool) {
 	return vals, ok
 }
 
-// Lookup implements Algorithm 2: consult the auxiliary structure first,
-// otherwise predict a position and scan the window bounded by the local
-// error of the predicted range. It returns the first position i with
-// q ⊆ S[i], or -1 if the query is not found within the bounds.
-func (idx *Index) Lookup(q sets.Set) int {
-	if vals, ok := idx.auxGet(q.Hash()); ok {
-		// Verify against the collection: distinct sets could collide on the
-		// 64-bit hash, and the paper's aux stores exact first positions.
-		for _, pos := range vals {
-			if idx.collection.At(int(pos)).ContainsAll(q) {
-				return int(pos)
+// auxAnswer consults the auxiliary structure and verifies candidates
+// against the collection: distinct sets could collide on the 64-bit hash,
+// and the paper's aux stores exact first positions. done is false when the
+// model path must decide.
+func (idx *Index) auxAnswer(q sets.Set, equal bool) (pos int, done bool) {
+	vals, ok := idx.auxGet(q.Hash())
+	if !ok {
+		return 0, false
+	}
+	for _, p := range vals {
+		s := idx.collection.At(int(p))
+		if equal {
+			if s.Equal(q) {
+				return int(p), true
 			}
+		} else if s.ContainsAll(q) {
+			return int(p), true
 		}
 	}
-	if !inVocab(idx.model, q) {
-		return -1
-	}
-	est := idx.estimatePos(q)
-	e := idx.errors[idx.rangeOf(est)]
-	return idx.collection.FirstPositionInRange(q, est-e, est+e)
+	return 0, false
 }
 
-// LookupEqual implements the §4.1 equality search: the first position i
-// with S[i] exactly equal to q. The search starts from the left bound of
-// the same error window as Lookup ("the equality search for the first
-// position starts from the left position", Algorithm 2). The error bound
-// covers q's first *subset* occurrence, which precedes or equals its first
-// exact occurrence; when a proper superset shadows the exact match beyond
-// the window, the scan continues rightward, trading the latency bound for
-// correctness on that rare path.
-func (idx *Index) LookupEqual(q sets.Set) int {
-	if vals, ok := idx.auxGet(q.Hash()); ok {
-		for _, pos := range vals {
-			if idx.collection.At(int(pos)).Equal(q) {
-				return int(pos)
-			}
-		}
-	}
-	if !inVocab(idx.model, q) {
-		return -1
-	}
-	est := idx.estimatePos(q)
+// scanFromEstimate resolves a model position estimate into the final answer:
+// a bounded window scan for subset search, or the Algorithm 2 left-bounded
+// equality scan.
+func (idx *Index) scanFromEstimate(q sets.Set, est int, equal bool) int {
 	e := idx.errors[idx.rangeOf(est)]
+	if !equal {
+		return idx.collection.FirstPositionInRange(q, est-e, est+e)
+	}
 	lo := est - e
 	if lo < 0 {
 		lo = 0
@@ -184,15 +176,84 @@ func (idx *Index) LookupEqual(q sets.Set) int {
 	return -1
 }
 
+// Lookup implements Algorithm 2: consult the auxiliary structure first,
+// otherwise predict a position and scan the window bounded by the local
+// error of the predicted range. It returns the first position i with
+// q ⊆ S[i], or -1 if the query is not found within the bounds.
+func (idx *Index) Lookup(q sets.Set) int {
+	if pos, done := idx.auxAnswer(q, false); done {
+		return pos
+	}
+	if !inVocab(idx.model, q) {
+		return -1
+	}
+	return idx.scanFromEstimate(q, idx.estimatePos(q), false)
+}
+
+// LookupBatch resolves every query in qs, writing the first matching
+// position (or -1) into dst, which is grown as needed and returned. equal
+// selects the §4.1 equality search. All model predictions for the batch run
+// through one pooled predictor via PredictBatch, so repeated element ids are
+// memoized and ρ scratch is shared; answers are identical to per-query
+// Lookup/LookupEqual.
+func (idx *Index) LookupBatch(dst []int, qs []sets.Set, equal bool) []int {
+	if cap(dst) < len(qs) {
+		dst = make([]int, len(qs))
+	} else {
+		dst = dst[:len(qs)]
+	}
+	need := make([]sets.Set, 0, len(qs))
+	needAt := make([]int, 0, len(qs))
+	for i, q := range qs {
+		if len(q) == 0 {
+			dst[i] = -1
+			continue
+		}
+		if pos, done := idx.auxAnswer(q, equal); done {
+			dst[i] = pos
+			continue
+		}
+		if !inVocab(idx.model, q) {
+			dst[i] = -1
+			continue
+		}
+		need = append(need, q)
+		needAt = append(needAt, i)
+	}
+	if len(need) == 0 {
+		return dst
+	}
+	outs := idx.pred.PredictBatch(nil, need)
+	for j, q := range need {
+		est := idx.clampPos(idx.scaler.Unscale(outs[j]))
+		dst[needAt[j]] = idx.scanFromEstimate(q, est, equal)
+	}
+	return dst
+}
+
+// LookupEqual implements the §4.1 equality search: the first position i
+// with S[i] exactly equal to q. The search starts from the left bound of
+// the same error window as Lookup ("the equality search for the first
+// position starts from the left position", Algorithm 2). The error bound
+// covers q's first *subset* occurrence, which precedes or equals its first
+// exact occurrence; when a proper superset shadows the exact match beyond
+// the window, the scan continues rightward, trading the latency bound for
+// correctness on that rare path.
+func (idx *Index) LookupEqual(q sets.Set) int {
+	if pos, done := idx.auxAnswer(q, true); done {
+		return pos
+	}
+	if !inVocab(idx.model, q) {
+		return -1
+	}
+	return idx.scanFromEstimate(q, idx.estimatePos(q), true)
+}
+
 // LookupGlobalBound is Lookup using the single global error bound instead of
 // the per-range bounds — the baseline of the §8.3.3 comparison.
 func (idx *Index) LookupGlobalBound(q sets.Set) int {
-	if vals, ok := idx.auxGet(q.Hash()); ok {
-		for _, pos := range vals {
-			if idx.collection.At(int(pos)).ContainsAll(q) {
-				return int(pos)
-			}
-		}
+	if pos, done := idx.auxAnswer(q, false); done {
+		return pos
 	}
 	if !inVocab(idx.model, q) {
 		return -1
@@ -210,6 +271,10 @@ func (idx *Index) WindowSize(q sets.Set) int {
 	est := idx.estimatePos(q)
 	return 2*idx.errors[idx.rangeOf(est)] + 1
 }
+
+// Model returns the underlying learned model, e.g. to attach a φ
+// acceleration structure after build or load.
+func (idx *Index) Model() *deepsets.Model { return idx.model }
 
 // MaxError returns the global maximum absolute position error.
 func (idx *Index) MaxError() int { return idx.maxErr }
@@ -304,6 +369,55 @@ func (e *Estimator) Estimate(q sets.Set) float64 {
 	}
 	return est
 }
+
+// EstimateBatch answers every query in qs, writing estimates into dst
+// (grown as needed) and returning it. Queries not short-circuited by the
+// auxiliary map run through one pooled predictor via PredictBatch; answers
+// are identical to per-query Estimate.
+func (e *Estimator) EstimateBatch(dst []float64, qs []sets.Set) []float64 {
+	if cap(dst) < len(qs) {
+		dst = make([]float64, len(qs))
+	} else {
+		dst = dst[:len(qs)]
+	}
+	need := make([]sets.Set, 0, len(qs))
+	needAt := make([]int, 0, len(qs))
+	for i, q := range qs {
+		if len(q) == 0 {
+			dst[i] = 0
+			continue
+		}
+		e.auxMu.RLock()
+		card, ok := e.aux[q.Key()]
+		e.auxMu.RUnlock()
+		if ok {
+			dst[i] = card
+			continue
+		}
+		if !inVocab(e.model, q) {
+			dst[i] = 0
+			continue
+		}
+		need = append(need, q)
+		needAt = append(needAt, i)
+	}
+	if len(need) == 0 {
+		return dst
+	}
+	outs := e.pred.PredictBatch(nil, need)
+	for j := range need {
+		est := e.scaler.Unscale(outs[j])
+		if est < 1 {
+			est = 1
+		}
+		dst[needAt[j]] = est
+	}
+	return dst
+}
+
+// Model returns the underlying learned model, e.g. to attach a φ
+// acceleration structure after build or load.
+func (e *Estimator) Model() *deepsets.Model { return e.model }
 
 // InsertOutlier records an exact cardinality for q in the auxiliary map.
 func (e *Estimator) InsertOutlier(q sets.Set, card float64) {

@@ -60,12 +60,20 @@ func MatVec(dst []float64, m *Matrix, x []float64) {
 		panic(fmt.Sprintf("mat: MatVec dims %dx%d with x=%d dst=%d", m.Rows, m.Cols, len(x), len(dst)))
 	}
 	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		var s float64
-		for j, w := range row {
-			s += w * x[j]
-		}
-		dst[i] = s
+		dst[i] = dotUnchecked(m.Data[i*m.Cols:(i+1)*m.Cols], x)
+	}
+}
+
+// MatVecAcc accumulates dst += m * x — the gemv-style variant the fused
+// inference path uses to fold matvec results into pooled scratch without a
+// temporary. dst must have length m.Rows and x length m.Cols; dst must not
+// alias x.
+func MatVecAcc(dst []float64, m *Matrix, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MatVecAcc dims %dx%d with x=%d dst=%d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] += dotUnchecked(m.Data[i*m.Cols:(i+1)*m.Cols], x)
 	}
 }
 
@@ -115,13 +123,21 @@ func OuterAcc(dst *Matrix, g, x []float64) {
 	}
 }
 
-// Axpy computes dst += a*x.
+// Axpy computes dst += a*x. The loop is 4-way unrolled; each dst[i] sees
+// exactly one fused update, so results are bit-identical to the naive loop.
 func Axpy(dst []float64, a float64, x []float64) {
 	if len(dst) != len(x) {
 		panic("mat: Axpy length mismatch")
 	}
-	for i, xi := range x {
-		dst[i] += a * xi
+	n := len(x) &^ 3
+	for i := 0; i < n; i += 4 {
+		dst[i] += a * x[i]
+		dst[i+1] += a * x[i+1]
+		dst[i+2] += a * x[i+2]
+		dst[i+3] += a * x[i+3]
+	}
+	for i := n; i < len(x); i++ {
+		dst[i] += a * x[i]
 	}
 }
 
@@ -130,9 +146,25 @@ func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("mat: Dot length mismatch")
 	}
-	var s float64
-	for i, ai := range a {
-		s += ai * b[i]
+	return dotUnchecked(a, b)
+}
+
+// dotUnchecked is the unrolled inner-product kernel behind Dot, MatVec, and
+// MatVecAcc. Four independent accumulators break the loop-carried add
+// dependency; deterministic for fixed input, so every inference path that
+// shares it produces bit-identical results.
+func dotUnchecked(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for i := n; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
@@ -144,8 +176,23 @@ func Scale(x []float64, a float64) {
 	}
 }
 
-// AddTo computes dst += x.
-func AddTo(dst, x []float64) { Axpy(dst, 1, x) }
+// AddTo computes dst += x — the pooled-sum inner loop of the φ fast path,
+// unrolled like Axpy and bit-identical to it with a = 1.
+func AddTo(dst, x []float64) {
+	if len(dst) != len(x) {
+		panic("mat: AddTo length mismatch")
+	}
+	n := len(x) &^ 3
+	for i := 0; i < n; i += 4 {
+		dst[i] += x[i]
+		dst[i+1] += x[i+1]
+		dst[i+2] += x[i+2]
+		dst[i+3] += x[i+3]
+	}
+	for i := n; i < len(x); i++ {
+		dst[i] += x[i]
+	}
+}
 
 // Fill sets every element of x to v.
 func Fill(x []float64, v float64) {

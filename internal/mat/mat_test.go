@@ -147,6 +147,52 @@ func TestAddTo(t *testing.T) {
 	}
 }
 
+// The unrolled kernels must handle every tail length (0–3 leftover lanes)
+// and stay element-wise identical to the naive per-element updates.
+func TestUnrolledKernelTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for n := 0; n <= 13; n++ {
+		x := make([]float64, n)
+		base := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			base[i] = rng.NormFloat64()
+		}
+		axpy := append([]float64(nil), base...)
+		Axpy(axpy, 1.5, x)
+		add := append([]float64(nil), base...)
+		AddTo(add, x)
+		var naive float64
+		for i := range x {
+			if want := base[i] + 1.5*x[i]; axpy[i] != want {
+				t.Fatalf("n=%d: Axpy[%d]=%v, want %v", n, i, axpy[i], want)
+			}
+			if want := base[i] + x[i]; add[i] != want {
+				t.Fatalf("n=%d: AddTo[%d]=%v, want %v", n, i, add[i], want)
+			}
+			naive += x[i] * x[i]
+		}
+		if got := Dot(x, x); !almostEq(got, naive) {
+			t.Fatalf("n=%d: Dot=%v, naive %v", n, got, naive)
+		}
+	}
+}
+
+func TestMatVecAcc(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	dst := []float64{10, 20}
+	MatVecAcc(dst, m, []float64{1, 1})
+	if dst[0] != 13 || dst[1] != 27 {
+		t.Fatalf("MatVecAcc got %v", dst)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dst length mismatch")
+		}
+	}()
+	MatVecAcc([]float64{0}, m, []float64{1, 1})
+}
+
 // Property: MatVec then MatTVecAcc agree with the naive double loop.
 func TestMatVecMatchesNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))

@@ -89,11 +89,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// handleQuery adapts one structure-specific answer function into an HTTP
-// handler with shared decoding, batching, metrics, and error handling.
-// singleField and batchField name the JSON response keys; answer resolves
-// one canonical query.
-func (s *Server) handleQuery(name, singleField, batchField string, ready func() bool, answer func(q sets.Set, equal bool) any) http.HandlerFunc {
+// handleQuery adapts one structure-specific batch answer function into an
+// HTTP handler with shared decoding, validation, metrics, and error
+// handling. singleField and batchField name the JSON response keys; maxID
+// bounds the element ids the structure's model accepts — queries carrying a
+// larger id are rejected with 400 up front, so out-of-vocabulary ids never
+// reach (and can never panic) the inference path; answerBatch resolves the
+// whole validated batch through the fused PredictBatch fast path.
+func (s *Server) handleQuery(name, singleField, batchField string, ready func() bool, maxID func() uint32, answerBatch func(qs []sets.Set, equal bool) []any) http.HandlerFunc {
 	m := metricsFor(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -110,15 +113,23 @@ func (s *Server) handleQuery(name, singleField, batchField string, ready func() 
 			writeJSON(w, apiErr.status, errorResponse{Error: apiErr.msg})
 			return
 		}
-		m.queries.Add(int64(len(qs)))
-		if batch {
-			out := make([]any, len(qs))
-			for i, q := range qs {
-				out[i] = answer(q, req.Equal)
+		// Queries are canonicalized (sorted ascending), so the last element
+		// is the largest id in the set.
+		limit := maxID()
+		for i, q := range qs {
+			if q[len(q)-1] > limit {
+				m.errors.Add(1)
+				writeJSON(w, http.StatusBadRequest, errorResponse{
+					Error: fmt.Sprintf("query %d: element id %d exceeds model max id %d", i, q[len(q)-1], limit)})
+				return
 			}
+		}
+		m.queries.Add(int64(len(qs)))
+		out := answerBatch(qs, req.Equal)
+		if batch {
 			writeJSON(w, http.StatusOK, map[string]any{batchField: out})
 		} else {
-			writeJSON(w, http.StatusOK, map[string]any{singleField: answer(qs[0], req.Equal)})
+			writeJSON(w, http.StatusOK, map[string]any{singleField: out[0]})
 		}
 		m.observe(time.Since(start))
 	}
@@ -127,24 +138,45 @@ func (s *Server) handleQuery(name, singleField, batchField string, ready func() 
 func (s *Server) handleCard() http.HandlerFunc {
 	return s.handleQuery("card", "estimate", "estimates",
 		func() bool { return s.st.Estimator != nil },
-		func(q sets.Set, _ bool) any { return s.st.Estimator.Estimate(q) })
+		func() uint32 { return s.st.Estimator.MaxID() },
+		func(qs []sets.Set, _ bool) []any {
+			ests := s.st.Estimator.EstimateBatch(nil, qs)
+			out := make([]any, len(ests))
+			for i, v := range ests {
+				out[i] = v
+			}
+			return out
+		})
 }
 
 func (s *Server) handleIndex() http.HandlerFunc {
 	return s.handleQuery("index", "position", "positions",
 		func() bool { return s.st.Index != nil },
-		func(q sets.Set, equal bool) any {
-			if equal {
-				return s.st.Index.LookupEqual(q)
+		func() uint32 { return s.st.Index.MaxID() },
+		func(qs []sets.Set, equal bool) []any {
+			poss := s.st.Index.LookupBatch(nil, qs, equal)
+			out := make([]any, len(poss))
+			for i, v := range poss {
+				out[i] = v
 			}
-			return s.st.Index.Lookup(q)
+			return out
 		})
 }
 
 func (s *Server) handleMember() http.HandlerFunc {
 	return s.handleQuery("member", "member", "members",
 		func() bool { return s.st.Filter != nil },
-		func(q sets.Set, _ bool) any { return s.st.Filter.Contains(q) })
+		func() uint32 { return s.st.Filter.MaxID() },
+		func(qs []sets.Set, _ bool) []any {
+			// One worker: HTTP concurrency already fans out across requests,
+			// and the serial path batches model evaluations.
+			ms := s.st.Filter.ContainsBatch(qs, 1)
+			out := make([]any, len(ms))
+			for i, v := range ms {
+				out[i] = v
+			}
+			return out
+		})
 }
 
 // statusResponse describes the serving state for /v1/status.

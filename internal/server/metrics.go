@@ -87,3 +87,26 @@ func metricsFor(name string) *endpointMetrics {
 	endpointRegistry[name] = m
 	return m
 }
+
+// φ fast-path stats per endpoint, published as setlearn.<name>.phi. The
+// expvar Func is registered once per name (Publish panics on duplicates);
+// each new Server swaps the closure it reads, so /debug/vars always
+// reflects the most recently served structure.
+var (
+	phiMu  sync.Mutex
+	phiFns = map[string]func() any{}
+)
+
+func publishPhi(name string, fn func() any) {
+	phiMu.Lock()
+	defer phiMu.Unlock()
+	if _, ok := phiFns[name]; !ok {
+		expvar.Publish("setlearn."+name+".phi", expvar.Func(func() any {
+			phiMu.Lock()
+			f := phiFns[name]
+			phiMu.Unlock()
+			return f()
+		}))
+	}
+	phiFns[name] = fn
+}

@@ -28,7 +28,21 @@ import (
 	"time"
 
 	"setlearn/internal/core"
+	"setlearn/internal/deepsets"
 )
+
+// phiStatsVar adapts a structure's PhiStats method into the expvar Func
+// shape: live accel counters when a fast path is enabled, {"mode":"off"}
+// otherwise.
+func phiStatsVar(stats func() (deepsets.AccelStats, bool)) func() any {
+	return func() any {
+		st, ok := stats()
+		if !ok {
+			return map[string]string{"mode": "off"}
+		}
+		return st
+	}
+}
 
 // Structures bundles the trained structures to serve. Any field may be nil;
 // its endpoint then answers 503.
@@ -78,6 +92,15 @@ type Server struct {
 func New(st Structures, cfg Config) (*Server, error) {
 	if st.Index == nil && st.Estimator == nil && st.Filter == nil {
 		return nil, fmt.Errorf("server: no structures to serve")
+	}
+	if st.Estimator != nil {
+		publishPhi("card", phiStatsVar(st.Estimator.PhiStats))
+	}
+	if st.Index != nil {
+		publishPhi("index", phiStatsVar(st.Index.PhiStats))
+	}
+	if st.Filter != nil {
+		publishPhi("member", phiStatsVar(st.Filter.PhiStats))
 	}
 	cfg.applyDefaults()
 	s := &Server{st: st, cfg: cfg, addr: make(chan net.Addr, 1)}

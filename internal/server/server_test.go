@@ -65,8 +65,9 @@ func sharedFixture(tb testing.TB) *fixture {
 		}); fixErr != nil {
 			return
 		}
-		// Mixed workload: trained subsets, full sets, and out-of-vocabulary
-		// misses.
+		// Mixed workload: trained subsets and full sets. Queries with
+		// out-of-vocabulary ids are excluded — the server rejects them with
+		// 400 before inference (TestOutOfVocabularyRejected).
 		st := dataset.CollectSubsets(c, 2)
 		for i, k := range st.Keys {
 			if i%3 == 0 {
@@ -75,7 +76,6 @@ func sharedFixture(tb testing.TB) *fixture {
 		}
 		for i := 0; i < 20; i++ {
 			f.queries = append(f.queries, c.At(i*7%c.Len()))
-			f.queries = append(f.queries, sets.New(c.MaxID()+1+uint32(i)))
 		}
 		for _, q := range f.queries {
 			f.positions = append(f.positions, f.idx.Lookup(q))
@@ -308,6 +308,34 @@ func TestRequestValidation(t *testing.T) {
 	}
 }
 
+// TestOutOfVocabularyRejected pins the validation contract: element ids the
+// model cannot represent are rejected with 400 before they reach inference,
+// for single and batch requests on every endpoint.
+func TestOutOfVocabularyRejected(t *testing.T) {
+	f, ts := fullServer(t)
+	oov := f.c.MaxID() + 1
+	for _, path := range []string{"/v1/card", "/v1/index", "/v1/member"} {
+		var er errorResponse
+		if code := postJSON(t, ts.Client(), ts.URL+path,
+			map[string]any{"query": []uint32{oov}}, &er); code != 400 {
+			t.Fatalf("%s single OOV: status %d, want 400", path, code)
+		}
+		if !strings.Contains(er.Error, fmt.Sprint(oov)) {
+			t.Fatalf("%s: error %q does not name the offending id %d", path, er.Error, oov)
+		}
+		// A batch is rejected whole even when only one query is bad.
+		if code := postJSON(t, ts.Client(), ts.URL+path,
+			map[string]any{"queries": [][]uint32{{1}, {2, oov}}}, nil); code != 400 {
+			t.Fatalf("%s batch with OOV: status %d, want 400", path, code)
+		}
+		// In-vocabulary ids still pass after the rejections.
+		if code := postJSON(t, ts.Client(), ts.URL+path,
+			map[string]any{"query": []uint32{1}}, nil); code != 200 {
+			t.Fatalf("%s after OOV rejection: status %d, want 200", path, code)
+		}
+	}
+}
+
 func TestUnloadedStructureAnswers503(t *testing.T) {
 	f := sharedFixture(t)
 	ts := newTestServer(t, Structures{Filter: f.mf}) // member only
@@ -370,10 +398,19 @@ func TestStatusHealthAndDebugEndpoints(t *testing.T) {
 	for _, key := range []string{
 		"setlearn.card.requests", "setlearn.card.errors", "setlearn.card.queries",
 		"setlearn.card.latency_us", "setlearn.index.requests", "setlearn.member.requests",
+		"setlearn.card.phi", "setlearn.index.phi", "setlearn.member.phi",
 	} {
 		if _, ok := vars[key]; !ok {
 			t.Errorf("/debug/vars missing %s", key)
 		}
+	}
+	// The fixture universe is tiny, so the auto-enabled fast path is the
+	// full φ-table.
+	var phi struct {
+		Mode string `json:"mode"`
+	}
+	if err := json.Unmarshal(vars["setlearn.card.phi"], &phi); err != nil || phi.Mode != "table" {
+		t.Errorf("setlearn.card.phi mode = %q (%v), want \"table\"", phi.Mode, err)
 	}
 	var requests int64
 	if err := json.Unmarshal(vars["setlearn.card.requests"], &requests); err != nil || requests < 1 {
