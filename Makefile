@@ -1,14 +1,24 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-inference experiments examples clean
+.PHONY: all build fmt-check vet lint test race bench bench-inference fuzz-smoke experiments examples clean
 
-all: build vet test race
+all: build fmt-check vet lint test race
 
 build:
 	$(GO) build ./...
 
+# Fail if any file needs gofmt (prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
+
+# setlearnlint: the repo's custom analyzers (floateq, poolpair,
+# lockescape, globalrand, binioerr). See README "Development".
+lint:
+	$(GO) run ./cmd/setlearnlint ./...
 
 test:
 	$(GO) test ./...
@@ -26,6 +36,13 @@ bench:
 bench-inference:
 	$(GO) test -run '^$$' -bench 'BenchmarkInference' -benchmem .
 	BENCH_INFERENCE_OUT=BENCH_inference.json $(GO) run ./cmd/experiments -exp inference -scale small
+
+# Short coverage-guided fuzz runs over the load paths and the set parser;
+# CI runs the same budget on every push and a longer nightly pass.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzLoadStructure -fuzztime=20s ./internal/core/
+	$(GO) test -fuzz=FuzzReadCollection -fuzztime=10s ./internal/sets/
+	$(GO) test -fuzz=FuzzSetCanonical -fuzztime=10s ./internal/sets/
 
 # Regenerate the paper's full evaluation at small scale (minutes).
 experiments:

@@ -1,0 +1,165 @@
+// Minimal implementation of the cmd/go vet tool protocol, modelled on
+// golang.org/x/tools/go/analysis/unitchecker but built on the standard
+// library only. go vet invokes the tool once per package ("analysis
+// unit") with a JSON config file describing the unit: its Go files plus
+// compiler export data for every dependency, which lets type-checking
+// here skip source-importing the world. Diagnostics go to stderr in the
+// file:line:col form go vet expects; exit 2 signals findings (the status
+// vet treats as "diagnostics reported").
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"setlearn/internal/lint"
+	"setlearn/internal/lint/analysis"
+)
+
+// vetConfig mirrors the fields of cmd/go's vet config that we consume.
+// Unknown fields are ignored by encoding/json, which keeps this forward
+// compatible with new go releases.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion answers the -V=full handshake. cmd/go requires the output
+// shape "<name> version <version>" and uses the trailing token as a cache
+// key, so it must change when the binary does: hash the executable.
+func printVersion() {
+	name := "setlearnlint"
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil)[:16])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, id)
+}
+
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "setlearnlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "setlearnlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// vet requires the facts file to exist even though this suite
+	// computes none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "setlearnlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Test files are excluded, matching the standalone driver: the
+	// invariants govern production code, and the equivalence tests
+	// deliberately assert bit-identical floats. vet runs test-augmented
+	// variants of each package as separate units; dropping _test.go files
+	// reduces those to the already-checked production sources (or to
+	// nothing, for external _test packages).
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "setlearnlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	// Resolve imports through the export data the build system already
+	// produced: ImportMap translates source-level paths (vendoring), and
+	// PackageFile locates each dependency's compiled export file.
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tconf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "setlearnlint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range lint.Analyzers {
+		if !a.InScope(cfg.ImportPath) {
+			continue
+		}
+		pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "setlearnlint: analyzer %s: %v\n", a.Name, err)
+			return 1
+		}
+		pass.ReportBadSuppressions()
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	// Exit 2 is the vet protocol's "diagnostics were reported" status.
+	return 2
+}

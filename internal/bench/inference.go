@@ -89,7 +89,7 @@ func usPerQuery(reps, n int, pass func()) float64 {
 func RunInference(w io.Writer, sc dataset.Scale) error {
 	maxID := uint32(sc.RWVocab - 1)
 	rep := &Report{
-		Title: fmt.Sprintf("Inference fast path (scale=%s, universe=%d): µs per query", sc.Name, maxID+1),
+		Title:  fmt.Sprintf("Inference fast path (scale=%s, universe=%d): µs per query", sc.Name, maxID+1),
 		Header: []string{"Config", "k", "Uncached", "PhiTable", "PhiCache", "Batch+Table", "Table ×", "Batch ×"},
 		Notes: []string{
 			"PhiTable precomputes φ for the whole universe; PhiCache is the sharded",

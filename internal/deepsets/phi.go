@@ -25,12 +25,12 @@ import (
 // AccelStats describes the state of a φ acceleration structure; the server
 // exports it per endpoint under /debug/vars.
 type AccelStats struct {
-	Mode    string `json:"mode"`              // "table" or "cache"
-	Hits    uint64 `json:"hits"`              // φ served without running the MLP (cache only)
-	Misses  uint64 `json:"misses"`            // φ recomputed and inserted (cache only)
-	Entries int    `json:"entries"`           // φ vectors currently materialized
-	Shards  int    `json:"shards,omitempty"`  // lock shards (cache only)
-	Bytes   int    `json:"bytes"`             // vector storage footprint
+	Mode    string `json:"mode"`             // "table" or "cache"
+	Hits    uint64 `json:"hits"`             // φ served without running the MLP (cache only)
+	Misses  uint64 `json:"misses"`           // φ recomputed and inserted (cache only)
+	Entries int    `json:"entries"`          // φ vectors currently materialized
+	Shards  int    `json:"shards,omitempty"` // lock shards (cache only)
+	Bytes   int    `json:"bytes"`            // vector storage footprint
 }
 
 // PhiAccel is a φ acceleration structure pluggable into a Model via

@@ -1,0 +1,110 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface that setlearn's custom analyzers
+// are written against. The container this repo builds in has no module
+// proxy access, so instead of depending on x/tools the lint suite carries
+// its own framework: an Analyzer is a named check, a Pass hands it one
+// type-checked package, and diagnostics flow back through Pass.Report with
+// //lint:allow suppression applied centrally.
+//
+// The shape deliberately mirrors x/tools so the analyzers can be ported to
+// the real framework by swapping this import if the dependency ever lands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow <name> suppression comments. It must be a valid
+	// identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// Scope, when non-empty, restricts the packages the *driver* runs this
+	// analyzer over: a package is in scope if its import path equals, or is
+	// a subpackage of, one of these prefixes. Test harnesses bypass Scope
+	// and run the analyzer on whatever package they load.
+	Scope []string
+
+	// Run executes the check on one package.
+	Run func(*Pass) error
+}
+
+// InScope reports whether the analyzer applies to the package with the
+// given import path under its Scope restriction.
+func (a *Analyzer) InScope(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, p := range a.Scope {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding reported by an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	suppress *suppressionIndex
+	sink     func(Diagnostic)
+}
+
+// NewPass assembles a Pass. The sink receives every diagnostic that
+// survives suppression filtering; malformed suppression comments are
+// themselves reported through the sink.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sink func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		suppress:  buildSuppressionIndex(fset, files),
+		sink:      sink,
+	}
+}
+
+// Reportf reports a diagnostic at pos unless a well-formed
+// //lint:allow comment for this analyzer covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	if p.suppress.allows(p.Analyzer.Name, p.Fset.Position(pos)) {
+		return
+	}
+	p.sink(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// ReportBadSuppressions emits a diagnostic for every //lint:allow comment
+// that names this analyzer but carries no justification. The driver calls
+// it once per (package, analyzer) pair so that a bare escape hatch is
+// itself a lint failure rather than a silent pass.
+func (p *Pass) ReportBadSuppressions() {
+	for _, bad := range p.suppress.malformed(p.Analyzer.Name) {
+		p.sink(Diagnostic{
+			Pos:      bad,
+			Message:  "//lint:allow " + p.Analyzer.Name + " needs a justification: write //lint:allow " + p.Analyzer.Name + " -- <why this is safe>",
+			Analyzer: p.Analyzer.Name,
+		})
+	}
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// reportAt runs a trivial analyzer that reports once on the ident named
+// "target" and returns the surviving diagnostics.
+func reportAt(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset, files := parse(t, src)
+	a := &Analyzer{Name: "demo", Doc: "test analyzer"}
+	var got []Diagnostic
+	pass := NewPass(a, fset, files, nil, nil, func(d Diagnostic) { got = append(got, d) })
+	ast.Inspect(files[0], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "target" {
+			pass.Reportf(id.Pos(), "found target")
+		}
+		return true
+	})
+	pass.ReportBadSuppressions()
+	return got
+}
+
+func TestSuppressionTrailing(t *testing.T) {
+	got := reportAt(t, `package p
+var target = 1 //lint:allow demo -- trailing comments cover their own line
+`)
+	if len(got) != 0 {
+		t.Fatalf("trailing suppression ignored: %v", got)
+	}
+}
+
+func TestSuppressionStandalone(t *testing.T) {
+	got := reportAt(t, `package p
+//lint:allow demo -- standalone comments cover the next line
+var target = 1
+`)
+	if len(got) != 0 {
+		t.Fatalf("standalone suppression ignored: %v", got)
+	}
+}
+
+func TestSuppressionWrongAnalyzer(t *testing.T) {
+	got := reportAt(t, `package p
+var target = 1 //lint:allow other -- names a different analyzer
+`)
+	if len(got) != 1 {
+		t.Fatalf("suppression for another analyzer must not apply: %v", got)
+	}
+}
+
+func TestSuppressionWrongLine(t *testing.T) {
+	got := reportAt(t, `package p
+//lint:allow demo -- covers only the next line
+
+var target = 1
+`)
+	if len(got) != 1 {
+		t.Fatalf("suppression two lines above must not apply: %v", got)
+	}
+}
+
+func TestSuppressionWithoutJustification(t *testing.T) {
+	got := reportAt(t, `package p
+var target = 1 //lint:allow demo
+`)
+	if len(got) != 2 {
+		t.Fatalf("want original diagnostic + malformed-suppression diagnostic, got %v", got)
+	}
+	found := false
+	for _, d := range got {
+		if strings.Contains(d.Message, "needs a justification") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing justification diagnostic: %v", got)
+	}
+}
+
+func TestInScope(t *testing.T) {
+	a := &Analyzer{Name: "x", Scope: []string{"setlearn/internal/mat"}}
+	for path, want := range map[string]bool{
+		"setlearn/internal/mat":     true,
+		"setlearn/internal/mat/sub": true,
+		"setlearn/internal/matrix":  false,
+		"setlearn/internal/nn":      false,
+	} {
+		if got := a.InScope(path); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+	unscoped := &Analyzer{Name: "y"}
+	if !unscoped.InScope("anything/at/all") {
+		t.Error("empty Scope must match every package")
+	}
+}

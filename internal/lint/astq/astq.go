@@ -1,0 +1,87 @@
+// Package astq holds the small AST/type queries shared by the setlearnlint
+// analyzers: static callee resolution, float detection, and an
+// ancestor-tracking walker (the stdlib ast.Inspect does not expose the
+// path to the root, which poolpair and binioerr need to see enclosing
+// defer and assignment statements).
+package astq
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc returns the *types.Func a call statically resolves to, or nil
+// for calls through function values, conversions, and built-ins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call is a call to pkgPath.name (a package-level
+// function, not a method).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil &&
+		fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// IsFloat reports whether t's core type is float32 or float64 (including
+// untyped float constants).
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// Inspect walks root like ast.Inspect but passes the stack of ancestors
+// (outermost first, not including n itself) to fn. Returning false prunes
+// the subtree.
+func Inspect(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+			return true
+		}
+		return false
+	})
+}
+
+// InsideDefer reports whether any ancestor on stack is a defer statement —
+// including the body of a function literal that a defer invokes.
+func InsideDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// NamedOrPointee unwraps pointers and returns the named type beneath, if
+// any.
+func NamedOrPointee(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

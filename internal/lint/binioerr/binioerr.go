@@ -1,0 +1,90 @@
+// Package binioerr requires every binary.Read, binary.Write, io.ReadFull,
+// and io.ReadAtLeast call to have its error consumed. The save/load paths
+// serialise models as length-prefixed binary sections behind validated
+// headers; a dropped error there turns a truncated or corrupt file into a
+// silently half-initialised structure instead of a load failure — the
+// exact failure mode the header-validation work hardened against. A call
+// whose only result sink is the blank identifier counts as unchecked.
+package binioerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/astq"
+)
+
+// checked maps package path to the function names whose errors must be
+// consumed.
+var checked = map[string]map[string]bool{
+	"encoding/binary": {"Read": true, "Write": true},
+	"io":              {"ReadFull": true, "ReadAtLeast": true},
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "binioerr",
+	Doc: "errors from binary.Read/binary.Write/io.ReadFull/io.ReadAtLeast must be " +
+		"checked — unchecked serialisation errors corrupt save/load silently",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		astq.Inspect(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := astq.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !checked[fn.Pkg().Path()][fn.Name()] {
+				return true
+			}
+			if reason := unchecked(call, stack); reason != "" {
+				pass.Reportf(call.Pos(), "%s error %s; a dropped serialisation error silently corrupts save/load state",
+					types.ExprString(call.Fun), reason)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unchecked classifies how the call's error escapes checking, or returns
+// "" when the error is consumed.
+func unchecked(call *ast.CallExpr, stack []ast.Node) string {
+	if len(stack) == 0 {
+		return ""
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.ExprStmt:
+		return "is discarded"
+	case *ast.GoStmt, *ast.DeferStmt:
+		return "is discarded (go/defer drops results)"
+	case *ast.AssignStmt:
+		// Find which LHS position the error lands in. For a single-call
+		// RHS with multiple results, the error is the last result; for a
+		// 1:1 assignment it is the matching position.
+		idx := errLHSIndex(parent, call)
+		if idx >= 0 && idx < len(parent.Lhs) {
+			if id, ok := parent.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+				return "is assigned to the blank identifier"
+			}
+		}
+	}
+	return ""
+}
+
+// errLHSIndex locates the LHS slot holding the call's error result.
+func errLHSIndex(assign *ast.AssignStmt, call *ast.CallExpr) int {
+	if len(assign.Rhs) == 1 && assign.Rhs[0] == call {
+		// n, err := io.ReadFull(...) — error is the final result.
+		return len(assign.Lhs) - 1
+	}
+	for i, rhs := range assign.Rhs {
+		if rhs == call {
+			return i
+		}
+	}
+	return -1
+}

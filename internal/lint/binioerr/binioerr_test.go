@@ -1,0 +1,12 @@
+package binioerr_test
+
+import (
+	"testing"
+
+	"setlearn/internal/lint/binioerr"
+	"setlearn/internal/lint/linttest"
+)
+
+func TestBinioerr(t *testing.T) {
+	linttest.Run(t, binioerr.Analyzer, "binioerr")
+}

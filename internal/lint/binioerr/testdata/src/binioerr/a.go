@@ -1,0 +1,39 @@
+package binioerr
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+func bad(r io.Reader, w io.Writer, buf []byte, v *uint32) {
+	binary.Read(r, binary.LittleEndian, v)     // want `binary.Read error is discarded`
+	binary.Write(w, binary.LittleEndian, *v)   // want `binary.Write error is discarded`
+	io.ReadFull(r, buf)                        // want `io.ReadFull error is discarded`
+	_ = binary.Read(r, binary.LittleEndian, v) // want `binary.Read error is assigned to the blank identifier`
+	_, _ = io.ReadFull(r, buf)                 // want `io.ReadFull error is assigned to the blank identifier`
+	n, _ := io.ReadAtLeast(r, buf, 4)          // want `io.ReadAtLeast error is assigned to the blank identifier`
+	_ = n
+	go binary.Write(w, binary.LittleEndian, *v) // want `binary.Write error is discarded \(go/defer drops results\)`
+}
+
+func good(r io.Reader, w io.Writer, buf []byte, v *uint32) error {
+	if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, *v); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	n, err := io.ReadAtLeast(r, buf, 4)
+	_ = n
+	if err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, *v) // propagated to the caller
+}
+
+func suppressed(w io.Writer, v uint32) {
+	binary.Write(w, binary.LittleEndian, v) //lint:allow binioerr -- best-effort debug dump, target is io.Discard
+}

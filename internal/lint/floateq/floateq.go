@@ -1,0 +1,107 @@
+// Package floateq flags == and != on floating-point operands, and switch
+// statements over floats, in the numeric packages where bit-identical
+// determinism is a contract (internal/mat, internal/nn, internal/ad,
+// internal/deepsets). Exact comparisons are allowed in three cases that
+// are genuinely exact:
+//
+//   - comparison against the constant 0 (the sparsity fast paths in
+//     MatTVecAcc/OuterAcc skip exactly-zero gradients),
+//   - comparison against math.Inf(±1) (IEEE infinities are exact),
+//   - the NaN self-test x != x (or x == x), recognised syntactically.
+//
+// Everything else must go through the tolerance helpers (mat.ApproxEqual,
+// mat.WithinTol), whose bodies the analyzer skips, or carry an
+// explicit //lint:allow floateq -- <reason> escape hatch.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/astq"
+)
+
+// toleranceFuncs are the approved helper functions whose bodies may
+// compare floats exactly (they implement the tolerance logic itself).
+var toleranceFuncs = map[string]bool{
+	"ApproxEqual": true,
+	"WithinTol":   true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!=/switch on float32/float64 outside approved tolerance helpers; " +
+		"exact-zero, math.Inf, and x != x NaN checks are allowed",
+	Scope: []string{
+		"setlearn/internal/mat",
+		"setlearn/internal/nn",
+		"setlearn/internal/ad",
+		"setlearn/internal/deepsets",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Recv == nil && toleranceFuncs[fd.Name.Name] {
+				continue // the helper is where exact compares live
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					checkBinary(pass, n)
+				case *ast.SwitchStmt:
+					checkSwitch(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkBinary(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	if !astq.IsFloat(pass.TypesInfo.Types[e.X].Type) && !astq.IsFloat(pass.TypesInfo.Types[e.Y].Type) {
+		return
+	}
+	if isExactSentinel(pass.TypesInfo, e.X) || isExactSentinel(pass.TypesInfo, e.Y) {
+		return
+	}
+	if types.ExprString(e.X) == types.ExprString(e.Y) {
+		return // x != x is the canonical NaN test
+	}
+	pass.Reportf(e.OpPos, "float comparison %s %s %s is not determinism-safe; use mat.ApproxEqual/mat.WithinTol, compare against an exact sentinel, or annotate //lint:allow floateq -- <reason>",
+		types.ExprString(e.X), e.Op, types.ExprString(e.Y))
+}
+
+func checkSwitch(pass *analysis.Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil || !astq.IsFloat(pass.TypesInfo.Types[s.Tag].Type) {
+		return
+	}
+	pass.Reportf(s.Switch, "switch on float expression %s compares floats exactly; restructure as tolerance checks (or //lint:allow floateq -- <reason>)",
+		types.ExprString(s.Tag))
+}
+
+// isExactSentinel reports whether e is a value that is exact in IEEE-754
+// terms: the constant zero, or a math.Inf call.
+func isExactSentinel(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if ok && tv.Value != nil {
+		k := tv.Value.Kind()
+		if (k == constant.Int || k == constant.Float) && constant.Sign(tv.Value) == 0 {
+			return true
+		}
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		return astq.IsPkgFunc(info, call, "math", "Inf")
+	}
+	return false
+}

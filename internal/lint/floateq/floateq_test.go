@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"setlearn/internal/lint/floateq"
+	"setlearn/internal/lint/linttest"
+)
+
+func TestFloateq(t *testing.T) {
+	linttest.Run(t, floateq.Analyzer, "floateq")
+}

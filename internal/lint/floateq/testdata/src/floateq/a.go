@@ -1,0 +1,61 @@
+package floateq
+
+import "math"
+
+type meters float64
+
+func bad(a, b float64, f, g float32, m meters) {
+	_ = a == b          // want `float comparison a == b is not determinism-safe`
+	_ = a != b          // want `float comparison a != b is not determinism-safe`
+	_ = f == g          // want `float comparison f == g is not determinism-safe`
+	_ = a == 1.5        // want `float comparison a == 1.5 is not determinism-safe`
+	_ = 2.5 != b        // want `float comparison 2.5 != b is not determinism-safe`
+	_ = m == 3          // want `float comparison m == 3 is not determinism-safe`
+	_ = a == math.NaN() // want `float comparison a == math.NaN\(\) is not determinism-safe`
+
+	switch a { // want `switch on float expression a compares floats exactly`
+	case 1.0:
+	case b:
+	}
+}
+
+func good(a, b float64, f float32, xs []float64) {
+	_ = a == 0           // exact sentinel: zero
+	_ = 0.0 != b         // exact sentinel: zero on the left
+	_ = f == 0           // exact zero for float32 too
+	_ = a == math.Inf(1) // exact sentinel: +Inf
+	_ = math.Inf(-1) == b
+	_ = a != a           // canonical NaN self-test
+	_ = a == a           // not-NaN test
+	_ = len(xs) == 0     // ints are unaffected
+	if a < b || a >= b { // orderings are fine
+		return
+	}
+	switch { // tagless switch is fine
+	case a < b:
+	}
+	switch len(xs) { // int switch is fine
+	case 0:
+	}
+}
+
+// ApproxEqual is an approved tolerance helper: its body may compare
+// floats exactly.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// WithinTol is the second approved helper name.
+func WithinTol(a, b, tol float64) bool {
+	return a == b || math.Abs(a-b) <= tol
+}
+
+func suppressed(a, b float64) {
+	_ = a == b //lint:allow floateq -- exercising the escape hatch in testdata
+	//lint:allow floateq -- standalone suppression covers the next line
+	_ = a != b
+	_ = a == b //lint:allow floateq // want `float comparison a == b` `needs a justification`
+}

@@ -1,0 +1,68 @@
+// Package globalrand forbids the unseeded process-global math/rand source
+// in the packages whose output must be reproducible run-to-run: training
+// (internal/train), data generation (internal/dataset), and model
+// initialisation (internal/deepsets). Every random draw there must come
+// from an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed))) so
+// a training run is a pure function of its config — the property the
+// golden save/load tests and the paper's experiment tables rely on.
+//
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) are allowed; they
+// are how seeded generators are built. Everything else reaching the global
+// source — rand.Intn, rand.Float64, rand.Perm, rand.Shuffle, rand.Seed,
+// and friends — is flagged.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"setlearn/internal/lint/analysis"
+)
+
+// constructors build seeded generators and never touch the global source.
+var constructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "no unseeded global math/rand in reproducibility-critical packages; " +
+		"draw from rand.New(rand.NewSource(seed)) instead",
+	Scope: []string{
+		"setlearn/internal/train",
+		"setlearn/internal/dataset",
+		"setlearn/internal/deepsets",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods on an explicit *rand.Rand are the goal
+			}
+			if constructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "rand.%s draws from the unseeded global source; use a seeded generator (rand.New(rand.NewSource(seed))) so runs are reproducible",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

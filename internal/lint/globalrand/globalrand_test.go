@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"setlearn/internal/lint/globalrand"
+	"setlearn/internal/lint/linttest"
+)
+
+func TestGlobalrand(t *testing.T) {
+	linttest.Run(t, globalrand.Analyzer, "globalrand")
+}

@@ -1,0 +1,25 @@
+package globalrand
+
+import "math/rand"
+
+func bad(n int) {
+	_ = rand.Intn(n)                   // want `rand.Intn draws from the unseeded global source`
+	_ = rand.Float64()                 // want `rand.Float64 draws from the unseeded global source`
+	_ = rand.Perm(n)                   // want `rand.Perm draws from the unseeded global source`
+	_ = rand.Int63()                   // want `rand.Int63 draws from the unseeded global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand.Shuffle draws from the unseeded global source`
+	rand.Seed(42)                      // want `rand.Seed draws from the unseeded global source`
+}
+
+func good(seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Intn(n)
+	_ = rng.Float64()
+	rng.Shuffle(n, func(i, j int) {})
+	zipf := rand.NewZipf(rng, 1.1, 1, uint64(n))
+	_ = zipf.Uint64()
+}
+
+func suppressed(n int) {
+	_ = rand.Intn(n) //lint:allow globalrand -- jitter for a log sampler, determinism not required
+}

@@ -1,0 +1,108 @@
+// Package lint assembles setlearn's custom analyzers into one suite and
+// drives them over the module. cmd/setlearnlint is a thin shell around
+// this package; keeping the driver here makes the whole pipeline —
+// pattern expansion, type-checking, scope filtering, suppression handling,
+// diagnostic formatting — testable with plain go test.
+package lint
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/binioerr"
+	"setlearn/internal/lint/floateq"
+	"setlearn/internal/lint/globalrand"
+	"setlearn/internal/lint/load"
+	"setlearn/internal/lint/lockescape"
+	"setlearn/internal/lint/poolpair"
+)
+
+// Analyzers is the full setlearnlint suite, in stable order.
+var Analyzers = []*analysis.Analyzer{
+	binioerr.Analyzer,
+	floateq.Analyzer,
+	globalrand.Analyzer,
+	lockescape.Analyzer,
+	poolpair.Analyzer,
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Result summarises one driver run.
+type Result struct {
+	Diagnostics int // findings reported (after suppression)
+	Errors      int // parse/type errors encountered
+	Packages    int // packages analysed
+}
+
+// Run lints the packages matching patterns (relative to dir) with the
+// given analyzers (all of them when analyzers is nil), writing
+// file:line:col-style findings to w. Scope restrictions apply: a scoped
+// analyzer only sees its packages.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer, w io.Writer) (Result, error) {
+	if analyzers == nil {
+		analyzers = Analyzers
+	}
+	var res Result
+	loader, err := load.NewLoader(dir)
+	if err != nil {
+		return res, err
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		return res, err
+	}
+	for _, d := range dirs {
+		pkg, err := loader.LoadDir(d)
+		if err != nil {
+			fmt.Fprintf(w, "%s: %v\n", d, err)
+			res.Errors++
+			continue
+		}
+		res.Packages++
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(w, "%v\n", terr)
+			res.Errors++
+		}
+		res.Diagnostics += analyzePackage(loader, pkg, analyzers, w)
+	}
+	return res, nil
+}
+
+func analyzePackage(loader *load.Loader, pkg *load.Package, analyzers []*analysis.Analyzer, w io.Writer) int {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		if !a.InScope(pkg.Path) {
+			continue
+		}
+		pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, func(d analysis.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(w, "%s: analyzer %s failed: %v\n", pkg.Path, a.Name, err)
+			continue
+		}
+		pass.ReportBadSuppressions()
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		file := pos.Filename
+		if rel, err := filepath.Rel(loader.ModuleDir, file); err == nil {
+			file = rel
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", file, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	return len(diags)
+}

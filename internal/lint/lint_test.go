@@ -1,0 +1,84 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"setlearn/internal/lint"
+)
+
+// TestRunTempModule drives the whole pipeline — pattern expansion,
+// type-checking, scope filtering, reporting — over a throwaway module
+// with known violations.
+func TestRunTempModule(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmplint\n\ngo 1.22\n")
+	write("bad.go", `package tmplint
+
+import (
+	"encoding/binary"
+	"io"
+	"sync"
+)
+
+func dropped(r io.Reader, v *uint32) {
+	binary.Read(r, binary.LittleEndian, v) // binioerr: discarded
+}
+
+func unpaired(p *sync.Pool) {
+	x := p.Get()
+	p.Put(x) // poolpair: not deferred
+}
+
+// floatCompare would trip floateq, but this module is outside its Scope,
+// so the driver must not report it.
+func floatCompare(a, b float64) bool { return a == b }
+`)
+
+	var out strings.Builder
+	res, err := lint.Run(dir, []string{"./..."}, nil, &out)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected errors:\n%s", out.String())
+	}
+	if res.Packages != 1 {
+		t.Fatalf("packages = %d, want 1\n%s", res.Packages, out.String())
+	}
+	if res.Diagnostics != 2 {
+		t.Fatalf("diagnostics = %d, want 2 (binioerr + poolpair):\n%s", res.Diagnostics, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"(binioerr)", "(poolpair)", "bad.go:10", "bad.go:15"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "floateq") {
+		t.Errorf("scoped analyzer leaked outside its packages:\n%s", got)
+	}
+}
+
+// TestByName covers the analyzer registry the -run flag resolves through.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"binioerr", "floateq", "globalrand", "lockescape", "poolpair"} {
+		if lint.ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) should be nil")
+	}
+	if len(lint.Analyzers) != 5 {
+		t.Errorf("suite has %d analyzers, want 5", len(lint.Analyzers))
+	}
+}

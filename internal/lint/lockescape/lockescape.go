@@ -1,0 +1,194 @@
+// Package lockescape flags methods of mutex-guarded types that return a
+// reference to an internal slice or map while the receiver's lock is still
+// held. Handing the raw slice/map out of the critical section gives the
+// caller an unsynchronised alias into guarded state — the read looks safe
+// at the call site and races later, which is exactly the class of bug the
+// RWMutex-guarded aux structures in internal/hybrid and internal/server
+// exist to prevent. Return a copy, or drop the lock before returning a
+// value that does not alias guarded storage.
+//
+// The lock state is tracked positionally within the method body: Lock and
+// RLock acquire; a plain Unlock/RUnlock releases; a deferred unlock holds
+// the lock until return. This linear approximation is deliberately simple
+// and errs toward reporting; //lint:allow lockescape -- <reason> covers
+// the rare intentional hand-off.
+package lockescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockescape",
+	Doc: "methods of mutex-guarded types must not return references to internal " +
+		"slices/maps while the receiver's lock is held",
+	Scope: []string{
+		"setlearn/internal/hybrid",
+		"setlearn/internal/server",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			checkMethod(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recvField := fd.Recv.List[0]
+	if len(recvField.Names) == 0 {
+		return // unnamed receiver cannot be locked or escaped
+	}
+	recvName := recvField.Names[0].Name
+	named := recvNamed(pass, recvField)
+	if named == nil {
+		return
+	}
+	mutexFields := mutexFieldNames(named)
+	if len(mutexFields) == 0 {
+		return
+	}
+
+	// Walk the body once, recording lock events and returns in source
+	// order (token.Pos order equals source order within one file).
+	var acquires, releases []int
+	var returns []*ast.ReturnStmt
+	astq.Inspect(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name, onRecvMutex := mutexCall(n, recvName, mutexFields)
+			if !onRecvMutex {
+				return true
+			}
+			switch name {
+			case "Lock", "RLock":
+				acquires = append(acquires, int(n.Pos()))
+			case "Unlock", "RUnlock":
+				if !astq.InsideDefer(stack) {
+					releases = append(releases, int(n.Pos()))
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+		}
+		return true
+	})
+	if len(acquires) == 0 {
+		return
+	}
+
+	locked := func(pos int) bool {
+		a, r := 0, 0
+		for _, p := range acquires {
+			if p < pos {
+				a++
+			}
+		}
+		for _, p := range releases {
+			if p < pos {
+				r++
+			}
+		}
+		return a > r
+	}
+
+	for _, ret := range returns {
+		if !locked(int(ret.Pos())) {
+			continue
+		}
+		for _, res := range ret.Results {
+			if field := escapingField(pass.TypesInfo, res, recvName); field != "" {
+				pass.Reportf(res.Pos(), "returning %s.%s (a %s) while %s's lock is held leaks a reference to guarded state; return a copy or unlock first",
+					recvName, field, typeKind(pass.TypesInfo, res), recvName)
+			}
+		}
+	}
+}
+
+// recvNamed resolves the receiver's named type.
+func recvNamed(pass *analysis.Pass, recv *ast.Field) *types.Named {
+	tv, ok := pass.TypesInfo.Types[recv.Type]
+	if !ok {
+		return nil
+	}
+	return astq.NamedOrPointee(tv.Type)
+}
+
+// mutexFieldNames returns the receiver struct's fields of type sync.Mutex
+// or sync.RWMutex.
+func mutexFieldNames(named *types.Named) map[string]bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if fn := astq.NamedOrPointee(f.Type()); fn != nil {
+			obj := fn.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+				(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+				out[f.Name()] = true
+			}
+		}
+	}
+	return out
+}
+
+// mutexCall matches recv.<mutexField>.<method>() and returns the method
+// name.
+func mutexCall(call *ast.CallExpr, recvName string, mutexFields map[string]bool) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || !mutexFields[inner.Sel.Name] {
+		return "", false
+	}
+	id, ok := ast.Unparen(inner.X).(*ast.Ident)
+	if !ok || id.Name != recvName {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// escapingField reports the field name when res is recv.<field> with slice
+// or map type.
+func escapingField(info *types.Info, res ast.Expr, recvName string) string {
+	sel, ok := ast.Unparen(res).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || id.Name != recvName {
+		return ""
+	}
+	switch info.Types[res].Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+func typeKind(info *types.Info, res ast.Expr) string {
+	switch info.Types[res].Type.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "reference"
+}

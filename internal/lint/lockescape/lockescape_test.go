@@ -1,0 +1,12 @@
+package lockescape_test
+
+import (
+	"testing"
+
+	"setlearn/internal/lint/linttest"
+	"setlearn/internal/lint/lockescape"
+)
+
+func TestLockescape(t *testing.T) {
+	linttest.Run(t, lockescape.Analyzer, "lockescape")
+}

@@ -1,0 +1,67 @@
+package lockescape
+
+import "sync"
+
+type index struct {
+	mu    sync.RWMutex
+	items []int
+	byKey map[string]int
+	count int
+}
+
+func (s *index) badSliceUnderDefer() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.items // want `returning s\.items \(a slice\) while s's lock is held`
+}
+
+func (s *index) badMapNoUnlock() map[string]int {
+	s.mu.Lock()
+	return s.byKey // want `returning s\.byKey \(a map\) while s's lock is held`
+}
+
+func (s *index) badMultiResult() ([]int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.items, true // want `returning s\.items \(a slice\) while s's lock is held`
+}
+
+func (s *index) goodScalarUnderLock() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count // scalars copy out safely
+}
+
+func (s *index) goodCopyUnderLock() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cp := make([]int, len(s.items))
+	copy(cp, s.items)
+	return cp
+}
+
+func (s *index) goodUnlockBeforeReturn() []int {
+	s.mu.RLock()
+	v := s.items
+	s.mu.RUnlock()
+	return v
+}
+
+// goodNoLock: methods that never take the lock are out of scope — the
+// field may be immutable after construction.
+func (s *index) goodNoLock() []int {
+	return s.items
+}
+
+func (s *index) suppressed() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.items //lint:allow lockescape -- single-writer phase, callers are read-only by contract
+}
+
+// unguarded has no mutex field at all, so nothing applies.
+type unguarded struct {
+	items []int
+}
+
+func (u *unguarded) all() []int { return u.items }

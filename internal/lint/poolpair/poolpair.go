@@ -1,0 +1,97 @@
+// Package poolpair enforces the pool discipline the φ fast path depends
+// on: in any function that takes an object out of a pool (sync.Pool or a
+// named *Pool type such as deepsets.PredictorPool), the matching Put must
+// run under defer. A plain Put on the straight-line path leaks the pooled
+// object when a query panics between Get and Put — the exact bug the
+// panic-safe PredictorPool fix addressed — and the leak is invisible until
+// a production predictor pool degrades to allocate-per-call.
+//
+// Functions that only Put (hand-off release helpers) are not flagged; the
+// rule binds Get and Put appearing in the same function body.
+package poolpair
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolpair",
+	Doc: "a function that calls Get on a pool (sync.Pool or *Pool-named type) must " +
+		"return the object with a deferred Put so panicking paths cannot leak it",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	hasGet := false
+	type putSite struct {
+		call     *ast.CallExpr
+		deferred bool
+	}
+	var puts []putSite
+	astq.Inspect(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := astq.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || !isPoolMethod(fn) {
+			return true
+		}
+		switch fn.Name() {
+		case "Get":
+			hasGet = true
+		case "Put":
+			puts = append(puts, putSite{call: call, deferred: astq.InsideDefer(stack)})
+		}
+		return true
+	})
+	if !hasGet {
+		return
+	}
+	for _, p := range puts {
+		if p.deferred {
+			continue
+		}
+		pass.Reportf(p.call.Pos(), "pool Put after Get must be deferred (defer %s) so a panic between Get and Put cannot leak the pooled object",
+			types.ExprString(p.call.Fun))
+	}
+}
+
+// isPoolMethod reports whether fn is a Get/Put method whose receiver is
+// sync.Pool or a named type ending in "Pool".
+func isPoolMethod(fn *types.Func) bool {
+	if fn.Name() != "Get" && fn.Name() != "Put" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named := astq.NamedOrPointee(recv.Type())
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool" {
+		return true
+	}
+	return strings.HasSuffix(obj.Name(), "Pool")
+}

@@ -1,0 +1,12 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"setlearn/internal/lint/linttest"
+	"setlearn/internal/lint/poolpair"
+)
+
+func TestPoolpair(t *testing.T) {
+	linttest.Run(t, poolpair.Analyzer, "poolpair")
+}

@@ -1,0 +1,82 @@
+package poolpair
+
+import "sync"
+
+type item struct{ buf []byte }
+
+// PredictorPool mirrors the shape of deepsets.PredictorPool: a named
+// *Pool type wrapping sync.Pool.
+type PredictorPool struct{ pool sync.Pool }
+
+func (p *PredictorPool) Get() *item  { return p.pool.Get().(*item) }
+func (p *PredictorPool) Put(x *item) { p.pool.Put(x) }
+
+func use(*item) {}
+
+func goodDefer(p *PredictorPool) {
+	x := p.Get()
+	defer p.Put(x)
+	use(x)
+}
+
+func goodDeferClosure(p *PredictorPool) {
+	x := p.Get()
+	defer func() {
+		use(x)
+		p.Put(x)
+	}()
+	use(x)
+}
+
+func goodSyncPool(sp *sync.Pool) {
+	v := sp.Get().(*item)
+	defer sp.Put(v)
+	use(v)
+}
+
+func badStraightLine(p *PredictorPool) {
+	x := p.Get()
+	use(x)
+	p.Put(x) // want `pool Put after Get must be deferred`
+}
+
+func badSyncPool(sp *sync.Pool) {
+	v := sp.Get().(*item)
+	use(v)
+	sp.Put(v) // want `pool Put after Get must be deferred`
+}
+
+func badBranchPut(p *PredictorPool, cond bool) {
+	x := p.Get()
+	if cond {
+		p.Put(x) // want `pool Put after Get must be deferred`
+		return
+	}
+	defer p.Put(x)
+	use(x)
+}
+
+// releaseOnly hands a pooled object back on behalf of a caller: no Get in
+// scope, so no pairing to enforce.
+func releaseOnly(p *PredictorPool, x *item) {
+	p.Put(x)
+}
+
+// Cache has Get/Put methods but is not a pool: the analyzer keys on
+// sync.Pool and the *Pool naming convention.
+type Cache struct{ m map[int]*item }
+
+func (c *Cache) Get() *item  { return c.m[0] }
+func (c *Cache) Put(x *item) { c.m[0] = x }
+
+func notAPool(c *Cache) {
+	x := c.Get()
+	use(x)
+	c.Put(x)
+}
+
+func suppressed(p *PredictorPool) {
+	x := p.Get()
+	use(x)
+	p.Put(x) //lint:allow poolpair -- object ownership transfers before any panic can occur
+}
