@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet lint test race bench bench-inference fuzz-smoke experiments examples clean
+.PHONY: all build fmt-check vet lint test race bench bench-inference bench-sharding fuzz-smoke experiments examples clean
 
 all: build fmt-check vet lint test race
 
@@ -37,10 +37,17 @@ bench-inference:
 	$(GO) test -run '^$$' -bench 'BenchmarkInference' -benchmem .
 	BENCH_INFERENCE_OUT=BENCH_inference.json $(GO) run ./cmd/experiments -exp inference -scale small
 
+# Benchmark the sharded container against the monolith (build time with √K
+# model scaling, accuracy, fan-out latency) and refresh the committed
+# BENCH_sharding.json trajectory.
+bench-sharding:
+	BENCH_SHARDING_OUT=BENCH_sharding.json $(GO) run ./cmd/experiments -exp sharding -scale small
+
 # Short coverage-guided fuzz runs over the load paths and the set parser;
 # CI runs the same budget on every push and a longer nightly pass.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoadStructure -fuzztime=20s ./internal/core/
+	$(GO) test -fuzz=FuzzLoadSharded -fuzztime=20s ./internal/shard/
 	$(GO) test -fuzz=FuzzReadCollection -fuzztime=10s ./internal/sets/
 	$(GO) test -fuzz=FuzzSetCanonical -fuzztime=10s ./internal/sets/
 

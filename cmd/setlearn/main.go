@@ -14,6 +14,15 @@
 //	setlearn -task card -data rw.txt -save est.bin -query "3,17"
 //	setlearn -task card -data rw.txt -load est.bin -query "3,17"
 //
+// With -shards K (K > 1) the structure is built as a partitioned container
+// (internal/shard): the collection is split by -partitioner (hash or range),
+// one down-scaled model is trained per shard, and queries fan out with exact
+// merge semantics. Sharded saves use their own container format; -load
+// detects it by magic bytes, so the same flag reopens either kind:
+//
+//	setlearn -task card -data rw.txt -shards 4 -partitioner hash -save est4.bin -query "3,17"
+//	setlearn -task card -data rw.txt -load est4.bin -query "3,17"
+//
 // The collection file holds one set per line as space-separated element ids
 // (the cmd/datagen output format); a queries file holds one query per line
 // as comma- or space-separated ids.
@@ -31,6 +40,7 @@ import (
 
 	"setlearn/internal/core"
 	"setlearn/internal/sets"
+	"setlearn/internal/shard"
 )
 
 func main() {
@@ -44,7 +54,15 @@ func main() {
 	percentile := flag.Float64("percentile", 90, "outlier eviction percentile (0 disables)")
 	savePath := flag.String("save", "", "persist the trained structure to this file")
 	loadPath := flag.String("load", "", "load a previously saved structure instead of training")
+	shards := flag.Int("shards", 0, "build a sharded container with this many shards (0/1 = monolithic)")
+	partFlag := flag.String("partitioner", "hash", "shard partitioner: hash or range")
 	flag.Parse()
+
+	part, err := shard.ParsePartitioner(*partFlag)
+	if err != nil {
+		fatal(err)
+	}
+	shardOpts := shard.Options{Shards: *shards, Partitioner: part, MeasureBounds: true}
 
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "setlearn: -data is required")
@@ -81,71 +99,133 @@ func main() {
 	start := time.Now()
 	switch *task {
 	case "card":
-		var est *core.CardinalityEstimator
-		if *loadPath != "" {
-			est = loadStructure(*loadPath, func(r *os.File) (*core.CardinalityEstimator, error) {
+		var est core.CardinalityQuerier
+		switch {
+		case *loadPath != "" && sniffSharded(*loadPath):
+			se := loadStructure(*loadPath, func(r *os.File) (*shard.Estimator, error) {
+				return shard.LoadShardedEstimator(r)
+			})
+			fmt.Printf("loaded sharded estimator from %s (%d %s shards, %.3f MB)\n",
+				*loadPath, se.NumShards(), se.Partitioner(), mbOf(se.SizeBytes()))
+			est = se
+		case *loadPath != "":
+			e := loadStructure(*loadPath, func(r *os.File) (*core.CardinalityEstimator, error) {
 				return core.LoadCardinalityEstimator(r)
 			})
-			fmt.Printf("loaded estimator from %s (%.3f MB)\n", *loadPath, mbOf(est.SizeBytes()))
-		} else {
-			var err error
-			est, err = core.BuildEstimator(c, core.EstimatorOptions{
+			fmt.Printf("loaded estimator from %s (%.3f MB)\n", *loadPath, mbOf(e.SizeBytes()))
+			est = e
+		case *shards > 1:
+			se, err := shard.BuildShardedEstimator(c, shardOpts, core.EstimatorOptions{
+				Model: opts, MaxSubset: *maxSubset, Percentile: *percentile,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("built sharded estimator (%d %s shards) in %.1fs (%.3f MB)\n",
+				se.NumShards(), se.Partitioner(), time.Since(start).Seconds(), mbOf(se.SizeBytes()))
+			printBuildStats(se.BuildStats())
+			saveStructure(*savePath, se.Save)
+			est = se
+		default:
+			e, err := core.BuildEstimator(c, core.EstimatorOptions{
 				Model: opts, MaxSubset: *maxSubset, Percentile: *percentile,
 			})
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Printf("built estimator in %.1fs (%.3f MB)\n",
-				time.Since(start).Seconds(), mbOf(est.SizeBytes()))
-			saveStructure(*savePath, est.Save)
+				time.Since(start).Seconds(), mbOf(e.SizeBytes()))
+			saveStructure(*savePath, e.Save)
+			est = e
 		}
 		for _, q := range qs {
 			fmt.Printf("card(%v) ≈ %.1f (exact %d)\n", q, est.Estimate(q), c.Cardinality(q))
 		}
 	case "index":
-		var idx *core.SetIndex
-		if *loadPath != "" {
-			idx = loadStructure(*loadPath, func(r *os.File) (*core.SetIndex, error) {
+		var idx core.IndexQuerier
+		switch {
+		case *loadPath != "" && sniffSharded(*loadPath):
+			sx := loadStructure(*loadPath, func(r *os.File) (*shard.Index, error) {
+				return shard.LoadShardedIndex(r, c)
+			})
+			fmt.Printf("loaded sharded index from %s (%d %s shards, %.3f MB)\n",
+				*loadPath, sx.NumShards(), sx.Partitioner(), mbOf(sx.SizeBytes()))
+			idx = sx
+		case *loadPath != "":
+			x := loadStructure(*loadPath, func(r *os.File) (*core.SetIndex, error) {
 				return core.LoadIndex(r, c)
 			})
-			fmt.Printf("loaded index from %s (%.3f MB)\n", *loadPath, mbOf(idx.SizeBytes()))
-		} else {
-			var err error
-			idx, err = core.BuildIndex(c, core.IndexOptions{
+			fmt.Printf("loaded index from %s (%.3f MB)\n", *loadPath, mbOf(x.SizeBytes()))
+			idx = x
+		case *shards > 1:
+			sx, err := shard.BuildShardedIndex(c, shardOpts, core.IndexOptions{
+				Model: opts, MaxSubset: *maxSubset, Percentile: *percentile,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("built sharded index (%d %s shards) in %.1fs (%.3f MB)\n",
+				sx.NumShards(), sx.Partitioner(), time.Since(start).Seconds(), mbOf(sx.SizeBytes()))
+			printBuildStats(sx.BuildStats())
+			saveStructure(*savePath, sx.Save)
+			idx = sx
+		default:
+			x, err := core.BuildIndex(c, core.IndexOptions{
 				Model: opts, MaxSubset: *maxSubset, Percentile: *percentile,
 			})
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Printf("built index in %.1fs (%.3f MB, max err %d)\n",
-				time.Since(start).Seconds(), mbOf(idx.SizeBytes()), idx.MaxError())
-			saveStructure(*savePath, idx.Save)
+				time.Since(start).Seconds(), mbOf(x.SizeBytes()), x.MaxError())
+			saveStructure(*savePath, x.Save)
+			idx = x
 		}
 		for _, q := range qs {
 			fmt.Printf("pos(%v) = %d (exact %d)\n", q, idx.Lookup(q), c.FirstPosition(q))
 		}
 	case "member":
-		var mf *core.MembershipFilter
-		if *loadPath != "" {
-			mf = loadStructure(*loadPath, func(r *os.File) (*core.MembershipFilter, error) {
+		var mf core.MembershipQuerier
+		switch {
+		case *loadPath != "" && sniffSharded(*loadPath):
+			sf := loadStructure(*loadPath, func(r *os.File) (*shard.Filter, error) {
+				return shard.LoadShardedFilter(r)
+			})
+			fmt.Printf("loaded sharded filter from %s (%d %s shards, %.3f MB)\n",
+				*loadPath, sf.NumShards(), sf.Partitioner(), mbOf(sf.SizeBytes()))
+			mf = sf
+		case *loadPath != "":
+			m := loadStructure(*loadPath, func(r *os.File) (*core.MembershipFilter, error) {
 				return core.LoadMembershipFilter(r)
 			})
-			fmt.Printf("loaded filter from %s (%.3f MB)\n", *loadPath, mbOf(mf.SizeBytes()))
-		} else {
-			var err error
-			mf, err = core.BuildMembershipFilter(c, core.FilterOptions{
+			fmt.Printf("loaded filter from %s (%.3f MB)\n", *loadPath, mbOf(m.SizeBytes()))
+			mf = m
+		case *shards > 1:
+			sf, err := shard.BuildShardedFilter(c, shardOpts, core.FilterOptions{
+				Model: opts, MaxSubset: *maxSubset,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("built sharded filter (%d %s shards) in %.1fs (%.3f MB)\n",
+				sf.NumShards(), sf.Partitioner(), time.Since(start).Seconds(), mbOf(sf.SizeBytes()))
+			printBuildStats(sf.BuildStats())
+			saveStructure(*savePath, sf.Save)
+			mf = sf
+		default:
+			m, err := core.BuildMembershipFilter(c, core.FilterOptions{
 				Model: opts, MaxSubset: *maxSubset,
 			})
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Printf("built filter in %.1fs (%.3f MB, %d backed up)\n",
-				time.Since(start).Seconds(), mbOf(mf.SizeBytes()), mf.BackupCount())
-			saveStructure(*savePath, mf.Save)
+				time.Since(start).Seconds(), mbOf(m.SizeBytes()), m.BackupCount())
+			saveStructure(*savePath, m.Save)
+			mf = m
 		}
 		for _, q := range qs {
-			fmt.Printf("member(%v) = %v (exact %v, p=%.3f)\n",
-				q, mf.Contains(q), c.Member(q), mf.ModelProbability(q))
+			fmt.Printf("member(%v) = %v (exact %v)\n", q, mf.Contains(q), c.Member(q))
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "setlearn: unknown task %q\n", *task)
@@ -154,6 +234,31 @@ func main() {
 }
 
 func mbOf(bytes int) float64 { return float64(bytes) / (1024 * 1024) }
+
+// sniffSharded reports whether path holds a sharded container (by magic), so
+// -load reopens either format without a mode flag.
+func sniffSharded(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	return shard.SniffSharded(f)
+}
+
+// printBuildStats prints one line per shard of a fresh sharded build.
+func printBuildStats(stats []shard.BuildStat) {
+	for _, s := range stats {
+		line := fmt.Sprintf("  shard %d: %d sets, %.1fs, %.3f MB", s.Shard, s.Sets, s.BuildSecs, mbOf(s.Bytes))
+		if s.MaxError > 0 {
+			line += fmt.Sprintf(", max err %d", s.MaxError)
+		}
+		if s.ErrBound > 0 {
+			line += fmt.Sprintf(", err bound %.2f", s.ErrBound)
+		}
+		fmt.Println(line)
+	}
+}
 
 // saveStructure writes the structure when -save was given.
 func saveStructure(path string, save func(w io.Writer) error) {

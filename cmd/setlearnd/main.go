@@ -15,8 +15,12 @@
 //	curl -s localhost:8080/v1/member -d '{"query":[3,17]}'
 //
 // The index requires -data (the collection it was built over, reopened like
-// a heap file); the estimator and filter are self-contained. The daemon
-// drains in-flight requests on SIGINT/SIGTERM before exiting.
+// a heap file); the estimator and filter are self-contained. Sharded
+// containers (setlearn -shards K) are detected by their magic bytes and
+// served through the same endpoints, with per-shard stats printed at load
+// and published under setlearn.shard.* on /debug/vars; -shards and
+// -partitioner assert the expected topology. The daemon drains in-flight
+// requests on SIGINT/SIGTERM before exiting.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"setlearn/internal/core"
 	"setlearn/internal/server"
 	"setlearn/internal/sets"
+	"setlearn/internal/shard"
 )
 
 func main() {
@@ -42,6 +47,8 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	phiTable := flag.Bool("phi-table", true, "precompute the full φ-table when it fits the φ memory budget")
 	phiCacheMB := flag.Int("phi-cache-mb", 64, "φ memory budget in MiB per structure: φ-table if it fits, sharded φ-cache otherwise; 0 disables the fast path")
+	shards := flag.Int("shards", 0, "required shard count for loaded sharded containers; 0 accepts any")
+	partFlag := flag.String("partitioner", "", "required partitioner (hash|range) for loaded sharded containers; empty accepts any")
 	flag.Parse()
 
 	if *indexPath == "" && *cardPath == "" && *memberPath == "" {
@@ -51,6 +58,14 @@ func main() {
 	if *indexPath != "" && *data == "" {
 		fmt.Fprintln(os.Stderr, "setlearnd: -index requires -data (the indexed collection)")
 		os.Exit(2)
+	}
+	wantPart := shard.Partitioner(-1)
+	if *partFlag != "" {
+		p, err := shard.ParsePartitioner(*partFlag)
+		if err != nil {
+			fatal(err)
+		}
+		wantPart = p
 	}
 
 	// The φ fast path memoizes per-element MLP outputs (bit-identical
@@ -63,18 +78,44 @@ func main() {
 
 	var st server.Structures
 	if *cardPath != "" {
-		st.Estimator = loadStructure(*cardPath, func(f *os.File) (*core.CardinalityEstimator, error) {
-			return core.LoadCardinalityEstimator(f)
-		})
-		fmt.Printf("loaded estimator from %s (%.3f MB, φ %s)\n",
-			*cardPath, mbOf(st.Estimator.SizeBytes()), st.Estimator.EnableFastPath(fp))
+		if sniffSharded(*cardPath) {
+			e := loadStructure(*cardPath, func(f *os.File) (*shard.Estimator, error) {
+				return shard.LoadShardedEstimator(f)
+			})
+			checkTopology("estimator", e.NumShards(), e.Partitioner(), *shards, wantPart)
+			st.Estimator = e
+			fmt.Printf("loaded sharded estimator from %s (%d %s shards, %.3f MB, φ %s)\n",
+				*cardPath, e.NumShards(), e.Partitioner(), mbOf(e.SizeBytes()), e.EnableFastPath(fp))
+			printShardStats(e)
+		} else {
+			rejectShardFlags("estimator", *cardPath, *shards, wantPart)
+			e := loadStructure(*cardPath, func(f *os.File) (*core.CardinalityEstimator, error) {
+				return core.LoadCardinalityEstimator(f)
+			})
+			st.Estimator = e
+			fmt.Printf("loaded estimator from %s (%.3f MB, φ %s)\n",
+				*cardPath, mbOf(e.SizeBytes()), e.EnableFastPath(fp))
+		}
 	}
 	if *memberPath != "" {
-		st.Filter = loadStructure(*memberPath, func(f *os.File) (*core.MembershipFilter, error) {
-			return core.LoadMembershipFilter(f)
-		})
-		fmt.Printf("loaded filter from %s (%.3f MB, φ %s)\n",
-			*memberPath, mbOf(st.Filter.SizeBytes()), st.Filter.EnableFastPath(fp))
+		if sniffSharded(*memberPath) {
+			m := loadStructure(*memberPath, func(f *os.File) (*shard.Filter, error) {
+				return shard.LoadShardedFilter(f)
+			})
+			checkTopology("filter", m.NumShards(), m.Partitioner(), *shards, wantPart)
+			st.Filter = m
+			fmt.Printf("loaded sharded filter from %s (%d %s shards, %.3f MB, φ %s)\n",
+				*memberPath, m.NumShards(), m.Partitioner(), mbOf(m.SizeBytes()), m.EnableFastPath(fp))
+			printShardStats(m)
+		} else {
+			rejectShardFlags("filter", *memberPath, *shards, wantPart)
+			m := loadStructure(*memberPath, func(f *os.File) (*core.MembershipFilter, error) {
+				return core.LoadMembershipFilter(f)
+			})
+			st.Filter = m
+			fmt.Printf("loaded filter from %s (%.3f MB, φ %s)\n",
+				*memberPath, mbOf(m.SizeBytes()), m.EnableFastPath(fp))
+		}
 	}
 	if *indexPath != "" {
 		f, err := os.Open(*data)
@@ -86,11 +127,24 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		st.Index = loadStructure(*indexPath, func(f *os.File) (*core.SetIndex, error) {
-			return core.LoadIndex(f, c)
-		})
-		fmt.Printf("loaded index from %s over %d sets (%.3f MB, φ %s)\n",
-			*indexPath, c.Len(), mbOf(st.Index.SizeBytes()), st.Index.EnableFastPath(fp))
+		if sniffSharded(*indexPath) {
+			x := loadStructure(*indexPath, func(f *os.File) (*shard.Index, error) {
+				return shard.LoadShardedIndex(f, c)
+			})
+			checkTopology("index", x.NumShards(), x.Partitioner(), *shards, wantPart)
+			st.Index = x
+			fmt.Printf("loaded sharded index from %s over %d sets (%d %s shards, %.3f MB, φ %s)\n",
+				*indexPath, c.Len(), x.NumShards(), x.Partitioner(), mbOf(x.SizeBytes()), x.EnableFastPath(fp))
+			printShardStats(x)
+		} else {
+			rejectShardFlags("index", *indexPath, *shards, wantPart)
+			x := loadStructure(*indexPath, func(f *os.File) (*core.SetIndex, error) {
+				return core.LoadIndex(f, c)
+			})
+			st.Index = x
+			fmt.Printf("loaded index from %s over %d sets (%.3f MB, φ %s)\n",
+				*indexPath, c.Len(), mbOf(x.SizeBytes()), x.EnableFastPath(fp))
+		}
 	}
 
 	srv, err := server.New(st, server.Config{Addr: *addr, DrainTimeout: *drain})
@@ -110,6 +164,47 @@ func main() {
 }
 
 func mbOf(bytes int) float64 { return float64(bytes) / (1024 * 1024) }
+
+// sniffSharded reports whether path holds a sharded container (by magic), so
+// the daemon auto-selects the matching loader without a format flag.
+func sniffSharded(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	return shard.SniffSharded(f)
+}
+
+// checkTopology enforces the -shards / -partitioner expectations against a
+// loaded sharded container; zero values accept anything.
+func checkTopology(kind string, gotK int, gotP shard.Partitioner, wantK int, wantP shard.Partitioner) {
+	if wantK > 0 && gotK != wantK {
+		fatal(fmt.Errorf("%s: container has %d shards, -shards=%d", kind, gotK, wantK))
+	}
+	if wantP >= 0 && gotP != wantP {
+		fatal(fmt.Errorf("%s: container partitioned by %s, -partitioner=%s", kind, gotP, wantP))
+	}
+}
+
+// rejectShardFlags refuses shard topology expectations against a monolithic
+// container (one logical shard is accepted so scripted invocations can pass
+// -shards=1 uniformly).
+func rejectShardFlags(kind, path string, wantK int, wantP shard.Partitioner) {
+	if wantK > 1 {
+		fatal(fmt.Errorf("%s: %s is monolithic, -shards=%d", kind, path, wantK))
+	}
+	if wantP >= 0 {
+		fatal(fmt.Errorf("%s: %s is monolithic, -partitioner=%s", kind, path, wantP))
+	}
+}
+
+// printShardStats prints one line per shard of a freshly loaded container.
+func printShardStats(ss core.ShardStatser) {
+	for _, s := range ss.ShardStats() {
+		fmt.Printf("  shard %d: %d sets, %.3f MB, φ %s\n", s.Shard, s.Sets, mbOf(s.Bytes), s.PhiMode)
+	}
+}
 
 func loadStructure[T any](path string, load func(*os.File) (T, error)) T {
 	f, err := os.Open(path)

@@ -35,6 +35,7 @@ var Registry = map[string]Runner{
 	"table12":   RunTable12,
 	"buildtime": RunBuildTime,
 	"inference": RunInference,
+	"sharding":  RunSharding,
 }
 
 // Names returns all experiment ids in sorted order.

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"setlearn/internal/deepsets"
+	"setlearn/internal/sets"
+)
+
+// The query interfaces decouple consumers of the three learned structures
+// (internal/server, the CLIs) from the concrete container answering them:
+// the monolithic structures built by this package and the sharded
+// containers of internal/shard implement the same surface, including the
+// batched fast-path forms and per-structure φ-acceleration control, so a
+// server can serve either without knowing how the collection was
+// partitioned.
+
+// IndexQuerier is the query surface of a learned set index (§4.1).
+type IndexQuerier interface {
+	// Lookup returns the first position i with q ⊆ S[i], or -1.
+	Lookup(q sets.Set) int
+	// LookupEqual returns the first position with S[i] exactly q, or -1.
+	LookupEqual(q sets.Set) int
+	// LookupBatch answers every query in qs through the fused batch path.
+	LookupBatch(dst []int, qs []sets.Set, equal bool) []int
+	// Insert registers a set appended to the collection at position pos
+	// without retraining (§7.2).
+	Insert(s sets.Set, pos int)
+	// EnableFastPath (re)configures φ acceleration and reports the mode.
+	EnableFastPath(o FastPathOptions) string
+	// PhiStats reports φ accel counters; ok is false when uncached.
+	PhiStats() (deepsets.AccelStats, bool)
+	// MaxID returns the largest element id the structure accepts.
+	MaxID() uint32
+	// SizeBytes returns the total structure footprint.
+	SizeBytes() int
+}
+
+// CardinalityQuerier is the query surface of a cardinality estimator (§4.2).
+type CardinalityQuerier interface {
+	// Estimate returns the estimated number of sets containing q.
+	Estimate(q sets.Set) float64
+	// EstimateBatch answers every query in qs through the fused batch path.
+	EstimateBatch(dst []float64, qs []sets.Set) []float64
+	// Update records an exact cardinality served henceforth (§7.2).
+	Update(q sets.Set, card float64)
+	EnableFastPath(o FastPathOptions) string
+	PhiStats() (deepsets.AccelStats, bool)
+	MaxID() uint32
+	SizeBytes() int
+}
+
+// MembershipQuerier is the query surface of a membership filter (§4.3).
+type MembershipQuerier interface {
+	// Contains reports whether q may be a subset of some set (no false
+	// negatives within the trained size cap).
+	Contains(q sets.Set) bool
+	// ContainsBatch answers many queries, fanning out across workers.
+	ContainsBatch(qs []sets.Set, workers int) []bool
+	EnableFastPath(o FastPathOptions) string
+	PhiStats() (deepsets.AccelStats, bool)
+	MaxID() uint32
+	SizeBytes() int
+}
+
+// The monolithic structures satisfy the interfaces.
+var (
+	_ IndexQuerier       = (*SetIndex)(nil)
+	_ CardinalityQuerier = (*CardinalityEstimator)(nil)
+	_ MembershipQuerier  = (*MembershipFilter)(nil)
+)
+
+// ShardStat describes one shard of a partitioned container — the per-shard
+// slice of the setlearn.shard.* expvar output.
+type ShardStat struct {
+	Shard   int    `json:"shard"`
+	Sets    int    `json:"sets"`     // sets owned by the shard
+	Bytes   int    `json:"bytes"`    // shard structure footprint
+	Queries uint64 `json:"queries"`  // fan-out queries routed to the shard
+	PhiMode string `json:"phi_mode"` // "table", "cache", or "off"
+}
+
+// ShardStatser is implemented by partitioned containers that can report
+// per-shard statistics; the server publishes them under setlearn.shard.*.
+type ShardStatser interface {
+	ShardStats() []ShardStat
+}

@@ -29,6 +29,7 @@ var Analyzer = &analysis.Analyzer{
 	Scope: []string{
 		"setlearn/internal/hybrid",
 		"setlearn/internal/server",
+		"setlearn/internal/shard",
 	},
 	Run: run,
 }

@@ -110,3 +110,26 @@ func publishPhi(name string, fn func() any) {
 	}
 	phiFns[name] = fn
 }
+
+// Per-shard stats for partitioned containers, published as
+// setlearn.shard.<name> (a list with one entry per shard: sets, bytes,
+// queries routed, φ mode). Registered once per name with a swappable
+// closure, like the φ stats above; monolithic structures render as [].
+var (
+	shardMu  sync.Mutex
+	shardFns = map[string]func() any{}
+)
+
+func publishShard(name string, fn func() any) {
+	shardMu.Lock()
+	defer shardMu.Unlock()
+	if _, ok := shardFns[name]; !ok {
+		expvar.Publish("setlearn.shard."+name, expvar.Func(func() any {
+			shardMu.Lock()
+			f := shardFns[name]
+			shardMu.Unlock()
+			return f()
+		}))
+	}
+	shardFns[name] = fn
+}

@@ -44,12 +44,27 @@ func phiStatsVar(stats func() (deepsets.AccelStats, bool)) func() any {
 	}
 }
 
-// Structures bundles the trained structures to serve. Any field may be nil;
-// its endpoint then answers 503.
+// shardStatsVar adapts a served structure into the setlearn.shard.<name>
+// expvar: the live per-shard slice for partitioned containers, an empty
+// list for monolithic structures.
+func shardStatsVar(st any) func() any {
+	return func() any {
+		if ss, ok := st.(core.ShardStatser); ok {
+			return ss.ShardStats()
+		}
+		return []core.ShardStat{}
+	}
+}
+
+// Structures bundles the trained structures to serve. The fields are the
+// core query interfaces, so a monolithic build and a sharded container
+// (internal/shard) serve identically; partitioned structures additionally
+// publish per-shard stats under setlearn.shard.*. Any field may be nil; its
+// endpoint then answers 503.
 type Structures struct {
-	Index     *core.SetIndex
-	Estimator *core.CardinalityEstimator
-	Filter    *core.MembershipFilter
+	Index     core.IndexQuerier
+	Estimator core.CardinalityQuerier
+	Filter    core.MembershipQuerier
 }
 
 // Config tunes the HTTP server.
@@ -95,12 +110,15 @@ func New(st Structures, cfg Config) (*Server, error) {
 	}
 	if st.Estimator != nil {
 		publishPhi("card", phiStatsVar(st.Estimator.PhiStats))
+		publishShard("card", shardStatsVar(st.Estimator))
 	}
 	if st.Index != nil {
 		publishPhi("index", phiStatsVar(st.Index.PhiStats))
+		publishShard("index", shardStatsVar(st.Index))
 	}
 	if st.Filter != nil {
 		publishPhi("member", phiStatsVar(st.Filter.PhiStats))
+		publishShard("member", shardStatsVar(st.Filter))
 	}
 	cfg.applyDefaults()
 	s := &Server{st: st, cfg: cfg, addr: make(chan net.Addr, 1)}

@@ -1,0 +1,250 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"setlearn/internal/core"
+	"setlearn/internal/sets"
+)
+
+// TestShardedConcurrentQueryInsert mirrors internal/core's concurrency
+// battery: 64 goroutines hammer a sharded index and estimator while writer
+// goroutines route Insert/Update to the owning shards. With -race this
+// proves the container lock discipline: queries hold the read lock across
+// the fan-out, inserts take the write lock to grow the owning shard's
+// sub-collection and local→global map.
+//
+// Trained-subset answers are exact and must stay exact throughout: Insert
+// only adds aux entries for subsets with no existing hit, and Update here
+// only touches out-of-vocabulary keys.
+func TestShardedConcurrentQueryInsert(t *testing.T) {
+	base, st := testCollection(t)
+	// A private copy: Insert appends to the collection the container serves.
+	c := sets.NewCollection(append([]sets.Set(nil), base.Sets...))
+	idx, err := BuildShardedIndex(c, Options{Shards: 4, Partitioner: HashBySet}, core.IndexOptions{
+		Model: testModel(), MaxSubset: testMaxSubset, Percentile: 90,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := BuildShardedEstimator(c, Options{Shards: 4, Partitioner: HashBySet}, core.EstimatorOptions{
+		Model: testModel(), MaxSubset: testMaxSubset, Percentile: 90,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keys := sampleKeys(st, 5)
+	queries := make([]sets.Set, len(keys))
+	firstPos := make([]int, len(keys))
+	estTruth := make([]float64, len(keys))
+	for i, key := range keys {
+		queries[i] = st.ByKey[key].Set
+		firstPos[i] = st.ByKey[key].FirstPos
+		estTruth[i] = est.Estimate(queries[i])
+	}
+
+	maxID := c.MaxID()
+	baseLen := c.Len()
+	var insertMu sync.Mutex // serializes collection Append with position handout
+
+	const goroutines, perG = 64, 60
+	inserted := make(map[int]sets.Set) // pos → set, for the post-check
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := (g*37 + i) % len(queries)
+				switch g % 8 {
+				case 0: // writer: insert a fresh set with unseen elements
+					s := sets.New(maxID+1+uint32(g*perG+i)*2, maxID+2+uint32(g*perG+i)*2)
+					insertMu.Lock()
+					pos := c.Append(s)
+					inserted[pos] = s
+					insertMu.Unlock()
+					idx.Insert(s, pos)
+				case 1: // writer: record exact cardinalities for unseen keys
+					est.Update(sets.New(maxID+1+uint32(g*perG+i)*2), float64(i))
+				case 2: // batched index reads
+					got := idx.LookupBatch(nil, queries, false)
+					for j := range queries {
+						if got[j] != firstPos[j] {
+							t.Errorf("LookupBatch(%v) = %d, want %d", queries[j], got[j], firstPos[j])
+							return
+						}
+					}
+					i += len(queries) - 1
+				case 3: // batched estimator reads
+					got := est.EstimateBatch(nil, queries)
+					for j := range queries {
+						if got[j] != estTruth[j] {
+							t.Errorf("EstimateBatch(%v) = %g, want %g", queries[j], got[j], estTruth[j])
+							return
+						}
+					}
+					i += len(queries) - 1
+				case 4, 5: // single index reads
+					if got := idx.Lookup(queries[k]); got != firstPos[k] {
+						t.Errorf("Lookup(%v) = %d, want %d", queries[k], got, firstPos[k])
+						return
+					}
+				default: // single estimator reads
+					if got := est.Estimate(queries[k]); got != estTruth[k] {
+						t.Errorf("Estimate(%v) = %g, want %g", queries[k], got, estTruth[k])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Every inserted set must now be findable at its position, via the aux
+	// path of its owning shard.
+	if len(inserted) == 0 {
+		t.Fatal("no inserts ran")
+	}
+	for pos, s := range inserted {
+		if pos < baseLen {
+			t.Fatalf("insert landed at pre-existing position %d", pos)
+		}
+		if got := idx.Lookup(s); got != pos {
+			t.Fatalf("inserted set %v: Lookup = %d, want %d", s, got, pos)
+		}
+	}
+}
+
+// TestShardedConcurrentFilter fires the same goroutine battery at the
+// (immutable, lock-free) filter container.
+func TestShardedConcurrentFilter(t *testing.T) {
+	_, st := testCollection(t)
+	sf := shardedFilter(t, 4, HashBySet)
+	keys := sampleKeys(st, 5)
+	queries := make([]sets.Set, len(keys))
+	truth := make([]bool, len(keys))
+	for i, key := range keys {
+		queries[i] = st.ByKey[key].Set
+		truth[i] = sf.Contains(queries[i])
+	}
+	const goroutines, perG = 64, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := (g*53 + i) % len(queries)
+				if got := sf.Contains(queries[k]); got != truth[k] {
+					t.Errorf("Contains(%v) = %v, serial %v", queries[k], got, truth[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestShardedPanicContainment injects a panic into one shard's dispatch
+// path and requires (a) the container query panics — the failure is not
+// silently swallowed; (b) in the batch fan-out, every other shard still
+// runs to completion; and (c) once the injection is removed, all shards
+// answer exactly as before — the panicking shard's pooled predictors were
+// returned by their deferred Puts (the poolpair invariant), so nothing is
+// poisoned.
+func TestShardedPanicContainment(t *testing.T) {
+	_, st := testCollection(t)
+	keys := sampleKeys(st, 9)
+	var qs []sets.Set
+	for _, key := range keys {
+		qs = append(qs, st.ByKey[key].Set)
+	}
+
+	se := shardedEstimator(t, 4, HashBySet)
+	defer func() { se.hook = nil }()
+	truth := make([]float64, len(qs))
+	for i, q := range qs {
+		truth[i] = se.Estimate(q)
+	}
+	before := make([]uint64, 4)
+	for s := range before {
+		before[s] = se.queries[s].Load()
+	}
+
+	se.hook = func(s int) {
+		if s == 1 {
+			panic("injected shard panic")
+		}
+	}
+	mustPanic(t, "single-query fan-out", func() { se.Estimate(qs[0]) })
+	mustPanic(t, "batch fan-out", func() { se.EstimateBatch(nil, qs) })
+
+	// The batch fan-out must have dispatched the whole batch to every
+	// non-panicking shard even while shard 1 was down.
+	for s := 0; s < 4; s++ {
+		if s == 1 {
+			continue
+		}
+		if got := se.queries[s].Load(); got < before[s]+uint64(len(qs)) {
+			t.Fatalf("shard %d only reached %d queries (started at %d): fan-out did not complete",
+				s, got, before[s])
+		}
+	}
+
+	se.hook = nil
+	for i, q := range qs {
+		if got := se.Estimate(q); got != truth[i] {
+			t.Fatalf("after panic: Estimate(%v) = %g, want %g — shard state poisoned", q, got, truth[i])
+		}
+	}
+	batch := se.EstimateBatch(nil, qs)
+	for i := range qs {
+		if batch[i] != truth[i] {
+			t.Fatalf("after panic: EstimateBatch[%d] = %g, want %g", i, batch[i], truth[i])
+		}
+	}
+
+	// Same discipline on the index and filter containers.
+	sx := shardedIndex(t, 4, HashBySet)
+	defer func() { sx.hook = nil }()
+	idxTruth := make([]int, len(qs))
+	for i, q := range qs {
+		idxTruth[i] = sx.Lookup(q)
+	}
+	sx.hook = func(s int) {
+		if s == 2 {
+			panic("injected shard panic")
+		}
+	}
+	mustPanic(t, "index batch fan-out", func() { sx.LookupBatch(nil, qs, false) })
+	sx.hook = nil
+	for i, q := range qs {
+		if got := sx.Lookup(q); got != idxTruth[i] {
+			t.Fatalf("after panic: Lookup(%v) = %d, want %d", q, got, idxTruth[i])
+		}
+	}
+
+	sf := shardedFilter(t, 4, HashBySet)
+	defer func() { sf.hook = nil }()
+	fltTruth := make([]bool, len(qs))
+	for i, q := range qs {
+		fltTruth[i] = sf.Contains(q)
+	}
+	sf.hook = func(s int) {
+		if s == 3 {
+			panic("injected shard panic")
+		}
+	}
+	mustPanic(t, "filter batch fan-out", func() { sf.ContainsBatch(qs, 2) })
+	sf.hook = nil
+	for i, q := range qs {
+		if got := sf.Contains(q); got != fltTruth[i] {
+			t.Fatalf("after panic: Contains(%v) = %v, want %v", q, got, fltTruth[i])
+		}
+	}
+}

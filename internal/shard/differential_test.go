@@ -1,0 +1,212 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"setlearn/internal/sets"
+)
+
+// The differential suite checks sharded fan-in answers against the
+// monolithic build and the linear-scan ground truth for every K in testKs
+// and both partitioners.
+//
+// What must hold, structurally (independent of model quality):
+//
+//   - index: for queries within the trained subset cap, every shard answers
+//     its local first occurrence exactly (the hybrid guarantee), so the
+//     fan-in min equals the global first position — the monolith's answer.
+//     For arbitrary queries any non-(-1) answer must be a real occurrence
+//     (per-shard window scans only return real matches).
+//   - estimator: per-shard truths sum to the global cardinality, so the
+//     fan-in sum is within Σ per-shard measured bounds of the truth.
+//   - filter: the shard owning a positive query answers true, so the OR has
+//     no false negatives within the size cap.
+
+func TestDifferentialIndex(t *testing.T) {
+	c, st := testCollection(t)
+	mono := monoIndex(t)
+	keys := sampleKeys(st, 5)
+	forEachConfig(t, func(t *testing.T, k int, p Partitioner) {
+		sx := shardedIndex(t, k, p)
+		if sx.NumShards() != k || sx.Partitioner() != p {
+			t.Fatalf("container reports K=%d %s", sx.NumShards(), sx.Partitioner())
+		}
+		for _, key := range keys {
+			info := st.ByKey[key]
+			got := sx.Lookup(info.Set)
+			if got != info.FirstPos {
+				t.Fatalf("Lookup(%v) = %d, want first position %d", info.Set, got, info.FirstPos)
+			}
+			if mg := mono.Lookup(info.Set); got != mg {
+				t.Fatalf("Lookup(%v) = %d, monolith %d", info.Set, got, mg)
+			}
+		}
+		// Arbitrary (untrained-size) queries: any hit must be a real
+		// occurrence — the shard's scan window contained it.
+		for i := 0; i < c.Len(); i += 11 {
+			s := c.At(i)
+			if len(s) < 3 {
+				continue
+			}
+			q := sets.New(s[0], s[len(s)/2], s[len(s)-1])
+			if got := sx.Lookup(q); got >= 0 && !c.At(got).ContainsAll(q) {
+				t.Fatalf("Lookup(%v) = %d but the set there does not contain it", q, got)
+			}
+		}
+		// Equality search: exact for every full set (WithFull training).
+		for i := 0; i < c.Len(); i += 13 {
+			s := c.At(i)
+			want := -1
+			for j := 0; j < c.Len(); j++ {
+				if c.At(j).Equal(s) {
+					want = j
+					break
+				}
+			}
+			if got := sx.LookupEqual(s); got != want {
+				t.Fatalf("LookupEqual(%v) = %d, want %d", s, got, want)
+			}
+		}
+		// Degenerate queries mirror the monolith.
+		if got := sx.Lookup(sets.New()); got != -1 {
+			t.Fatalf("empty query = %d, want -1", got)
+		}
+		if got := sx.Lookup(sets.New(c.MaxID() + 9)); got != -1 {
+			t.Fatalf("out-of-vocabulary query = %d, want -1", got)
+		}
+	})
+}
+
+func TestDifferentialIndexBatch(t *testing.T) {
+	_, st := testCollection(t)
+	keys := sampleKeys(st, 7)
+	var qs []sets.Set
+	for _, key := range keys {
+		qs = append(qs, st.ByKey[key].Set)
+	}
+	forEachConfig(t, func(t *testing.T, k int, p Partitioner) {
+		sx := shardedIndex(t, k, p)
+		got := sx.LookupBatch(nil, qs, false)
+		for i, q := range qs {
+			if want := sx.Lookup(q); got[i] != want {
+				t.Fatalf("LookupBatch[%d](%v) = %d, per-query %d", i, q, got[i], want)
+			}
+		}
+		gotEq := sx.LookupBatch(nil, qs, true)
+		for i, q := range qs {
+			if want := sx.LookupEqual(q); gotEq[i] != want {
+				t.Fatalf("LookupBatch equal[%d](%v) = %d, per-query %d", i, q, gotEq[i], want)
+			}
+		}
+	})
+}
+
+func TestDifferentialEstimator(t *testing.T) {
+	_, st := testCollection(t)
+	keys := sampleKeys(st, 3)
+	forEachConfig(t, func(t *testing.T, k int, p Partitioner) {
+		se := shardedEstimator(t, k, p)
+		bound, ok := se.CombinedErrorBound()
+		if !ok {
+			t.Fatal("MeasureBounds build reports no combined bound")
+		}
+		if bound < 0 {
+			t.Fatalf("negative combined bound %g", bound)
+		}
+		for _, key := range keys {
+			info := st.ByKey[key]
+			got := se.Estimate(info.Set)
+			if d := math.Abs(got - float64(info.Card)); d > bound+1e-9 {
+				t.Fatalf("Estimate(%v) = %g, truth %d: error %g exceeds combined bound %g",
+					info.Set, got, info.Card, d, bound)
+			}
+		}
+		if got := se.Estimate(sets.New()); got != 0 {
+			t.Fatalf("empty query estimate = %g, want 0", got)
+		}
+	})
+}
+
+func TestDifferentialEstimatorBatch(t *testing.T) {
+	c, st := testCollection(t)
+	keys := sampleKeys(st, 9)
+	qs := []sets.Set{sets.New(), sets.New(c.MaxID() + 4)}
+	for _, key := range keys {
+		qs = append(qs, st.ByKey[key].Set)
+	}
+	forEachConfig(t, func(t *testing.T, k int, p Partitioner) {
+		se := shardedEstimator(t, k, p)
+		got := se.EstimateBatch(nil, qs)
+		for i, q := range qs {
+			if want := se.Estimate(q); got[i] != want {
+				t.Fatalf("EstimateBatch[%d](%v) = %g, per-query %g", i, q, got[i], want)
+			}
+		}
+	})
+}
+
+func TestDifferentialFilter(t *testing.T) {
+	c, st := testCollection(t)
+	keys := sampleKeys(st, 3)
+	forEachConfig(t, func(t *testing.T, k int, p Partitioner) {
+		sf := shardedFilter(t, k, p)
+		for _, key := range keys {
+			if !sf.Contains(st.ByKey[key].Set) {
+				t.Fatalf("false negative for trained subset %v", st.ByKey[key].Set)
+			}
+		}
+		if !sf.Contains(sets.New()) {
+			t.Fatal("empty query must be contained")
+		}
+		if sf.Contains(sets.New(c.MaxID() + 17)) {
+			t.Fatal("out-of-vocabulary query must be rejected")
+		}
+	})
+}
+
+func TestDifferentialFilterBatch(t *testing.T) {
+	c, st := testCollection(t)
+	keys := sampleKeys(st, 6)
+	qs := []sets.Set{sets.New(), sets.New(c.MaxID() + 21)}
+	for _, key := range keys {
+		qs = append(qs, st.ByKey[key].Set)
+	}
+	forEachConfig(t, func(t *testing.T, k int, p Partitioner) {
+		sf := shardedFilter(t, k, p)
+		got := sf.ContainsBatch(qs, 3)
+		for i, q := range qs {
+			if want := sf.Contains(q); got[i] != want {
+				t.Fatalf("ContainsBatch[%d](%v) = %v, per-query %v", i, q, got[i], want)
+			}
+		}
+	})
+}
+
+// TestDifferentialShardStats sanity-checks the per-shard accounting every
+// configuration exposes to the server.
+func TestDifferentialShardStats(t *testing.T) {
+	c, _ := testCollection(t)
+	forEachConfig(t, func(t *testing.T, k int, p Partitioner) {
+		sx := shardedIndex(t, k, p)
+		stats := sx.ShardStats()
+		if len(stats) != k {
+			t.Fatalf("ShardStats returned %d entries for K=%d", len(stats), k)
+		}
+		total := 0
+		for s, st := range stats {
+			if st.Shard != s {
+				t.Fatalf("stats[%d].Shard = %d", s, st.Shard)
+			}
+			total += st.Sets
+		}
+		if total != c.Len() {
+			t.Fatalf("shard sizes sum to %d, collection has %d", total, c.Len())
+		}
+		for _, bs := range sx.BuildStats() {
+			if bs.Sets > 0 && bs.Bytes <= 0 {
+				t.Fatalf("shard %d built %d sets but reports %d bytes", bs.Shard, bs.Sets, bs.Bytes)
+			}
+		}
+	})
+}

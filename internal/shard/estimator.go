@@ -1,0 +1,323 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"setlearn/internal/core"
+	"setlearn/internal/dataset"
+	"setlearn/internal/deepsets"
+	"setlearn/internal/sets"
+)
+
+// Estimator is a K-way partitioned CardinalityEstimator. Every set lives in
+// exactly one shard, so the true global cardinality of a query decomposes as
+// the sum of per-shard cardinalities — the fan-in is a plain sum of shard
+// estimates. Update cannot be decomposed the same way (a global count says
+// nothing about its per-shard split), so exact overrides live in a
+// container-level auxiliary map consulted before the fan-out, mirroring the
+// monolith's outlier list.
+type Estimator struct {
+	mu      sync.RWMutex
+	shards  []*core.CardinalityEstimator // nil for shards that received no sets
+	k       int
+	part    Partitioner
+	maxSub  int
+	maxID   uint32
+	aux     map[string]float64 // query key → exact cardinality (Update)
+	bounds  []float64          // per-shard measured error bounds, nil unless measured
+	stats   []BuildStat
+	sizes   []int // sets per shard
+	queries []atomic.Uint64
+
+	// hook, when non-nil, runs at the start of every per-shard dispatch.
+	// Test-only; set before use, never concurrently.
+	hook func(shard int)
+}
+
+var (
+	_ core.CardinalityQuerier = (*Estimator)(nil)
+	_ core.ShardStatser       = (*Estimator)(nil)
+)
+
+// BuildShardedEstimator partitions c and builds one CardinalityEstimator
+// per shard in parallel on a bounded worker pool. With o.MeasureBounds set,
+// each shard's maximum absolute error over the global trained-subset
+// workload is measured after its build; CombinedErrorBound then reports the
+// sum, which bounds |fan-in estimate − truth| on that workload by the
+// triangle inequality.
+func BuildShardedEstimator(c *sets.Collection, o Options, opts core.EstimatorOptions) (*Estimator, error) {
+	if err := validate(c); err != nil {
+		return nil, err
+	}
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxSubset == 0 {
+		opts.MaxSubset = 3
+	}
+	subs, _ := partition(c, o.Shards, o.Partitioner)
+	opts.Model = ScaleModel(opts.Model, o.Shards, o.Scaling)
+
+	var workload *dataset.SubsetStats
+	if o.MeasureBounds {
+		workload = dataset.CollectSubsets(c, opts.MaxSubset)
+	}
+
+	e := &Estimator{
+		shards:  make([]*core.CardinalityEstimator, o.Shards),
+		k:       o.Shards,
+		part:    o.Partitioner,
+		maxSub:  opts.MaxSubset,
+		maxID:   c.MaxID(),
+		aux:     make(map[string]float64),
+		stats:   make([]BuildStat, o.Shards),
+		sizes:   make([]int, o.Shards),
+		queries: make([]atomic.Uint64, o.Shards),
+	}
+	if o.MeasureBounds {
+		e.bounds = make([]float64, o.Shards)
+	}
+	baseSeed := opts.Model.Seed
+	err = runBounded(o.Shards, o.Parallelism, func(s int) error {
+		e.sizes[s] = subs[s].Len()
+		e.stats[s] = BuildStat{Shard: s, Sets: subs[s].Len()}
+		if subs[s].Len() == 0 {
+			return nil
+		}
+		so := opts
+		so.Model.Seed = baseSeed + int64(s)
+		t0 := time.Now()
+		est, err := core.BuildEstimator(subs[s], so)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		e.shards[s] = est
+		e.stats[s].BuildSecs = time.Since(t0).Seconds()
+		e.stats[s].Bytes = est.SizeBytes()
+		if o.MeasureBounds {
+			e.bounds[s] = measureShardBound(est, subs[s], workload, opts.MaxSubset)
+			e.stats[s].ErrBound = e.bounds[s]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// measureShardBound returns max over the global workload of
+// |shard estimate − shard truth|, where shard truth is the query's
+// cardinality within the shard's sub-collection (0 when absent). Because
+// per-shard truths sum to the global cardinality for every workload query,
+// these bounds compose additively across shards.
+func measureShardBound(est *core.CardinalityEstimator, sub *sets.Collection, workload *dataset.SubsetStats, maxSubset int) float64 {
+	local := dataset.CollectSubsets(sub, maxSubset)
+	var bound float64
+	for _, key := range workload.Keys {
+		var truth float64
+		if info, ok := local.ByKey[key]; ok {
+			truth = float64(info.Card)
+		}
+		if d := math.Abs(est.Estimate(workload.ByKey[key].Set) - truth); d > bound {
+			bound = d
+		}
+	}
+	return bound
+}
+
+// estimateShard returns one shard's contribution to the fan-in sum. Caller
+// holds at least the read lock.
+func (e *Estimator) estimateShard(s int, q sets.Set) float64 {
+	if e.hook != nil {
+		e.hook(s)
+	}
+	e.queries[s].Add(1)
+	if e.shards[s] == nil {
+		return 0
+	}
+	return e.shards[s].Estimate(q)
+}
+
+// Estimate returns the estimated number of sets containing q: an exact
+// override when one was recorded by Update, otherwise the sum of per-shard
+// estimates. Empty queries return 0, as in the monolith.
+func (e *Estimator) Estimate(q sets.Set) float64 {
+	if len(q) == 0 {
+		return 0
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if v, ok := e.aux[q.Key()]; ok {
+		return v
+	}
+	total := 0.0
+	for s := 0; s < e.k; s++ {
+		total += e.estimateShard(s, q)
+	}
+	return total
+}
+
+// EstimateBatch answers every query in qs into dst (grown as needed,
+// returned). Exact overrides and empty queries are answered up front; the
+// rest fan out to every shard's fused batch path concurrently and fan in
+// by summation.
+func (e *Estimator) EstimateBatch(dst []float64, qs []sets.Set) []float64 {
+	if cap(dst) < len(qs) {
+		dst = make([]float64, len(qs))
+	} else {
+		dst = dst[:len(qs)]
+	}
+	if len(qs) == 0 {
+		return dst
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	need := make([]sets.Set, 0, len(qs))
+	needAt := make([]int, 0, len(qs))
+	for i, q := range qs {
+		if len(q) == 0 {
+			dst[i] = 0
+			continue
+		}
+		if v, ok := e.aux[q.Key()]; ok {
+			dst[i] = v
+			continue
+		}
+		need = append(need, q)
+		needAt = append(needAt, i)
+	}
+	if len(need) == 0 {
+		return dst
+	}
+	per := make([][]float64, e.k)
+	fanOut(e.k, func(s int) {
+		if e.hook != nil {
+			e.hook(s)
+		}
+		e.queries[s].Add(uint64(len(need)))
+		if e.shards[s] == nil {
+			return
+		}
+		per[s] = e.shards[s].EstimateBatch(nil, need)
+	})
+	for j := range need {
+		total := 0.0
+		for s := 0; s < e.k; s++ {
+			if per[s] != nil {
+				total += per[s][j]
+			}
+		}
+		dst[needAt[j]] = total
+	}
+	return dst
+}
+
+// Update records an exact cardinality for q, served from the container's
+// auxiliary map thereafter (a global count has no canonical per-shard
+// split, so it is not pushed down).
+func (e *Estimator) Update(q sets.Set, card float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.aux[q.Key()] = card
+}
+
+// CombinedErrorBound returns Σ per-shard measured bounds; ok is false when
+// the build did not measure them (MeasureBounds unset or the container was
+// loaded from disk without bounds).
+func (e *Estimator) CombinedErrorBound() (float64, bool) {
+	if e.bounds == nil {
+		return 0, false
+	}
+	total := 0.0
+	for _, b := range e.bounds {
+		total += b
+	}
+	return total, true
+}
+
+// EnableFastPath (re)configures φ acceleration on every shard.
+func (e *Estimator) EnableFastPath(o core.FastPathOptions) string {
+	mode := ""
+	for _, sh := range e.shards {
+		if sh != nil {
+			mode = mergeMode(mode, sh.EnableFastPath(o))
+		}
+	}
+	if mode == "" {
+		mode = "off"
+	}
+	return mode
+}
+
+// PhiStats aggregates the per-shard φ accel counters.
+func (e *Estimator) PhiStats() (deepsets.AccelStats, bool) {
+	ps := make([]phiStatser, 0, e.k)
+	for _, sh := range e.shards {
+		if sh != nil {
+			ps = append(ps, sh)
+		}
+	}
+	return aggregatePhi(ps)
+}
+
+// MaxID returns the largest element id in the partitioned collection.
+func (e *Estimator) MaxID() uint32 { return e.maxID }
+
+// MaxSubset returns the trained subset-size cap shared by all shards.
+func (e *Estimator) MaxSubset() int { return e.maxSub }
+
+// NumShards returns K.
+func (e *Estimator) NumShards() int { return e.k }
+
+// Partitioner returns the partitioning scheme.
+func (e *Estimator) Partitioner() Partitioner { return e.part }
+
+// SizeBytes sums the per-shard footprints plus the override map.
+func (e *Estimator) SizeBytes() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	total := 0
+	for _, sh := range e.shards {
+		if sh != nil {
+			total += sh.SizeBytes()
+		}
+	}
+	for k := range e.aux {
+		total += len(k) + 8
+	}
+	return total
+}
+
+// BuildStats returns a copy of the per-shard build statistics.
+func (e *Estimator) BuildStats() []BuildStat {
+	out := make([]BuildStat, len(e.stats))
+	copy(out, e.stats)
+	return out
+}
+
+// ShardStats reports the per-shard serving statistics.
+func (e *Estimator) ShardStats() []core.ShardStat {
+	out := make([]core.ShardStat, e.k)
+	for s := 0; s < e.k; s++ {
+		st := core.ShardStat{
+			Shard:   s,
+			Sets:    e.sizes[s],
+			Queries: e.queries[s].Load(),
+			PhiMode: "off",
+		}
+		if sh := e.shards[s]; sh != nil {
+			st.Bytes = sh.SizeBytes()
+			if ps, ok := sh.PhiStats(); ok {
+				st.PhiMode = ps.Mode
+			}
+		}
+		out[s] = st
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"setlearn/internal/core"
+	"setlearn/internal/deepsets"
+	"setlearn/internal/sets"
+)
+
+// Filter is a K-way partitioned MembershipFilter. A query is a subset of
+// some set in the collection iff it is a subset of some set in one of the
+// shards, so the fan-in is a short-circuiting OR. Each shard keeps the
+// monolith's guarantee over its own sub-collection — no false negatives
+// within the trained size cap — and OR preserves it: the shard owning a
+// positive query answers true.
+//
+// The filter is immutable after build, so queries need no container lock;
+// per-shard predictor pools make each shard safe for concurrent use.
+type Filter struct {
+	shards  []*core.MembershipFilter // nil for shards that received no sets
+	k       int
+	part    Partitioner
+	maxSub  int
+	maxID   uint32
+	stats   []BuildStat
+	sizes   []int
+	queries []atomic.Uint64
+
+	// hook, when non-nil, runs at the start of every per-shard dispatch.
+	// Test-only; set before use, never concurrently.
+	hook func(shard int)
+}
+
+var (
+	_ core.MembershipQuerier = (*Filter)(nil)
+	_ core.ShardStatser      = (*Filter)(nil)
+)
+
+// BuildShardedFilter partitions c and builds one MembershipFilter per shard
+// in parallel on a bounded worker pool with per-shard error aggregation.
+func BuildShardedFilter(c *sets.Collection, o Options, opts core.FilterOptions) (*Filter, error) {
+	if err := validate(c); err != nil {
+		return nil, err
+	}
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxSubset == 0 {
+		opts.MaxSubset = 3
+	}
+	subs, _ := partition(c, o.Shards, o.Partitioner)
+	opts.Model = ScaleModel(opts.Model, o.Shards, o.Scaling)
+
+	f := &Filter{
+		shards:  make([]*core.MembershipFilter, o.Shards),
+		k:       o.Shards,
+		part:    o.Partitioner,
+		maxSub:  opts.MaxSubset,
+		maxID:   c.MaxID(),
+		stats:   make([]BuildStat, o.Shards),
+		sizes:   make([]int, o.Shards),
+		queries: make([]atomic.Uint64, o.Shards),
+	}
+	baseSeed := opts.Model.Seed
+	err = runBounded(o.Shards, o.Parallelism, func(s int) error {
+		f.sizes[s] = subs[s].Len()
+		f.stats[s] = BuildStat{Shard: s, Sets: subs[s].Len()}
+		if subs[s].Len() == 0 {
+			return nil
+		}
+		so := opts
+		so.Model.Seed = baseSeed + int64(s)
+		t0 := time.Now()
+		flt, err := core.BuildMembershipFilter(subs[s], so)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		f.shards[s] = flt
+		f.stats[s].BuildSecs = time.Since(t0).Seconds()
+		f.stats[s].Bytes = flt.SizeBytes()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Contains reports whether q may be a subset of some set in the collection,
+// OR-ing the shards with short-circuit. No false negatives occur for
+// subsets within the trained size cap.
+func (f *Filter) Contains(q sets.Set) bool {
+	if len(q) == 0 {
+		return true // the empty set is a subset of everything
+	}
+	for s := 0; s < f.k; s++ {
+		if f.hook != nil {
+			f.hook(s)
+		}
+		f.queries[s].Add(1)
+		if f.shards[s] != nil && f.shards[s].Contains(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsBatch answers many membership queries. The shard fan-out is the
+// parallelism axis: every shard runs the whole batch through its fused
+// path concurrently, and answers fan in by OR. The workers parameter is
+// accepted for interface parity with the monolith and ignored.
+func (f *Filter) ContainsBatch(qs []sets.Set, workers int) []bool {
+	_ = workers
+	out := make([]bool, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	per := make([][]bool, f.k)
+	fanOut(f.k, func(s int) {
+		if f.hook != nil {
+			f.hook(s)
+		}
+		f.queries[s].Add(uint64(len(qs)))
+		if f.shards[s] == nil {
+			return
+		}
+		per[s] = f.shards[s].ContainsBatch(qs, 1)
+	})
+	for i := range qs {
+		if len(qs[i]) == 0 {
+			out[i] = true
+			continue
+		}
+		for s := 0; s < f.k; s++ {
+			if per[s] != nil && per[s][i] {
+				out[i] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// EnableFastPath (re)configures φ acceleration on every shard.
+func (f *Filter) EnableFastPath(o core.FastPathOptions) string {
+	mode := ""
+	for _, sh := range f.shards {
+		if sh != nil {
+			mode = mergeMode(mode, sh.EnableFastPath(o))
+		}
+	}
+	if mode == "" {
+		mode = "off"
+	}
+	return mode
+}
+
+// PhiStats aggregates the per-shard φ accel counters.
+func (f *Filter) PhiStats() (deepsets.AccelStats, bool) {
+	ps := make([]phiStatser, 0, f.k)
+	for _, sh := range f.shards {
+		if sh != nil {
+			ps = append(ps, sh)
+		}
+	}
+	return aggregatePhi(ps)
+}
+
+// MaxID returns the largest element id in the partitioned collection.
+func (f *Filter) MaxID() uint32 { return f.maxID }
+
+// MaxSubset returns the trained subset-size cap shared by all shards.
+func (f *Filter) MaxSubset() int { return f.maxSub }
+
+// NumShards returns K.
+func (f *Filter) NumShards() int { return f.k }
+
+// Partitioner returns the partitioning scheme.
+func (f *Filter) Partitioner() Partitioner { return f.part }
+
+// SizeBytes sums the per-shard footprints.
+func (f *Filter) SizeBytes() int {
+	total := 0
+	for _, sh := range f.shards {
+		if sh != nil {
+			total += sh.SizeBytes()
+		}
+	}
+	return total
+}
+
+// BuildStats returns a copy of the per-shard build statistics.
+func (f *Filter) BuildStats() []BuildStat {
+	out := make([]BuildStat, len(f.stats))
+	copy(out, f.stats)
+	return out
+}
+
+// ShardStats reports the per-shard serving statistics.
+func (f *Filter) ShardStats() []core.ShardStat {
+	out := make([]core.ShardStat, f.k)
+	for s := 0; s < f.k; s++ {
+		st := core.ShardStat{
+			Shard:   s,
+			Sets:    f.sizes[s],
+			Queries: f.queries[s].Load(),
+			PhiMode: "off",
+		}
+		if sh := f.shards[s]; sh != nil {
+			st.Bytes = sh.SizeBytes()
+			if ps, ok := sh.PhiStats(); ok {
+				st.PhiMode = ps.Mode
+			}
+		}
+		out[s] = st
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"setlearn/internal/core"
+	"setlearn/internal/deepsets"
+	"setlearn/internal/sets"
+)
+
+// Index is a K-way partitioned SetIndex. Queries fan out to the per-shard
+// indexes and fan in by taking the minimum offset-corrected hit; both
+// partitioners preserve in-shard order, so for queries within the trained
+// subset cap the minimum is the global first position (the owning shard
+// answers its local first occurrence exactly, and every other shard's hit
+// is a real — hence later or equal — occurrence).
+//
+// The container-level RWMutex covers the sub-collections and local→global
+// maps, which Insert grows; per-shard hybrid structures carry their own
+// aux locks underneath.
+type Index struct {
+	mu      sync.RWMutex
+	shards  []*core.SetIndex // nil for shards that received no sets
+	subs    []*sets.Collection
+	globals [][]int
+	k       int
+	part    Partitioner
+	maxSub  int
+	maxID   uint32
+	stats   []BuildStat
+	queries []atomic.Uint64
+
+	// hook, when non-nil, runs at the start of every per-shard dispatch.
+	// Test-only (panic injection); set before use, never concurrently.
+	hook func(shard int)
+}
+
+var (
+	_ core.IndexQuerier = (*Index)(nil)
+	_ core.ShardStatser = (*Index)(nil)
+)
+
+// BuildShardedIndex partitions c and builds one SetIndex per shard in
+// parallel on a bounded worker pool, aggregating per-shard errors. Like
+// core.BuildIndex, the collection is captured by reference and must not be
+// mutated afterwards except through Insert.
+func BuildShardedIndex(c *sets.Collection, o Options, opts core.IndexOptions) (*Index, error) {
+	if err := validate(c); err != nil {
+		return nil, err
+	}
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxSubset == 0 {
+		opts.MaxSubset = 3
+	}
+	subs, globals := partition(c, o.Shards, o.Partitioner)
+	opts.Model = ScaleModel(opts.Model, o.Shards, o.Scaling)
+
+	x := &Index{
+		shards:  make([]*core.SetIndex, o.Shards),
+		subs:    subs,
+		globals: globals,
+		k:       o.Shards,
+		part:    o.Partitioner,
+		maxSub:  opts.MaxSubset,
+		maxID:   c.MaxID(),
+		stats:   make([]BuildStat, o.Shards),
+		queries: make([]atomic.Uint64, o.Shards),
+	}
+	baseSeed := opts.Model.Seed
+	err = runBounded(o.Shards, o.Parallelism, func(s int) error {
+		x.stats[s] = BuildStat{Shard: s, Sets: subs[s].Len()}
+		if subs[s].Len() == 0 {
+			return nil
+		}
+		so := opts
+		so.Model.Seed = baseSeed + int64(s)
+		t0 := time.Now()
+		idx, err := core.BuildIndex(subs[s], so)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		x.shards[s] = idx
+		x.stats[s].BuildSecs = time.Since(t0).Seconds()
+		x.stats[s].Bytes = idx.SizeBytes()
+		x.stats[s].MaxError = idx.MaxError()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// lookupShard answers q on one shard and maps the hit to a global position
+// (-1 when the shard has no hit). Caller holds at least the read lock.
+func (x *Index) lookupShard(s int, q sets.Set, equal bool) int {
+	if x.hook != nil {
+		x.hook(s)
+	}
+	x.queries[s].Add(1)
+	sh := x.shards[s]
+	if sh == nil {
+		return -1
+	}
+	var local int
+	if equal {
+		local = sh.LookupEqual(q)
+	} else {
+		local = sh.Lookup(q)
+	}
+	if local < 0 || local >= len(x.globals[s]) {
+		return -1
+	}
+	return x.globals[s][local]
+}
+
+func (x *Index) lookup(q sets.Set, equal bool) int {
+	if len(q) == 0 {
+		return -1
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if x.part == RangeByPosition {
+		// Shards are position-ordered: the first shard with a hit wins.
+		for s := 0; s < x.k; s++ {
+			if p := x.lookupShard(s, q, equal); p >= 0 {
+				return p
+			}
+		}
+		return -1
+	}
+	best := -1
+	for s := 0; s < x.k; s++ {
+		if p := x.lookupShard(s, q, equal); p >= 0 && (best < 0 || p < best) {
+			best = p
+		}
+	}
+	return best
+}
+
+// Lookup returns the first position i with q ⊆ S[i], or -1.
+func (x *Index) Lookup(q sets.Set) int { return x.lookup(q, false) }
+
+// LookupEqual returns the first position whose set is exactly q, or -1.
+func (x *Index) LookupEqual(q sets.Set) int { return x.lookup(q, true) }
+
+// LookupBatch answers every query in qs, writing first positions (or -1)
+// into dst (grown as needed, returned). Shards run concurrently, each
+// through its fused batch path; the fan-in min is taken per query.
+func (x *Index) LookupBatch(dst []int, qs []sets.Set, equal bool) []int {
+	if cap(dst) < len(qs) {
+		dst = make([]int, len(qs))
+	} else {
+		dst = dst[:len(qs)]
+	}
+	if len(qs) == 0 {
+		return dst
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	per := make([][]int, x.k)
+	fanOut(x.k, func(s int) {
+		if x.hook != nil {
+			x.hook(s)
+		}
+		x.queries[s].Add(uint64(len(qs)))
+		if x.shards[s] == nil {
+			return
+		}
+		per[s] = x.shards[s].LookupBatch(nil, qs, equal)
+	})
+	for i := range qs {
+		best := -1
+		if len(qs[i]) > 0 {
+			for s := 0; s < x.k; s++ {
+				if per[s] == nil {
+					continue
+				}
+				local := per[s][i]
+				if local < 0 || local >= len(x.globals[s]) {
+					continue
+				}
+				if p := x.globals[s][local]; best < 0 || p < best {
+					best = p
+				}
+			}
+		}
+		dst[i] = best
+	}
+	return dst
+}
+
+// Insert registers a set appended to the caller's collection at global
+// position pos, routing it to its owning shard (hash of the set, or the
+// last shard for the range partitioner) without retraining. If the owning
+// shard is empty (nil), the next built shard takes it.
+func (x *Index) Insert(s sets.Set, pos int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	sh := x.owner(s)
+	local := x.subs[sh].Append(s)
+	x.globals[sh] = append(x.globals[sh], pos)
+	x.shards[sh].Insert(s, local)
+}
+
+// owner picks the shard for an inserted set; caller holds the write lock.
+func (x *Index) owner(s sets.Set) int {
+	sh := x.k - 1
+	if x.part == HashBySet {
+		sh = int(s.Hash() % uint64(x.k))
+	}
+	for off := 0; off < x.k; off++ {
+		if cand := (sh + off) % x.k; x.shards[cand] != nil {
+			return cand
+		}
+	}
+	return sh // unreachable: a built container has ≥ 1 non-nil shard
+}
+
+// EnableFastPath (re)configures φ acceleration on every shard and reports
+// the resulting mode ("table", "cache", "off", or "mixed").
+func (x *Index) EnableFastPath(o core.FastPathOptions) string {
+	mode := ""
+	for _, sh := range x.shards {
+		if sh != nil {
+			mode = mergeMode(mode, sh.EnableFastPath(o))
+		}
+	}
+	if mode == "" {
+		mode = "off"
+	}
+	return mode
+}
+
+// PhiStats aggregates the per-shard φ accel counters.
+func (x *Index) PhiStats() (deepsets.AccelStats, bool) {
+	ps := make([]phiStatser, 0, x.k)
+	for _, sh := range x.shards {
+		if sh != nil {
+			ps = append(ps, sh)
+		}
+	}
+	return aggregatePhi(ps)
+}
+
+// MaxID returns the largest element id in the partitioned collection.
+func (x *Index) MaxID() uint32 { return x.maxID }
+
+// MaxSubset returns the trained subset-size cap shared by all shards.
+func (x *Index) MaxSubset() int { return x.maxSub }
+
+// NumShards returns K.
+func (x *Index) NumShards() int { return x.k }
+
+// Partitioner returns the partitioning scheme.
+func (x *Index) Partitioner() Partitioner { return x.part }
+
+// SizeBytes sums the per-shard structure footprints.
+func (x *Index) SizeBytes() int {
+	total := 0
+	for _, sh := range x.shards {
+		if sh != nil {
+			total += sh.SizeBytes()
+		}
+	}
+	return total
+}
+
+// BuildStats returns a copy of the per-shard build statistics.
+func (x *Index) BuildStats() []BuildStat {
+	out := make([]BuildStat, len(x.stats))
+	copy(out, x.stats)
+	return out
+}
+
+// ShardStats reports the per-shard serving statistics published under
+// setlearn.shard.* by the server.
+func (x *Index) ShardStats() []core.ShardStat {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	out := make([]core.ShardStat, x.k)
+	for s := 0; s < x.k; s++ {
+		st := core.ShardStat{
+			Shard:   s,
+			Sets:    x.subs[s].Len(),
+			Queries: x.queries[s].Load(),
+			PhiMode: "off",
+		}
+		if sh := x.shards[s]; sh != nil {
+			st.Bytes = sh.SizeBytes()
+			if ps, ok := sh.PhiStats(); ok {
+				st.PhiMode = ps.Mode
+			}
+		}
+		out[s] = st
+	}
+	return out
+}

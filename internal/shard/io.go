@@ -1,0 +1,384 @@
+package shard
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"setlearn/internal/blockio"
+	"setlearn/internal/core"
+	"setlearn/internal/sets"
+)
+
+// Sharded containers persist as a versioned stream:
+//
+//	magic (8 bytes, "SLSHRD1\x00")
+//	blockio{ gob containerHeader }
+//	K × blockio{ core.Save stream }   (zero-length block for an empty shard)
+//
+// The magic distinguishes sharded containers from the monolithic core
+// streams (which start with a blockio length prefix), so loaders can sniff
+// the format. Every variable-length section sits behind the same
+// length-prefixed framing the monolithic format uses, and each shard's
+// payload is parsed by the fuzz-hardened core loaders, so corrupt or
+// truncated inputs surface as errors, never panics.
+
+// Magic is the 8-byte sharded-container signature.
+const Magic = "SLSHRD1\x00"
+
+// IsShardedMagic reports whether b begins with the sharded-container magic.
+func IsShardedMagic(b []byte) bool {
+	return len(b) >= len(Magic) && string(b[:len(Magic)]) == Magic
+}
+
+const formatVersion = 1
+
+type containerHeader struct {
+	Version     int
+	Kind        string // "index", "card", or "member"
+	Shards      int
+	Partitioner int
+	MaxSubset   int
+	ShardSets   []int    // sets per shard; 0 marks an empty (nil) shard
+	Globals     [][]int  // index only: per-shard local → global position
+	AuxKeys     []string // estimator only: exact-override keys, sorted
+	AuxVals     []float64
+	Bounds      []float64 // estimator only: per-shard measured bounds, or nil
+}
+
+func writeMagic(w io.Writer) error {
+	_, err := w.Write([]byte(Magic))
+	return err
+}
+
+func readContainerHeader(r io.Reader, kind string) (containerHeader, error) {
+	var hdr containerHeader
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return hdr, fmt.Errorf("shard: read magic: %w", err)
+	}
+	if !IsShardedMagic(magic[:]) {
+		return hdr, fmt.Errorf("shard: bad magic %q (not a sharded container)", magic[:])
+	}
+	block, err := blockio.Read(r)
+	if err != nil {
+		return hdr, fmt.Errorf("shard: read header: %w", err)
+	}
+	if err := gob.NewDecoder(block).Decode(&hdr); err != nil {
+		return hdr, fmt.Errorf("shard: decode header: %w", err)
+	}
+	if hdr.Version != formatVersion {
+		return hdr, fmt.Errorf("shard: unsupported container version %d", hdr.Version)
+	}
+	if hdr.Kind != kind {
+		return hdr, fmt.Errorf("shard: container holds %q, want %q", hdr.Kind, kind)
+	}
+	if hdr.Shards < 1 || hdr.Shards > maxShards {
+		return hdr, fmt.Errorf("shard: shard count %d out of range [1, %d]", hdr.Shards, maxShards)
+	}
+	if p := Partitioner(hdr.Partitioner); p != HashBySet && p != RangeByPosition {
+		return hdr, fmt.Errorf("shard: unknown partitioner %d", hdr.Partitioner)
+	}
+	if len(hdr.ShardSets) != hdr.Shards {
+		return hdr, fmt.Errorf("shard: header lists %d shard sizes for %d shards", len(hdr.ShardSets), hdr.Shards)
+	}
+	if hdr.MaxSubset < 0 || hdr.MaxSubset > 64 {
+		return hdr, fmt.Errorf("shard: subset cap %d out of range", hdr.MaxSubset)
+	}
+	return hdr, nil
+}
+
+func writeContainerHeader(w io.Writer, hdr containerHeader) error {
+	if err := writeMagic(w); err != nil {
+		return fmt.Errorf("shard: write magic: %w", err)
+	}
+	if err := blockio.Write(w, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(hdr)
+	}); err != nil {
+		return fmt.Errorf("shard: write header: %w", err)
+	}
+	return nil
+}
+
+// saveShard frames one shard's core stream; a nil shard becomes a
+// zero-length block.
+func saveShard(w io.Writer, s int, save func(io.Writer) error) error {
+	if save == nil {
+		save = func(io.Writer) error { return nil }
+	}
+	if err := blockio.Write(w, save); err != nil {
+		return fmt.Errorf("shard: save shard %d: %w", s, err)
+	}
+	return nil
+}
+
+// Save persists the sharded index (headers, per-shard models, bounds, aux
+// structures). Like the monolithic SetIndex, the collection itself is not
+// written; LoadShardedIndex needs it back.
+func (x *Index) Save(w io.Writer) error {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	hdr := containerHeader{
+		Version:     formatVersion,
+		Kind:        "index",
+		Shards:      x.k,
+		Partitioner: int(x.part),
+		MaxSubset:   x.maxSub,
+		ShardSets:   make([]int, x.k),
+		Globals:     x.globals,
+	}
+	for s := 0; s < x.k; s++ {
+		hdr.ShardSets[s] = x.subs[s].Len()
+	}
+	if err := writeContainerHeader(w, hdr); err != nil {
+		return err
+	}
+	for s := 0; s < x.k; s++ {
+		var save func(io.Writer) error
+		if sh := x.shards[s]; sh != nil {
+			save = sh.Save
+		}
+		if err := saveShard(w, s, save); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadShardedIndex restores a sharded index over the same collection it was
+// built on (including any sets registered through Insert, which the caller
+// appended to c).
+func LoadShardedIndex(r io.Reader, c *sets.Collection) (*Index, error) {
+	if c == nil {
+		return nil, fmt.Errorf("shard: load index: nil collection")
+	}
+	hdr, err := readContainerHeader(r, "index")
+	if err != nil {
+		return nil, err
+	}
+	if len(hdr.Globals) != hdr.Shards {
+		return nil, fmt.Errorf("shard: header lists %d global maps for %d shards", len(hdr.Globals), hdr.Shards)
+	}
+	total := 0
+	for s, g := range hdr.Globals {
+		if len(g) != hdr.ShardSets[s] {
+			return nil, fmt.Errorf("shard: shard %d: %d globals for %d sets", s, len(g), hdr.ShardSets[s])
+		}
+		total += len(g)
+		for _, pos := range g {
+			if pos < 0 || pos >= c.Len() {
+				return nil, fmt.Errorf("shard: shard %d: global position %d outside collection of %d sets", s, pos, c.Len())
+			}
+		}
+	}
+	if total > c.Len() {
+		return nil, fmt.Errorf("shard: container maps %d sets but the collection has %d", total, c.Len())
+	}
+	x := &Index{
+		shards:  make([]*core.SetIndex, hdr.Shards),
+		subs:    make([]*sets.Collection, hdr.Shards),
+		globals: hdr.Globals,
+		k:       hdr.Shards,
+		part:    Partitioner(hdr.Partitioner),
+		maxSub:  hdr.MaxSubset,
+		maxID:   c.MaxID(),
+		stats:   make([]BuildStat, hdr.Shards),
+		queries: make([]atomic.Uint64, hdr.Shards),
+	}
+	for s := 0; s < hdr.Shards; s++ {
+		sub := &sets.Collection{Sets: make([]sets.Set, 0, len(hdr.Globals[s]))}
+		for _, pos := range hdr.Globals[s] {
+			sub.Append(c.At(pos))
+		}
+		x.subs[s] = sub
+		x.stats[s] = BuildStat{Shard: s, Sets: sub.Len()}
+		block, err := blockio.Read(r)
+		if err != nil {
+			return nil, fmt.Errorf("shard: load shard %d: %w", s, err)
+		}
+		if sub.Len() == 0 {
+			if block.Len() != 0 {
+				return nil, fmt.Errorf("shard: load shard %d: payload for an empty shard", s)
+			}
+			continue
+		}
+		idx, err := core.LoadIndex(block, sub)
+		if err != nil {
+			return nil, fmt.Errorf("shard: load shard %d: %w", s, err)
+		}
+		x.shards[s] = idx
+		x.stats[s].Bytes = idx.SizeBytes()
+		x.stats[s].MaxError = idx.MaxError()
+	}
+	return x, nil
+}
+
+// Save persists the sharded estimator, including the container-level exact
+// overrides (sorted for deterministic bytes) and any measured bounds.
+func (e *Estimator) Save(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	hdr := containerHeader{
+		Version:     formatVersion,
+		Kind:        "card",
+		Shards:      e.k,
+		Partitioner: int(e.part),
+		MaxSubset:   e.maxSub,
+		ShardSets:   append([]int(nil), e.sizes...),
+		Bounds:      e.bounds,
+	}
+	hdr.AuxKeys = make([]string, 0, len(e.aux))
+	for k := range e.aux {
+		hdr.AuxKeys = append(hdr.AuxKeys, k)
+	}
+	sort.Strings(hdr.AuxKeys)
+	hdr.AuxVals = make([]float64, len(hdr.AuxKeys))
+	for i, k := range hdr.AuxKeys {
+		hdr.AuxVals[i] = e.aux[k]
+	}
+	if err := writeContainerHeader(w, hdr); err != nil {
+		return err
+	}
+	for s := 0; s < e.k; s++ {
+		var save func(io.Writer) error
+		if sh := e.shards[s]; sh != nil {
+			save = sh.Save
+		}
+		if err := saveShard(w, s, save); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadShardedEstimator restores an estimator saved by Save. The maximum
+// accepted element id is recovered from the shard models.
+func LoadShardedEstimator(r io.Reader) (*Estimator, error) {
+	hdr, err := readContainerHeader(r, "card")
+	if err != nil {
+		return nil, err
+	}
+	if len(hdr.AuxKeys) != len(hdr.AuxVals) {
+		return nil, fmt.Errorf("shard: header lists %d override keys for %d values", len(hdr.AuxKeys), len(hdr.AuxVals))
+	}
+	if hdr.Bounds != nil && len(hdr.Bounds) != hdr.Shards {
+		return nil, fmt.Errorf("shard: header lists %d bounds for %d shards", len(hdr.Bounds), hdr.Shards)
+	}
+	e := &Estimator{
+		shards:  make([]*core.CardinalityEstimator, hdr.Shards),
+		k:       hdr.Shards,
+		part:    Partitioner(hdr.Partitioner),
+		maxSub:  hdr.MaxSubset,
+		aux:     make(map[string]float64, len(hdr.AuxKeys)),
+		bounds:  hdr.Bounds,
+		stats:   make([]BuildStat, hdr.Shards),
+		sizes:   hdr.ShardSets,
+		queries: make([]atomic.Uint64, hdr.Shards),
+	}
+	for i, k := range hdr.AuxKeys {
+		e.aux[k] = hdr.AuxVals[i]
+	}
+	for s := 0; s < hdr.Shards; s++ {
+		e.stats[s] = BuildStat{Shard: s, Sets: hdr.ShardSets[s]}
+		if e.bounds != nil {
+			e.stats[s].ErrBound = e.bounds[s]
+		}
+		block, err := blockio.Read(r)
+		if err != nil {
+			return nil, fmt.Errorf("shard: load shard %d: %w", s, err)
+		}
+		if hdr.ShardSets[s] == 0 {
+			if block.Len() != 0 {
+				return nil, fmt.Errorf("shard: load shard %d: payload for an empty shard", s)
+			}
+			continue
+		}
+		est, err := core.LoadCardinalityEstimator(block)
+		if err != nil {
+			return nil, fmt.Errorf("shard: load shard %d: %w", s, err)
+		}
+		e.shards[s] = est
+		e.stats[s].Bytes = est.SizeBytes()
+		if id := est.MaxID(); id > e.maxID {
+			e.maxID = id
+		}
+	}
+	return e, nil
+}
+
+// Save persists the sharded membership filter.
+func (f *Filter) Save(w io.Writer) error {
+	hdr := containerHeader{
+		Version:     formatVersion,
+		Kind:        "member",
+		Shards:      f.k,
+		Partitioner: int(f.part),
+		MaxSubset:   f.maxSub,
+		ShardSets:   append([]int(nil), f.sizes...),
+	}
+	if err := writeContainerHeader(w, hdr); err != nil {
+		return err
+	}
+	for s := 0; s < f.k; s++ {
+		var save func(io.Writer) error
+		if sh := f.shards[s]; sh != nil {
+			save = sh.Save
+		}
+		if err := saveShard(w, s, save); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadShardedFilter restores a filter saved by Save.
+func LoadShardedFilter(r io.Reader) (*Filter, error) {
+	hdr, err := readContainerHeader(r, "member")
+	if err != nil {
+		return nil, err
+	}
+	f := &Filter{
+		shards:  make([]*core.MembershipFilter, hdr.Shards),
+		k:       hdr.Shards,
+		part:    Partitioner(hdr.Partitioner),
+		maxSub:  hdr.MaxSubset,
+		stats:   make([]BuildStat, hdr.Shards),
+		sizes:   hdr.ShardSets,
+		queries: make([]atomic.Uint64, hdr.Shards),
+	}
+	for s := 0; s < hdr.Shards; s++ {
+		f.stats[s] = BuildStat{Shard: s, Sets: hdr.ShardSets[s]}
+		block, err := blockio.Read(r)
+		if err != nil {
+			return nil, fmt.Errorf("shard: load shard %d: %w", s, err)
+		}
+		if hdr.ShardSets[s] == 0 {
+			if block.Len() != 0 {
+				return nil, fmt.Errorf("shard: load shard %d: payload for an empty shard", s)
+			}
+			continue
+		}
+		flt, err := core.LoadMembershipFilter(block)
+		if err != nil {
+			return nil, fmt.Errorf("shard: load shard %d: %w", s, err)
+		}
+		f.shards[s] = flt
+		f.stats[s].Bytes = flt.SizeBytes()
+		if id := flt.MaxID(); id > f.maxID {
+			f.maxID = id
+		}
+	}
+	return f, nil
+}
+
+// SniffSharded reports whether the stream served by ra begins with the
+// sharded-container magic, without consuming it.
+func SniffSharded(ra io.ReaderAt) bool {
+	var b [len(Magic)]byte
+	if _, err := ra.ReadAt(b[:], 0); err != nil {
+		return false
+	}
+	return IsShardedMagic(b[:])
+}

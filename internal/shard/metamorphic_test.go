@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"setlearn/internal/sets"
+)
+
+// Metamorphic properties: relations between answers that must hold however
+// well (or badly) the per-shard models trained.
+
+// TestPermutationInvariance: a query set is a set — the element order the
+// caller happened to list must not change any answer. sets.New canonicalizes,
+// so this pins the container's whole query surface behind that boundary.
+func TestPermutationInvariance(t *testing.T) {
+	_, st := testCollection(t)
+	rng := rand.New(rand.NewSource(997))
+	keys := sampleKeys(st, 8)
+	forEachConfig(t, func(t *testing.T, k int, p Partitioner) {
+		sx := shardedIndex(t, k, p)
+		se := shardedEstimator(t, k, p)
+		sf := shardedFilter(t, k, p)
+		for _, key := range keys {
+			q := st.ByKey[key].Set
+			ids := append([]uint32(nil), q...)
+			rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+			perm := sets.New(ids...)
+			if a, b := sx.Lookup(q), sx.Lookup(perm); a != b {
+				t.Fatalf("Lookup(%v) = %d but permuted %v = %d", q, a, ids, b)
+			}
+			if a, b := se.Estimate(q), se.Estimate(perm); a != b {
+				t.Fatalf("Estimate(%v) = %g but permuted %v = %g", q, a, ids, b)
+			}
+			if a, b := sf.Contains(q), sf.Contains(perm); a != b {
+				t.Fatalf("Contains(%v) = %v but permuted %v = %v", q, a, ids, b)
+			}
+		}
+	})
+}
+
+// TestShardCountInvariance: answers served exactly — index hits for trained
+// subsets (each shard's auxiliary structure and error bounds make them
+// exact) and estimator Update overrides (container-level aux) — must not
+// depend on how many shards the collection was split into.
+func TestShardCountInvariance(t *testing.T) {
+	_, st := testCollection(t)
+	keys := sampleKeys(st, 6)
+	for _, p := range testPartitioners {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			base := shardedIndex(t, testKs[0], p)
+			for _, k := range testKs[1:] {
+				sx := shardedIndex(t, k, p)
+				for _, key := range keys {
+					q := st.ByKey[key].Set
+					if a, b := base.Lookup(q), sx.Lookup(q); a != b {
+						t.Fatalf("trained subset %v: K=%d says %d, K=%d says %d",
+							q, testKs[0], a, k, b)
+					}
+				}
+			}
+			// Update overrides are exact at every K.
+			c, _ := testCollection(t)
+			over := sets.New(c.MaxID()+31, c.MaxID()+37)
+			for _, k := range testKs {
+				se := shardedEstimator(t, k, p)
+				se.Update(over, 7.5)
+				if got := se.Estimate(over); got != 7.5 {
+					t.Fatalf("K=%d: override estimate = %g, want 7.5", k, got)
+				}
+			}
+		})
+	}
+}
+
+// TestKOneEqualsMonolith: a 1-shard container is the monolith behind a
+// fan-out of one — same partition (everything in shard 0, original order),
+// same model options (√1 scaling is the identity), same seed — so answers
+// must agree exactly, bit-for-bit for the estimator.
+func TestKOneEqualsMonolith(t *testing.T) {
+	c, st := testCollection(t)
+	keys := sampleKeys(st, 4)
+	var qs []sets.Set
+	for _, key := range keys {
+		qs = append(qs, st.ByKey[key].Set)
+	}
+	// Probes beyond the trained cap and vocabulary.
+	for i := 0; i < c.Len(); i += 17 {
+		if s := c.At(i); len(s) >= 3 {
+			qs = append(qs, sets.New(s[0], s[1], s[len(s)-1]))
+		}
+	}
+	qs = append(qs, sets.New(c.MaxID()+2), sets.New())
+
+	mi, me, mf := monoIndex(t), monoEstimator(t), monoFilter(t)
+	for _, p := range testPartitioners {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			sx := shardedIndex(t, 1, p)
+			se := shardedEstimator(t, 1, p)
+			sf := shardedFilter(t, 1, p)
+			for _, q := range qs {
+				if a, b := mi.Lookup(q), sx.Lookup(q); a != b {
+					t.Fatalf("Lookup(%v): monolith %d, K=1 %d", q, a, b)
+				}
+				if a, b := mi.LookupEqual(q), sx.LookupEqual(q); a != b {
+					t.Fatalf("LookupEqual(%v): monolith %d, K=1 %d", q, a, b)
+				}
+				a, b := me.Estimate(q), se.Estimate(q)
+				if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+					t.Fatalf("Estimate(%v): monolith %g, K=1 %g", q, a, b)
+				}
+				if a, b := mf.Contains(q), sf.Contains(q); a != b {
+					t.Fatalf("Contains(%v): monolith %v, K=1 %v", q, a, b)
+				}
+			}
+			// Batch forms agree with the monolith's batch forms.
+			mb := mi.LookupBatch(nil, qs, false)
+			sb := sx.LookupBatch(nil, qs, false)
+			for i := range qs {
+				if len(qs[i]) == 0 {
+					continue // the sharded batch path answers empties up front
+				}
+				if mb[i] != sb[i] {
+					t.Fatalf("LookupBatch[%d]: monolith %d, K=1 %d", i, mb[i], sb[i])
+				}
+			}
+		})
+	}
+}
