@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet lint test race bench bench-inference bench-sharding fuzz-smoke experiments examples clean
+.PHONY: all build fmt-check vet lint lint-dataflow test race bench bench-inference bench-sharding fuzz-smoke experiments examples clean
 
 all: build fmt-check vet lint test race
 
@@ -15,10 +15,17 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# setlearnlint: the repo's custom analyzers (floateq, poolpair,
-# lockescape, globalrand, binioerr). See README "Development".
+# setlearnlint: the repo's custom analyzers — syntactic (floateq,
+# poolpair, lockescape, globalrand, binioerr) and path-sensitive
+# (lockbalance, waitgroup, goroleak, deferclose). See README
+# "Development". CI runs the same invocations.
 lint:
 	$(GO) run ./cmd/setlearnlint ./...
+
+# Just the CFG/dataflow-backed analyzers, for a fast check while working
+# on concurrency-heavy code.
+lint-dataflow:
+	$(GO) run ./cmd/setlearnlint -run deferclose,goroleak,lockbalance,waitgroup ./...
 
 test:
 	$(GO) test ./...

@@ -155,7 +155,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	go func() {
-		fmt.Printf("serving on %s\n", srv.Addr())
+		// Addr returns nil when Run fails to bind; Run's own error is
+		// already fatal, so only announce a live listener.
+		if a := srv.Addr(); a != nil {
+			fmt.Printf("serving on %s\n", a)
+		}
 	}()
 	if err := srv.Run(ctx); err != nil {
 		fatal(err)

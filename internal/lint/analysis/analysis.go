@@ -16,6 +16,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"setlearn/internal/lint/cfg"
 )
 
 // Analyzer describes one static check.
@@ -69,6 +71,7 @@ type Pass struct {
 
 	suppress *suppressionIndex
 	sink     func(Diagnostic)
+	cfgs     map[ast.Node]*cfg.Graph
 }
 
 // NewPass assembles a Pass. The sink receives every diagnostic that
@@ -93,6 +96,33 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		return
 	}
 	p.sink(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// CFG returns the control-flow graph of fn's body, where fn is an
+// *ast.FuncDecl or *ast.FuncLit. Graphs are built on first request and
+// cached for the life of the Pass, so several analyzers (or several rules
+// within one) share construction cost. Returns nil for bodyless
+// declarations and other node kinds.
+func (p *Pass) CFG(fn ast.Node) *cfg.Graph {
+	if g, ok := p.cfgs[fn]; ok {
+		return g
+	}
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return nil
+	}
+	g := cfg.Build(p.Fset, body)
+	if p.cfgs == nil {
+		p.cfgs = make(map[ast.Node]*cfg.Graph)
+	}
+	p.cfgs[fn] = g
+	return g
 }
 
 // ReportBadSuppressions emits a diagnostic for every //lint:allow comment

@@ -8,6 +8,7 @@ package astq
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // CalleeFunc returns the *types.Func a call statically resolves to, or nil
@@ -74,6 +75,43 @@ func InsideDefer(stack []ast.Node) bool {
 		}
 	}
 	return false
+}
+
+// DeferredLit reports whether lit is the function of a defer statement's
+// call (defer func(){...}()), given lit's ancestor stack from Inspect.
+// The stack ends [..., DeferStmt, CallExpr] for such literals.
+func DeferredLit(lit *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok || ast.Unparen(call.Fun) != ast.Expr(lit) {
+		return false
+	}
+	d, ok := stack[len(stack)-2].(*ast.DeferStmt)
+	return ok && d.Call == call
+}
+
+// PoolMethod reports whether fn is a Get/Put method whose receiver is
+// sync.Pool or a named type ending in "Pool". Shared by poolpair (pairing
+// discipline) and deferclose (path coverage of the release).
+func PoolMethod(fn *types.Func) bool {
+	if fn.Name() != "Get" && fn.Name() != "Put" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named := NamedOrPointee(recv.Type())
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool" {
+		return true
+	}
+	return strings.HasSuffix(obj.Name(), "Pool")
 }
 
 // NamedOrPointee unwraps pointers and returns the named type beneath, if

@@ -1,0 +1,381 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"setlearn/internal/lint/cfg"
+)
+
+// build parses src (a single-function file body) and returns its CFG.
+func build(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return cfg.Build(fset, fd.Body)
+}
+
+// goldens pin the exact block/edge structure for representative function
+// shapes; a CFG regression shows up as a readable dump diff.
+var goldens = []struct {
+	name, src, want string
+}{
+	{
+		name: "nested select in infinite loop",
+		src: `func f(a, b chan int, done chan struct{}) int {
+	for {
+		select {
+		case x := <-a:
+			select {
+			case b <- x:
+			default:
+				return x
+			}
+		case <-done:
+			return 0
+		}
+	}
+}`,
+		want: `b0 entry
+	-> b1
+b1 for.loop
+	-> b2
+b2 for.body
+	-> b4 b8
+b3 select.done
+	-> b1
+b4 select.case
+	x := <-a
+	-> b6 b7
+b5 select.done
+	-> b3
+b6 select.case
+	b <- x
+	-> b5
+b7 select.default
+	return x
+	-> b9
+b8 select.case
+	<-done
+	return 0
+	-> b9
+b9 exit
+b10 panic
+`,
+	},
+	{
+		name: "labeled break and continue",
+		src: `func f(grid [][]int, want int) bool {
+outer:
+	for i, row := range grid {
+		for j := range row {
+			if grid[i][j] == want {
+				break outer
+			}
+			if grid[i][j] < 0 {
+				continue outer
+			}
+		}
+	}
+	return false
+}`,
+		want: `b0 entry
+	-> b1
+b1 label.outer
+	grid
+	-> b2
+b2 range.loop
+	-> b3 b4
+b3 range.body
+	row
+	-> b5
+b4 range.done
+	return false
+	-> b12
+b5 range.loop
+	-> b6 b7
+b6 range.body
+	cond grid[i][j] == want
+	-> b8 b9
+b7 range.done
+	-> b2
+b8 if.then
+	-> b4
+b9 if.done
+	cond grid[i][j] < 0
+	-> b10 b11
+b10 if.then
+	-> b2
+b11 if.done
+	-> b5
+b12 exit
+b13 panic
+`,
+	},
+	{
+		name: "defer in loop with error return",
+		src: `func f(paths []string, open func(string) (func(), error)) error {
+	for _, p := range paths {
+		closeFn, err := open(p)
+		if err != nil {
+			return err
+		}
+		defer closeFn()
+	}
+	return nil
+}`,
+		want: `b0 entry
+	paths
+	-> b1
+b1 range.loop
+	-> b2 b3
+b2 range.body
+	closeFn, err := open(p)
+	cond err != nil
+	-> b4 b5
+b3 range.done
+	return nil
+	-> b6
+b4 if.then
+	return err
+	-> b6
+b5 if.done
+	defer closeFn()
+	-> b1
+b6 exit
+b7 panic
+`,
+	},
+	{
+		name: "panic with deferred recover",
+		src: `func f(work func() int) (out int) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = -1
+		}
+	}()
+	v := work()
+	if v < 0 {
+		panic("negative")
+	}
+	return v
+}`,
+		want: `b0 entry
+	defer func() { if r := recover(); r != nil { out = -1 } }()
+	v := work()
+	cond v < 0
+	-> b1 b2
+b1 if.then
+	panic("negative")
+	-> b4
+b2 if.done
+	return v
+	-> b3
+b3 exit
+b4 panic
+`,
+	},
+	{
+		name: "goto retry loop",
+		src: `func f(try func() bool, max int) bool {
+	n := 0
+retry:
+	if try() {
+		return true
+	}
+	n++
+	if n < max {
+		goto retry
+	}
+	return false
+}`,
+		want: `b0 entry
+	n := 0
+	-> b1
+b1 label.retry
+	cond try()
+	-> b2 b3
+b2 if.then
+	return true
+	-> b6
+b3 if.done
+	n++
+	cond n < max
+	-> b4 b5
+b4 if.then
+	-> b1
+b5 if.done
+	return false
+	-> b6
+b6 exit
+b7 panic
+`,
+	},
+	{
+		name: "switch with fallthrough and default",
+		src: `func f(mode int) int {
+	v := 0
+	switch mode {
+	case 0:
+		v = 1
+		fallthrough
+	case 1:
+		v += 2
+	default:
+		v = -1
+	}
+	return v
+}`,
+		want: `b0 entry
+	v := 0
+	mode
+	-> b2 b3 b4
+b1 switch.done
+	return v
+	-> b5
+b2 switch.case
+	0
+	v = 1
+	-> b3
+b3 switch.case
+	1
+	v += 2
+	-> b1
+b4 switch.default
+	v = -1
+	-> b1
+b5 exit
+b6 panic
+`,
+	},
+}
+
+func TestGoldenDumps(t *testing.T) {
+	for _, g := range goldens {
+		t.Run(g.name, func(t *testing.T) {
+			got := build(t, g.src).Dump()
+			if got != g.want {
+				t.Errorf("dump mismatch\n--- got ---\n%s--- want ---\n%s", got, g.want)
+			}
+		})
+	}
+}
+
+// TestInvariants checks structural properties every graph must satisfy.
+func TestInvariants(t *testing.T) {
+	for _, g := range goldens {
+		t.Run(g.name, func(t *testing.T) {
+			graph := build(t, g.src)
+			if graph.Blocks[0] != graph.Entry {
+				t.Error("Entry must be the first block")
+			}
+			if len(graph.Exit.Succs) != 0 || len(graph.Panic.Succs) != 0 {
+				t.Error("Exit and Panic must be terminal")
+			}
+			index := map[*cfg.Block]bool{}
+			for _, b := range graph.Blocks {
+				index[b] = true
+			}
+			for _, b := range graph.Blocks {
+				if b.Cond != nil && len(b.Succs) != 2 {
+					t.Errorf("b%d: cond block must have exactly 2 successors, has %d", b.Index, len(b.Succs))
+				}
+				for _, s := range b.Succs {
+					if !index[s] {
+						t.Errorf("b%d: successor not in Blocks", b.Index)
+					}
+					found := false
+					for _, p := range s.Preds {
+						if p == b {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("edge b%d->b%d missing from Preds", b.Index, s.Index)
+					}
+				}
+				for _, p := range b.Preds {
+					found := false
+					for _, s := range p.Succs {
+						if s == b {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("pred edge b%d->b%d missing from Succs", p.Index, b.Index)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := build(t, `func f(c func(), d func()) {
+	defer c()
+	for i := 0; i < 3; i++ {
+		defer d()
+	}
+}`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("want 2 defers collected, got %d", len(g.Defers))
+	}
+}
+
+func TestCondBranchConvention(t *testing.T) {
+	g := build(t, `func f(ok bool) int {
+	if ok {
+		return 1
+	}
+	return 0
+}`)
+	var cond *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			cond = b
+		}
+	}
+	if cond == nil {
+		t.Fatal("no cond block found")
+	}
+	// Succs[0] is the true edge: it must hold "return 1".
+	if len(cond.Succs[0].Nodes) == 0 || !strings.Contains(g.Dump(), "if.then") {
+		t.Fatal("true successor should be the then block")
+	}
+	then := cond.Succs[0]
+	ret, ok := then.Nodes[0].(*ast.ReturnStmt)
+	if !ok {
+		t.Fatalf("then block should start with return, has %T", then.Nodes[0])
+	}
+	if lit, ok := ret.Results[0].(*ast.BasicLit); !ok || lit.Value != "1" {
+		t.Errorf("true edge must lead to `return 1`")
+	}
+}
+
+func TestSelectCommMarked(t *testing.T) {
+	g := build(t, `func f(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}`)
+	marked := 0
+	for _, b := range g.Blocks {
+		if b.Comm != nil {
+			marked++
+			if _, ok := b.Comm.(*ast.SendStmt); !ok {
+				t.Errorf("comm should be the send statement, got %T", b.Comm)
+			}
+		}
+	}
+	if marked != 1 {
+		t.Errorf("want exactly 1 comm-marked block, got %d", marked)
+	}
+}

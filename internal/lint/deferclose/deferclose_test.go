@@ -1,0 +1,28 @@
+package deferclose_test
+
+import (
+	"testing"
+
+	"setlearn/internal/lint/deferclose"
+	"setlearn/internal/lint/linttest"
+)
+
+func TestDeferclose(t *testing.T) {
+	linttest.Run(t, deferclose.Analyzer, "deferclose")
+}
+
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{
+		"setlearn/internal/server",
+		"setlearn/internal/shard",
+		"setlearn/internal/sets",
+		"setlearn/cmd/setlearnd",
+	} {
+		if !deferclose.Analyzer.InScope(pkg) {
+			t.Errorf("deferclose should cover %s", pkg)
+		}
+	}
+	if deferclose.Analyzer.InScope("setlearn/internal/mat") {
+		t.Error("deferclose should not cover resource-free numeric kernels")
+	}
+}

@@ -40,6 +40,8 @@ var Analyzer = &analysis.Analyzer{
 		"setlearn/internal/nn",
 		"setlearn/internal/ad",
 		"setlearn/internal/deepsets",
+		"setlearn/internal/shard",
+		"setlearn/internal/bench",
 	},
 	Run: run,
 }

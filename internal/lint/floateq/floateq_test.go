@@ -10,3 +10,18 @@ import (
 func TestFloateq(t *testing.T) {
 	linttest.Run(t, floateq.Analyzer, "floateq")
 }
+
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{
+		"setlearn/internal/mat",
+		"setlearn/internal/nn",
+		"setlearn/internal/ad",
+		"setlearn/internal/deepsets",
+		"setlearn/internal/shard",
+		"setlearn/internal/bench",
+	} {
+		if !floateq.Analyzer.InScope(pkg) {
+			t.Errorf("floateq should cover %s", pkg)
+		}
+	}
+}

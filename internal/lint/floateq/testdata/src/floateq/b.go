@@ -1,0 +1,37 @@
+package floateq
+
+// Shard fan-in shapes from the PR-4 scope extension: range-partitioned
+// bound arithmetic and benchmark reporting must not compare floats
+// exactly either.
+
+type shardBound struct {
+	lo, hi float64
+}
+
+func (s shardBound) contains(x float64) bool {
+	return s.lo <= x && x < s.hi // orderings are fine
+}
+
+func splitEven(bounds []shardBound, prev float64) int {
+	n := 0
+	for _, b := range bounds {
+		if b.lo == prev { // want `float comparison b.lo == prev is not determinism-safe`
+			n++
+		}
+		prev = b.hi
+	}
+	return n
+}
+
+func benchSpeedup(base, cand float64) string {
+	if cand == base { // want `float comparison cand == base is not determinism-safe`
+		return "no change"
+	}
+	if base == 0 { // exact sentinel: unmeasured baseline
+		return "n/a"
+	}
+	if cand != cand { // canonical NaN self-test
+		return "invalid"
+	}
+	return "changed"
+}

@@ -34,6 +34,8 @@ var Analyzer = &analysis.Analyzer{
 		"setlearn/internal/train",
 		"setlearn/internal/dataset",
 		"setlearn/internal/deepsets",
+		"setlearn/internal/shard",
+		"setlearn/internal/bench",
 	},
 	Run: run,
 }

@@ -10,3 +10,17 @@ import (
 func TestGlobalrand(t *testing.T) {
 	linttest.Run(t, globalrand.Analyzer, "globalrand")
 }
+
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{
+		"setlearn/internal/train",
+		"setlearn/internal/dataset",
+		"setlearn/internal/deepsets",
+		"setlearn/internal/shard",
+		"setlearn/internal/bench",
+	} {
+		if !globalrand.Analyzer.InScope(pkg) {
+			t.Errorf("globalrand should cover %s", pkg)
+		}
+	}
+}

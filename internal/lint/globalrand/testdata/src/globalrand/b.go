@@ -1,0 +1,24 @@
+package globalrand
+
+import "math/rand"
+
+// Shapes from the shard/bench scope extension: partition sampling and
+// benchmark workload generation must stay reproducible, so the unseeded
+// global source is off limits there too.
+
+func sampleShards(k int) []int {
+	return rand.Perm(k) // want `rand.Perm draws from the unseeded global source`
+}
+
+func benchWorkload(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed)) // seeded per-experiment source
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func jitteredBackoff(ms int) int {
+	return ms + rand.Intn(ms) // want `rand.Intn draws from the unseeded global source`
+}

@@ -1,0 +1,414 @@
+// Package goroleak checks the goroutine/channel protocols of the sharded
+// fan-out and serving paths for leaks that only bite under load:
+//
+//  1. A goroutine sends on a channel local to the spawning function, but
+//     the function never receives from (or hands off) that channel — the
+//     goroutine blocks forever, or its result is silently dropped.
+//  2. A goroutine that signals a collector must send (or close) on every
+//     non-panicking path; one silent return and the collector hangs.
+//  3. A recover-containment block inside a sending goroutine must
+//     re-signal the collector: swallowing the panic without sending
+//     leaves the fan-in waiting for a message that never comes.
+//  4. A function that sends on a channel field must send or close on
+//     every return path (or also be the channel's receiver); an early
+//     error return otherwise strands the concurrent receiver.
+//
+// The analysis is intraprocedural and syntactic about channel identity
+// (local channels by object, fields by receiver expression text); sends
+// inside loops or select statements are out of scope for the
+// every-path rules — a select already expresses "maybe don't send".
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/astq"
+	"setlearn/internal/lint/dataflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "channel sends in spawned goroutines must be received by the " +
+		"spawner and must happen on every non-panic path (recover blocks " +
+		"included); conditional sends on channel fields must cover every " +
+		"return path",
+	Scope: []string{
+		"setlearn/internal/shard",
+		"setlearn/internal/server",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkUnit(pass, n, n.Body)
+				}
+			case *ast.FuncLit:
+				checkUnit(pass, n, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// chanRef identifies a channel: by object for plain identifiers, by
+// receiver-expression text for fields (x.ch).
+type chanRef struct {
+	obj types.Object
+	key string
+}
+
+func (r chanRef) String() string { return r.key }
+
+func refOf(info *types.Info, e ast.Expr) (chanRef, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil {
+			return chanRef{}, false
+		}
+		return chanRef{obj: obj, key: e.Name}, true
+	case *ast.SelectorExpr:
+		return chanRef{key: types.ExprString(e)}, true
+	}
+	return chanRef{}, false
+}
+
+func sameRef(a, b chanRef) bool {
+	if a.obj != nil || b.obj != nil {
+		return a.obj == b.obj
+	}
+	return a.key == b.key
+}
+
+func checkUnit(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) {
+	var spawned []*ast.GoStmt
+	astq.Inspect(body, func(n ast.Node, _ []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // nested closures are their own units
+		case *ast.GoStmt:
+			if _, isLit := ast.Unparen(n.Call.Fun).(*ast.FuncLit); isLit {
+				spawned = append(spawned, n)
+				return false
+			}
+		}
+		return true
+	})
+
+	for _, g := range spawned {
+		lit := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		checkGoroutine(pass, body, g, lit)
+	}
+	checkFieldSends(pass, fn, body)
+}
+
+// send describes one channel send found in a goroutine body.
+type send struct {
+	stmt   *ast.SendStmt
+	ref    chanRef
+	inLoop bool
+	inSel  bool // the send is a select comm clause
+}
+
+// checkGoroutine applies rules 1–3 to one spawned closure.
+func checkGoroutine(pass *analysis.Pass, enclosing *ast.BlockStmt, g *ast.GoStmt, lit *ast.FuncLit) {
+	info := pass.TypesInfo
+	var sends []send
+	astq.Inspect(lit.Body, func(n ast.Node, stack []ast.Node) bool {
+		if inner, isLit := n.(*ast.FuncLit); isLit && n != ast.Node(lit) {
+			// Deferred closures still belong to this goroutine's exits.
+			return astq.DeferredLit(inner, stack)
+		}
+		if ss, isSend := n.(*ast.SendStmt); isSend {
+			ref, ok := refOf(info, ss.Chan)
+			if !ok {
+				return true
+			}
+			sends = append(sends, send{
+				stmt:   ss,
+				ref:    ref,
+				inLoop: underLoop(stack, lit),
+				inSel:  isSelectComm(ss, stack),
+			})
+		}
+		return true
+	})
+	if len(sends) == 0 {
+		return
+	}
+
+	// Rule 1: the spawner must consume every local channel this goroutine
+	// sends on.
+	reported := map[string]bool{}
+	for _, s := range sends {
+		if s.ref.obj == nil || reported[s.ref.key] {
+			continue
+		}
+		if !declaredIn(s.ref.obj, enclosing) || declaredIn2(s.ref.obj, lit) {
+			continue
+		}
+		if !consumedOutside(info, enclosing, lit, s.ref.obj) {
+			reported[s.ref.key] = true
+			pass.Reportf(s.stmt.Pos(), "goroutine sends to %s but the enclosing function never receives from or hands off %s; the send blocks (or the result is dropped) forever",
+				s.ref, s.ref)
+		}
+	}
+
+	// Rules 2–3 consider unconditional-protocol sends only: a send inside
+	// a loop or a select clause already has data-dependent multiplicity.
+	cg := pass.CFG(lit)
+	if cg == nil {
+		return
+	}
+	seen := map[string]bool{}
+	for _, s := range sends {
+		if s.inLoop || s.inSel || seen[s.ref.key] || reported[s.ref.key] {
+			continue
+		}
+		seen[s.ref.key] = true
+		ref := s.ref
+		ok := dataflow.MustReach(cg, func(n ast.Node) bool {
+			return signals(info, n, ref)
+		})
+		if !ok {
+			pass.Reportf(g.Pos(), "goroutine sends to %s on some paths but can return without sending or closing it; the collecting receive blocks forever",
+				ref)
+		}
+
+		// Rule 3: a recover block that contains a panic must re-signal.
+		for _, rec := range recoverBlocks(lit.Body) {
+			if !signalsAnywhere(info, rec.body, ref) {
+				pass.Reportf(rec.pos, "recover here contains a worker panic without re-signaling %s; send or close %s in the recovery block so the collector is not left waiting",
+					ref, ref)
+			}
+		}
+	}
+}
+
+// checkFieldSends applies rule 4 to the unit's own statements: a send on
+// a channel field outside loops and selects must be matched on every
+// return path, unless this function is also the channel's consumer.
+func checkFieldSends(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	type fieldSend struct {
+		stmt *ast.SendStmt
+		ref  chanRef
+	}
+	var sends []fieldSend
+	receives := map[string]bool{}
+	astq.Inspect(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if sel, isSel := ast.Unparen(n.Chan).(*ast.SelectorExpr); isSel {
+				if underLoop(stack, nil) || isSelectComm(n, stack) {
+					return true
+				}
+				sends = append(sends, fieldSend{stmt: n, ref: chanRef{key: types.ExprString(sel)}})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if sel, isSel := ast.Unparen(n.X).(*ast.SelectorExpr); isSel {
+					receives[types.ExprString(sel)] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if sel, isSel := ast.Unparen(n.X).(*ast.SelectorExpr); isSel {
+				receives[types.ExprString(sel)] = true
+			}
+		}
+		return true
+	})
+	if len(sends) == 0 {
+		return
+	}
+	g := pass.CFG(fn)
+	if g == nil {
+		return
+	}
+	seen := map[string]bool{}
+	for _, s := range sends {
+		if receives[s.ref.key] || seen[s.ref.key] {
+			continue
+		}
+		seen[s.ref.key] = true
+		ref := s.ref
+		ok := dataflow.MustReach(g, func(n ast.Node) bool {
+			return signals(info, n, ref)
+		})
+		if !ok {
+			pass.Reportf(s.stmt.Pos(), "%s is not sent to or closed on every return path of this function; a concurrent receiver blocks forever when it returns early",
+				ref)
+		}
+	}
+}
+
+// signals reports whether CFG node n sends on or closes ref (deferred
+// closures included; nested literals otherwise opaque).
+func signals(info *types.Info, n ast.Node, ref chanRef) bool {
+	found := false
+	astq.Inspect(n, func(m ast.Node, stack []ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, isLit := m.(*ast.FuncLit); isLit {
+			return astq.DeferredLit(lit, stack)
+		}
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			if r, ok := refOf(info, m.Chan); ok && sameRef(r, ref) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, isID := ast.Unparen(m.Fun).(*ast.Ident); isID && id.Name == "close" && len(m.Args) == 1 {
+				if r, ok := refOf(info, m.Args[0]); ok && sameRef(r, ref) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func signalsAnywhere(info *types.Info, body *ast.BlockStmt, ref chanRef) bool {
+	for _, s := range body.List {
+		if signals(info, s, ref) {
+			return true
+		}
+	}
+	return false
+}
+
+// recoverBlock is a deferred closure that calls recover().
+type recoverBlock struct {
+	pos  token.Pos
+	body *ast.BlockStmt
+}
+
+// recoverBlocks finds deferred closures calling recover() in body
+// (nested literals opaque).
+func recoverBlocks(body *ast.BlockStmt) []recoverBlock {
+	var out []recoverBlock
+	astq.Inspect(body, func(n ast.Node, stack []ast.Node) bool {
+		d, isDefer := n.(*ast.DeferStmt)
+		if !isDefer {
+			if _, isLit := n.(*ast.FuncLit); isLit && !inDeferStack(stack) {
+				return false
+			}
+			return true
+		}
+		lit, isLit := ast.Unparen(d.Call.Fun).(*ast.FuncLit)
+		if !isLit {
+			return true
+		}
+		if pos, ok := callsRecover(lit.Body); ok {
+			out = append(out, recoverBlock{pos: pos, body: lit.Body})
+		}
+		return true
+	})
+	return out
+}
+
+func inDeferStack(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func callsRecover(body *ast.BlockStmt) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	astq.Inspect(body, func(n ast.Node, _ []ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if id, isID := ast.Unparen(call.Fun).(*ast.Ident); isID && id.Name == "recover" && len(call.Args) == 0 {
+				pos, found = call.Pos(), true
+			}
+		}
+		return true
+	})
+	return pos, found
+}
+
+// underLoop reports whether the stack crosses a for/range inside the
+// current function (lit bounds the search when non-nil; any FuncLit cuts
+// it otherwise).
+func underLoop(stack []ast.Node, lit *ast.FuncLit) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			if lit == nil || n == lit {
+				return false
+			}
+		}
+	}
+	return false
+}
+
+// isSelectComm reports whether stmt is the comm statement of a select
+// case (its parent clause lists it as Comm).
+func isSelectComm(stmt ast.Stmt, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	cc, isComm := stack[len(stack)-1].(*ast.CommClause)
+	return isComm && cc.Comm == ast.Stmt(stmt)
+}
+
+// declaredIn reports whether obj's declaration lies inside body.
+func declaredIn(obj types.Object, body *ast.BlockStmt) bool {
+	return obj.Pos() >= body.Pos() && obj.Pos() < body.End()
+}
+
+func declaredIn2(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()
+}
+
+// consumedOutside reports whether obj is mentioned anywhere in enclosing
+// outside the goroutine literal, other than its declaring identifier —
+// a receive, a close, a hand-off as an argument, anything. Sends alone
+// with no other mention are what rule 1 flags.
+func consumedOutside(info *types.Info, enclosing *ast.BlockStmt, lit *ast.FuncLit, obj types.Object) bool {
+	consumed := false
+	astq.Inspect(enclosing, func(n ast.Node, _ []ast.Node) bool {
+		if consumed {
+			return false
+		}
+		if n == ast.Node(lit) {
+			return false
+		}
+		id, isID := n.(*ast.Ident)
+		if !isID {
+			return true
+		}
+		if info.Defs[id] == obj {
+			return true // the declaration itself
+		}
+		if info.Uses[id] == obj {
+			consumed = true
+		}
+		return true
+	})
+	return consumed
+}

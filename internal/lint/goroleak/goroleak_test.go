@@ -1,0 +1,23 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"setlearn/internal/lint/goroleak"
+	"setlearn/internal/lint/linttest"
+)
+
+func TestGoroleak(t *testing.T) {
+	linttest.Run(t, goroleak.Analyzer, "goroleak")
+}
+
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{"setlearn/internal/shard", "setlearn/internal/server"} {
+		if !goroleak.Analyzer.InScope(pkg) {
+			t.Errorf("goroleak should cover %s", pkg)
+		}
+	}
+	if goroleak.Analyzer.InScope("setlearn/internal/mat") {
+		t.Error("goroleak should not cover goroutine-free numeric kernels")
+	}
+}

@@ -1,0 +1,169 @@
+package goroleak
+
+import "errors"
+
+type srv struct {
+	addr chan string
+	done chan struct{}
+}
+
+func listen(a string) (string, error) {
+	if a == "" {
+		return "", errors.New("empty addr")
+	}
+	return a, nil
+}
+
+// fanInCollected is the canonical correct shape: every worker send has a
+// matching receive in the spawner.
+func fanInCollected(work []func() error) error {
+	errc := make(chan error, len(work))
+	for _, w := range work {
+		w := w
+		go func() {
+			errc <- w()
+		}()
+	}
+	for range work {
+		if err := <-errc; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abandonedSend: nothing ever receives from out.
+func abandonedSend(w func() error) {
+	out := make(chan error)
+	go func() {
+		out <- w() // want `goroutine sends to out but the enclosing function never receives from or hands off out`
+	}()
+}
+
+// handedOff passes the channel to a consumer; not a leak this analysis
+// can judge.
+func handedOff(w func() error, consume func(<-chan error)) {
+	out := make(chan error, 1)
+	go func() {
+		out <- w()
+	}()
+	consume(out)
+}
+
+// conditionalWorkerSend can return without signaling the collector.
+func conditionalWorkerSend(w func() error) error {
+	res := make(chan error, 1)
+	go func() { // want `goroutine sends to res on some paths but can return without sending or closing it`
+		err := w()
+		if err != nil {
+			res <- err
+			return
+		}
+		// forgot: res <- nil
+	}()
+	return <-res
+}
+
+// allPathsSend covers both branches; the collector always hears back.
+func allPathsSend(w func() error) error {
+	res := make(chan error, 1)
+	go func() {
+		if err := w(); err != nil {
+			res <- err
+			return
+		}
+		res <- nil
+	}()
+	return <-res
+}
+
+// panicExempt: the panicking path is not a silent miss.
+func panicExempt(w func() error) error {
+	res := make(chan error, 1)
+	go func() {
+		err := w()
+		if err != nil {
+			panic(err)
+		}
+		res <- nil
+	}()
+	return <-res
+}
+
+// recoverSwallowsSignal contains the panic but never tells the collector.
+func recoverSwallowsSignal(w func() error) error {
+	res := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil { // want `recover here contains a worker panic without re-signaling res`
+				_ = r
+			}
+		}()
+		res <- w()
+	}()
+	return <-res
+}
+
+// recoverResignals keeps the fan-in alive on contained panics.
+func recoverResignals(w func() error) error {
+	res := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res <- errors.New("worker panicked")
+			}
+		}()
+		res <- w()
+	}()
+	return <-res
+}
+
+// Run abandons s.addr when listen fails: Addr()'s receive blocks forever.
+func (s *srv) Run(a string) error {
+	ln, err := listen(a)
+	if err != nil {
+		return err // nothing ever signals s.addr
+	}
+	s.addr <- ln // want `s\.addr is not sent to or closed on every return path`
+	return nil
+}
+
+// RunFixed closes the channel on the failure path so receivers unblock.
+func (s *srv) RunFixed(a string) error {
+	ln, err := listen(a)
+	if err != nil {
+		close(s.addr)
+		return err
+	}
+	s.addr <- ln
+	return nil
+}
+
+// Addr both receives and re-sends; the receive makes this function the
+// channel's consumer, not a conditional producer.
+func (s *srv) Addr() string {
+	a, ok := <-s.addr
+	if !ok {
+		return ""
+	}
+	s.addr <- a
+	return a
+}
+
+// notify sends under select with a default; opting out of the send is the
+// point of the select, not a leak.
+func (s *srv) notify() {
+	select {
+	case s.done <- struct{}{}:
+	default:
+	}
+}
+
+// detachedHeartbeat is a deliberate fire-and-forget channel.
+func detachedHeartbeat(beat func() error) {
+	drop := make(chan error)
+	go func() {
+		//lint:allow goroleak -- sink channel read by an external debugger session only
+		drop <- beat()
+	}()
+}

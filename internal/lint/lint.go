@@ -13,20 +13,28 @@ import (
 
 	"setlearn/internal/lint/analysis"
 	"setlearn/internal/lint/binioerr"
+	"setlearn/internal/lint/deferclose"
 	"setlearn/internal/lint/floateq"
 	"setlearn/internal/lint/globalrand"
+	"setlearn/internal/lint/goroleak"
 	"setlearn/internal/lint/load"
+	"setlearn/internal/lint/lockbalance"
 	"setlearn/internal/lint/lockescape"
 	"setlearn/internal/lint/poolpair"
+	"setlearn/internal/lint/waitgroup"
 )
 
 // Analyzers is the full setlearnlint suite, in stable order.
 var Analyzers = []*analysis.Analyzer{
 	binioerr.Analyzer,
+	deferclose.Analyzer,
 	floateq.Analyzer,
 	globalrand.Analyzer,
+	goroleak.Analyzer,
+	lockbalance.Analyzer,
 	lockescape.Analyzer,
 	poolpair.Analyzer,
+	waitgroup.Analyzer,
 }
 
 // ByName returns the named analyzer, or nil.

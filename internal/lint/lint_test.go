@@ -70,7 +70,10 @@ func floatCompare(a, b float64) bool { return a == b }
 
 // TestByName covers the analyzer registry the -run flag resolves through.
 func TestByName(t *testing.T) {
-	for _, name := range []string{"binioerr", "floateq", "globalrand", "lockescape", "poolpair"} {
+	for _, name := range []string{
+		"binioerr", "deferclose", "floateq", "globalrand", "goroleak",
+		"lockbalance", "lockescape", "poolpair", "waitgroup",
+	} {
 		if lint.ByName(name) == nil {
 			t.Errorf("ByName(%q) = nil", name)
 		}
@@ -78,7 +81,7 @@ func TestByName(t *testing.T) {
 	if lint.ByName("nosuch") != nil {
 		t.Error("ByName(nosuch) should be nil")
 	}
-	if len(lint.Analyzers) != 5 {
-		t.Errorf("suite has %d analyzers, want 5", len(lint.Analyzers))
+	if len(lint.Analyzers) != 9 {
+		t.Errorf("suite has %d analyzers, want 9", len(lint.Analyzers))
 	}
 }

@@ -1,0 +1,103 @@
+// Package lockbalance enforces path-balanced locking: every sync.Mutex /
+// sync.RWMutex acquire must be matched by a release (inline or deferred)
+// on every path out of the function — normal returns and explicit panics
+// alike. The syntactic lockescape analyzer cannot see that mu.Lock() on
+// one branch has no Unlock on an early-return branch; lockbalance runs a
+// forward may-held dataflow over the function's CFG, so the sharded
+// fan-out paths PR 4 added (per-shard RWMutexes, container locks around
+// Insert/Update) cannot silently leak a lock on an error path.
+//
+// A function that intentionally returns while holding a lock (a lock
+// handoff) must carry a //lint:allow lockbalance -- <why> justification.
+package lockbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/lockflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockbalance",
+	Doc: "every sync.Mutex/RWMutex Lock or RLock must be released on all exit " +
+		"paths (inline on each branch or via defer); a path that returns or " +
+		"panics with the lock still held deadlocks the next acquirer",
+	Scope: []string{
+		"setlearn/internal/hybrid",
+		"setlearn/internal/server",
+		"setlearn/internal/shard",
+		"setlearn/internal/deepsets",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFn(pass, n)
+				}
+			case *ast.FuncLit:
+				checkFn(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type leak struct {
+	key  string
+	pos  token.Pos
+	read bool // leaked via RLock rather than Lock
+	exit string
+}
+
+func checkFn(pass *analysis.Pass, fn ast.Node) {
+	g := pass.CFG(fn)
+	if g == nil {
+		return
+	}
+	res := lockflow.Analyze(pass.TypesInfo, g)
+
+	// Deduplicate by acquire site: a lock leaked at both a return and a
+	// panic is one finding, reported against the return (the likelier bug).
+	leaks := map[token.Pos]leak{}
+	collect := func(h lockflow.Held, exit string) {
+		for key, info := range h {
+			if info.W > 0 && info.WPos != token.NoPos {
+				if _, seen := leaks[info.WPos]; !seen || exit == "return" {
+					leaks[info.WPos] = leak{key: key, pos: info.WPos, read: false, exit: exit}
+				}
+			}
+			if info.R > 0 && info.RPos != token.NoPos {
+				if _, seen := leaks[info.RPos]; !seen || exit == "return" {
+					leaks[info.RPos] = leak{key: key, pos: info.RPos, read: true, exit: exit}
+				}
+			}
+		}
+	}
+	if len(g.Panic.Preds) > 0 {
+		collect(res.In[g.Panic], "panic")
+	}
+	collect(res.In[g.Exit], "return")
+
+	ordered := make([]leak, 0, len(leaks))
+	for _, l := range leaks {
+		ordered = append(ordered, l)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].pos < ordered[j].pos })
+	for _, l := range ordered {
+		acquire, release := "Lock", "Unlock"
+		if l.read {
+			acquire, release = "RLock", "RUnlock"
+		}
+		pass.Reportf(l.pos, "%s.%s() can reach a %s with the lock still held; release it on every path or defer %s.%s()",
+			l.key, acquire, l.exit, l.key, release)
+	}
+}

@@ -1,0 +1,28 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"setlearn/internal/lint/linttest"
+	"setlearn/internal/lint/lockbalance"
+)
+
+func TestLockbalance(t *testing.T) {
+	linttest.Run(t, lockbalance.Analyzer, "lockbalance")
+}
+
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{
+		"setlearn/internal/hybrid",
+		"setlearn/internal/server",
+		"setlearn/internal/shard",
+		"setlearn/internal/deepsets",
+	} {
+		if !lockbalance.Analyzer.InScope(pkg) {
+			t.Errorf("lockbalance should cover %s", pkg)
+		}
+	}
+	if lockbalance.Analyzer.InScope("setlearn/internal/mat") {
+		t.Error("lockbalance should not cover lock-free numeric kernels")
+	}
+}

@@ -1,0 +1,144 @@
+package lockbalance
+
+import (
+	"errors"
+	"sync"
+)
+
+type store struct {
+	mu    sync.RWMutex
+	inner sync.Mutex
+	m     map[string]int
+}
+
+var errMissing = errors.New("missing")
+
+// deferredUnlock is the canonical correct shape: defer releases on every
+// path, including panics.
+func (s *store) deferredUnlock(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+// balancedBranches releases inline on each path; no defer needed.
+func (s *store) balancedBranches(k string) (int, error) {
+	s.mu.RLock()
+	if v, ok := s.m[k]; ok {
+		s.mu.RUnlock()
+		return v, nil
+	}
+	s.mu.RUnlock()
+	return 0, errMissing
+}
+
+// earlyReturnLeak forgets the unlock on the error path.
+func (s *store) earlyReturnLeak(k string) (int, error) {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) can reach a return with the lock still held`
+	v, ok := s.m[k]
+	if !ok {
+		return 0, errMissing
+	}
+	s.mu.Unlock()
+	return v, nil
+}
+
+// readLeakOnBranch releases on the hit path only.
+func (s *store) readLeakOnBranch(k string) int {
+	s.mu.RLock() // want `s\.mu\.RLock\(\) can reach a return with the lock still held`
+	if v, ok := s.m[k]; ok {
+		s.mu.RUnlock()
+		return v
+	}
+	return 0
+}
+
+// panicUnderLock leaks the lock only on the panicking path; a defer would
+// cover it.
+func (s *store) panicUnderLock(k string) int {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) can reach a panic with the lock still held`
+	v, ok := s.m[k]
+	if !ok {
+		panic("missing key")
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// loopBreakLeak exits the loop holding the lock acquired inside it.
+func (s *store) loopBreakLeak(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		s.inner.Lock() // want `s\.inner\.Lock\(\) can reach a return with the lock still held`
+		v, ok := s.m[k]
+		if !ok {
+			break
+		}
+		total += v
+		s.inner.Unlock()
+	}
+	return total
+}
+
+// loopBalanced locks and unlocks each iteration; the may-analysis must
+// not report a leak just because the loop repeats.
+func (s *store) loopBalanced(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		s.inner.Lock()
+		total += s.m[k]
+		s.inner.Unlock()
+	}
+	return total
+}
+
+// deferredClosureUnlock releases through a deferred closure.
+func (s *store) deferredClosureUnlock(k string) int {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	return s.m[k]
+}
+
+// switchLeak misses the release on one case only.
+func (s *store) switchLeak(k string, mode int) int {
+	s.mu.RLock() // want `s\.mu\.RLock\(\) can reach a return with the lock still held`
+	switch mode {
+	case 0:
+		s.mu.RUnlock()
+		return 0
+	case 1:
+		v := s.m[k]
+		s.mu.RUnlock()
+		return v
+	default:
+		return -1
+	}
+}
+
+// closureOwnsItsLocks: the FuncLit is analyzed as its own function — its
+// balanced lock must not confuse the enclosing function, and vice versa.
+func (s *store) closureOwnsItsLocks(keys []string) func() int {
+	return func() int {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return len(s.m)
+	}
+}
+
+// closureLeaks: the leak inside the literal is reported at the literal's
+// acquire site.
+func (s *store) closureLeaks() func(string) int {
+	return func(k string) int {
+		s.mu.RLock() // want `s\.mu\.RLock\(\) can reach a return with the lock still held`
+		return s.m[k]
+	}
+}
+
+// handoff intentionally returns holding the lock; the justification keeps
+// the suppression honest.
+func (s *store) handoff() {
+	//lint:allow lockbalance -- lock handoff: caller must invoke release()
+	s.mu.Lock()
+}

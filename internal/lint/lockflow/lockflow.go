@@ -1,0 +1,294 @@
+// Package lockflow is the shared lock-state machinery behind the
+// path-sensitive analyzers lockbalance and waitgroup: it recognizes
+// sync.Mutex/RWMutex state transitions syntactically-plus-typed
+// (Lock/RLock/Unlock/RUnlock on a sync receiver), keys each lock by the
+// source text of its receiver expression, and runs a forward may-held
+// analysis over a function's CFG.
+//
+// The domain is finite by construction: per key, read and write hold
+// depths are clamped to [0, 2] ("held twice or more" collapses to 2), and
+// the join takes the maximum depth with the earliest acquire position, so
+// the worklist solver terminates on loops.
+package lockflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"setlearn/internal/lint/astq"
+	"setlearn/internal/lint/cfg"
+	"setlearn/internal/lint/dataflow"
+)
+
+// Op is a mutex state transition.
+type Op int
+
+const (
+	Lock Op = iota
+	RLock
+	Unlock
+	RUnlock
+)
+
+// MutexOp reports whether call is a Lock/RLock/Unlock/RUnlock call on a
+// sync.Mutex or sync.RWMutex (possibly embedded through a named type's
+// promoted method set is NOT matched — the receiver type must be the sync
+// type itself, which is how the repo declares its mutexes). key is the
+// source text of the receiver expression, e.g. "c.mu" or "sh.mu".
+func MutexOp(info *types.Info, call *ast.CallExpr) (key string, op Op, ok bool) {
+	fn := astq.CalleeFunc(info, call)
+	if fn == nil {
+		return "", 0, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		op = Lock
+	case "RLock":
+		op = RLock
+	case "Unlock":
+		op = Unlock
+	case "RUnlock":
+		op = RUnlock
+	default:
+		return "", 0, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", 0, false
+	}
+	named := astq.NamedOrPointee(recv.Type())
+	if named == nil {
+		return "", 0, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", 0, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), op, true
+}
+
+// Info is the may-held record for one lock key.
+type Info struct {
+	R, W       int       // read / write hold depth, clamped to [0, 2]
+	RPos, WPos token.Pos // earliest acquire site still outstanding
+}
+
+// Held maps lock keys to their may-held state. A nil map means nothing is
+// held; zero-depth entries are dropped so states compare canonically.
+type Held map[string]Info
+
+// Lattice is the may-held join semilattice over Held states.
+type Lattice struct{}
+
+func (Lattice) Init() Held { return nil }
+
+func (Lattice) Join(a, b Held) Held {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(Held, len(a)+len(b))
+	for k, ia := range a {
+		out[k] = ia
+	}
+	for k, ib := range b {
+		ia, present := out[k]
+		if !present {
+			out[k] = ib
+			continue
+		}
+		m := Info{
+			R: max(ia.R, ib.R), W: max(ia.W, ib.W),
+			RPos: earliest(ia.RPos, ib.RPos),
+			WPos: earliest(ia.WPos, ib.WPos),
+		}
+		out[k] = m
+	}
+	return out
+}
+
+func (Lattice) Equal(a, b Held) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, ia := range a {
+		if ib, present := b[k]; !present || ia != ib {
+			return false
+		}
+	}
+	return true
+}
+
+func earliest(a, b token.Pos) token.Pos {
+	if a == token.NoPos {
+		return b
+	}
+	if b == token.NoPos {
+		return a
+	}
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// Analyze runs the forward may-held analysis over g for exit-balance
+// checking: defer statements release immediately at their source position
+// — a defer X.Unlock() means every downstream exit releases X, which is
+// exactly the balance lockbalance checks. Nested function literals are
+// opaque (a closure's locks are its own function's problem).
+func Analyze(info *types.Info, g *cfg.Graph) *dataflow.Result[Held] {
+	return solve(info, g, true)
+}
+
+// AnalyzeLive is Analyze with defers left pending: a deferred unlock does
+// not release until the function returns, so the lock counts as held at
+// every program point after the acquire. This is the view waitgroup needs
+// to ask "is the mutex held while Wait blocks here".
+func AnalyzeLive(info *types.Info, g *cfg.Graph) *dataflow.Result[Held] {
+	return solve(info, g, false)
+}
+
+func solve(info *types.Info, g *cfg.Graph, deferReleases bool) *dataflow.Result[Held] {
+	return dataflow.Forward[Held](g, Lattice{}, nil, func(b *cfg.Block, in Held) Held {
+		h := clone(in)
+		for _, n := range b.Nodes {
+			h = apply(info, h, n, deferReleases)
+		}
+		return canon(h)
+	})
+}
+
+// StateAtLive replays block b's nodes from state in (from AnalyzeLive)
+// and returns the live state just before node index i runs. Used by
+// analyzers that need the lock state at a specific call site rather than
+// a block boundary.
+func StateAtLive(info *types.Info, in Held, b *cfg.Block, i int) Held {
+	h := clone(in)
+	for j := 0; j < i && j < len(b.Nodes); j++ {
+		h = apply(info, h, b.Nodes[j], false)
+	}
+	return canon(h)
+}
+
+// apply folds one CFG node's mutex operations into h (mutating the
+// already-cloned h). Operations inside nested FuncLits are skipped except
+// for deferred closures, whose unlocks release at the defer site when
+// deferReleases is set (and are pending — ignored — otherwise).
+func apply(info *types.Info, h Held, n ast.Node, deferReleases bool) Held {
+	if d, isDefer := n.(*ast.DeferStmt); isDefer {
+		if !deferReleases {
+			return h
+		}
+		// defer mu.Unlock() — or defer func() { ...mu.Unlock()... }().
+		if key, op, ok := MutexOp(info, d.Call); ok {
+			return transition(h, key, op, d.Call.Pos())
+		}
+		if lit, isLit := ast.Unparen(d.Call.Fun).(*ast.FuncLit); isLit {
+			astq.Inspect(lit.Body, func(m ast.Node, _ []ast.Node) bool {
+				if _, isInner := m.(*ast.FuncLit); isInner {
+					return false
+				}
+				if call, isCall := m.(*ast.CallExpr); isCall {
+					if key, op, ok := MutexOp(info, call); ok && (op == Unlock || op == RUnlock) {
+						h = transition(h, key, op, call.Pos())
+					}
+				}
+				return true
+			})
+		}
+		return h
+	}
+	astq.Inspect(n, func(m ast.Node, _ []ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, isCall := m.(*ast.CallExpr); isCall {
+			if key, op, ok := MutexOp(info, call); ok {
+				h = transition(h, key, op, call.Pos())
+			}
+		}
+		return true
+	})
+	return h
+}
+
+func transition(h Held, key string, op Op, pos token.Pos) Held {
+	if h == nil {
+		h = make(Held)
+	}
+	i := h[key]
+	switch op {
+	case Lock:
+		if i.W == 0 {
+			i.WPos = pos
+		}
+		if i.W < 2 {
+			i.W++
+		}
+	case RLock:
+		if i.R == 0 {
+			i.RPos = pos
+		}
+		if i.R < 2 {
+			i.R++
+		}
+	case Unlock:
+		if i.W > 0 {
+			i.W--
+		}
+		if i.W == 0 {
+			i.WPos = token.NoPos
+		}
+	case RUnlock:
+		if i.R > 0 {
+			i.R--
+		}
+		if i.R == 0 {
+			i.RPos = token.NoPos
+		}
+	}
+	h[key] = i
+	return h
+}
+
+func clone(h Held) Held {
+	if len(h) == 0 {
+		return nil
+	}
+	out := make(Held, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// canon drops entries with no outstanding holds so Equal is stable.
+func canon(h Held) Held {
+	for k, v := range h {
+		if v.R == 0 && v.W == 0 {
+			delete(h, k)
+		}
+	}
+	if len(h) == 0 {
+		return nil
+	}
+	return h
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -13,7 +13,6 @@ package poolpair
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"setlearn/internal/lint/analysis"
 	"setlearn/internal/lint/astq"
@@ -52,7 +51,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 			return true
 		}
 		fn := astq.CalleeFunc(pass.TypesInfo, call)
-		if fn == nil || !isPoolMethod(fn) {
+		if fn == nil || !astq.PoolMethod(fn) {
 			return true
 		}
 		switch fn.Name() {
@@ -73,25 +72,4 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		pass.Reportf(p.call.Pos(), "pool Put after Get must be deferred (defer %s) so a panic between Get and Put cannot leak the pooled object",
 			types.ExprString(p.call.Fun))
 	}
-}
-
-// isPoolMethod reports whether fn is a Get/Put method whose receiver is
-// sync.Pool or a named type ending in "Pool".
-func isPoolMethod(fn *types.Func) bool {
-	if fn.Name() != "Get" && fn.Name() != "Put" {
-		return false
-	}
-	recv := fn.Type().(*types.Signature).Recv()
-	if recv == nil {
-		return false
-	}
-	named := astq.NamedOrPointee(recv.Type())
-	if named == nil {
-		return false
-	}
-	obj := named.Obj()
-	if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool" {
-		return true
-	}
-	return strings.HasSuffix(obj.Name(), "Pool")
 }

@@ -1,0 +1,124 @@
+package waitgroup
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	n  int
+}
+
+// boundedWorkers is the canonical correct fan-out: Done is deferred first
+// thing in each worker.
+func boundedWorkers(work []func() error) []error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(work))
+	for i := range work {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = work[i]()
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// conditionalDone forgets Done on the fallthrough path.
+func conditionalDone(work []func() error) {
+	var wg sync.WaitGroup
+	for i := range work {
+		wg.Add(1)
+		go func(i int) { // want `goroutine can return without calling wg\.Done`
+			if err := work[i](); err != nil {
+				wg.Done()
+				return
+			}
+			// missing wg.Done here
+		}(i)
+	}
+	wg.Wait()
+}
+
+// addWithoutDone spins the counter up with nothing to spin it down.
+func addWithoutDone(work []func()) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1) // want `wg\.Add inside a loop has no matching wg\.Done`
+		go func() {
+			// worker never signals completion
+		}()
+	}
+	wg.Wait()
+}
+
+// waitUnderWorkerLock holds the mutex across Wait while workers need it.
+func (p *pool) waitUnderWorkerLock(work []func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for range work {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.mu.Lock()
+			p.n++
+			p.mu.Unlock()
+		}()
+	}
+	p.wg.Wait() // want `p\.wg\.Wait\(\) runs while p\.mu is held`
+}
+
+// waitAfterUnlock releases before waiting; workers can make progress.
+func (p *pool) waitAfterUnlock(work []func()) {
+	p.mu.Lock()
+	for range work {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.mu.Lock()
+			p.n++
+			p.mu.Unlock()
+		}()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// doneViaDeferredClosure still counts: the deferred literal runs on exit.
+func doneViaDeferredClosure(work []func()) {
+	var wg sync.WaitGroup
+	for i := range work {
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				wg.Done()
+			}()
+			work[i]()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// panicPathExempt: a goroutine that panics past Done is not a silent
+// miss (the process dies loudly); only returning paths must signal.
+func panicPathExempt(work []func() bool) {
+	var wg sync.WaitGroup
+	for i := range work {
+		wg.Add(1)
+		go func(i int) {
+			if !work[i]() {
+				panic("worker invariant violated")
+			}
+			wg.Done()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// handoffAdd hands completion to another function by contract.
+func handoffAdd(wg *sync.WaitGroup, work []func()) {
+	for range work {
+		//lint:allow waitgroup -- completion handed to runDetached by contract
+		wg.Add(1)
+	}
+}

@@ -1,0 +1,294 @@
+// Package waitgroup checks the three ways a sync.WaitGroup protocol
+// breaks in the sharded fan-out code:
+//
+//  1. A spawned goroutine that calls wg.Done must do so on every
+//     non-panicking path (ideally via defer at the top) — one missed path
+//     and Wait hangs forever.
+//  2. wg.Add inside a loop must be matched by a Done somewhere: in a
+//     goroutine launched by the same function or inline. Add-with-no-Done
+//     is an unconditional hang.
+//  3. wg.Wait must not run while holding a mutex that the launched
+//     goroutines also acquire: the workers block on the mutex, Wait
+//     blocks on the workers.
+//
+// Rules are intraprocedural: a WaitGroup handed to another function for
+// completion is outside the analysis and needs a //lint:allow with
+// justification if flagged.
+package waitgroup
+
+import (
+	"go/ast"
+	"go/types"
+
+	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/astq"
+	"setlearn/internal/lint/dataflow"
+	"setlearn/internal/lint/lockflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "waitgroup",
+	Doc: "wg.Add must be matched by wg.Done on every path of the spawned " +
+		"goroutine, and wg.Wait must not run under a lock the workers also " +
+		"take; either miss deadlocks the fan-out",
+	Scope: []string{
+		"setlearn/internal/shard",
+		"setlearn/internal/server",
+		"setlearn/internal/hybrid",
+		"setlearn/internal/deepsets",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkUnit(pass, n, n.Body)
+				}
+			case *ast.FuncLit:
+				checkUnit(pass, n, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// wgCall matches a call to sync.WaitGroup.{Add,Done,Wait}; key is the
+// source text of the receiver expression ("wg", "c.wg", ...).
+func wgCall(info *types.Info, call *ast.CallExpr) (key, name string, ok bool) {
+	fn := astq.CalleeFunc(info, call)
+	if fn == nil {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Add", "Done", "Wait":
+	default:
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	named := astq.NamedOrPointee(recv.Type())
+	if named == nil {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || obj.Name() != "WaitGroup" {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+// checkUnit analyzes one function body: the unit's own statements with
+// nested FuncLits opaque, plus the go-closures it launches (each closure
+// body is additionally its own unit via the outer walk).
+func checkUnit(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) {
+	type addSite struct {
+		key    string
+		call   *ast.CallExpr
+		inLoop bool
+	}
+	var adds []addSite
+	var waits []*ast.CallExpr
+	doneHere := map[string]bool{} // inline Done at unit level
+	var spawned []*ast.GoStmt     // go func(){...}() launched by this unit
+
+	astq.Inspect(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures are their own units
+		case *ast.GoStmt:
+			if _, isLit := ast.Unparen(n.Call.Fun).(*ast.FuncLit); isLit {
+				spawned = append(spawned, n)
+				return false // closure body is not unit-level code
+			}
+		case *ast.CallExpr:
+			key, name, ok := wgCall(pass.TypesInfo, n)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "Add":
+				adds = append(adds, addSite{key: key, call: n, inLoop: inLoop(stack)})
+			case "Done":
+				doneHere[key] = true
+			case "Wait":
+				waits = append(waits, n)
+			}
+		}
+		return true
+	})
+
+	// Rule 1: each spawned closure that signals a WaitGroup must signal it
+	// on every non-panic path.
+	for _, g := range spawned {
+		lit := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		for _, key := range doneKeys(pass.TypesInfo, lit.Body) {
+			cg := pass.CFG(lit)
+			if cg == nil {
+				continue
+			}
+			key := key
+			ok := dataflow.MustReach(cg, func(n ast.Node) bool {
+				return hasWGDone(pass.TypesInfo, n, key)
+			})
+			if !ok {
+				pass.Reportf(g.Pos(), "goroutine can return without calling %s.Done; move it to a defer at the top of the goroutine or %s.Wait will hang",
+					key, key)
+			}
+		}
+	}
+
+	// Rule 2: Add inside a loop with no Done anywhere in reach.
+	for _, a := range adds {
+		if !a.inLoop || doneHere[a.key] {
+			continue
+		}
+		matched := false
+		for _, g := range spawned {
+			lit := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			for _, key := range doneKeys(pass.TypesInfo, lit.Body) {
+				if key == a.key {
+					matched = true
+				}
+			}
+		}
+		if !matched {
+			pass.Reportf(a.call.Pos(), "%s.Add inside a loop has no matching %s.Done in this function or its goroutines; %s.Wait will never return",
+				a.key, a.key, a.key)
+		}
+	}
+
+	// Rule 3: Wait while holding a lock the workers also take.
+	if len(waits) > 0 && len(spawned) > 0 {
+		g := pass.CFG(fn)
+		if g == nil {
+			return
+		}
+		res := lockflow.AnalyzeLive(pass.TypesInfo, g)
+		for _, b := range g.Blocks {
+			for i, n := range b.Nodes {
+				w := waitIn(pass.TypesInfo, n, waits)
+				if w == nil {
+					continue
+				}
+				held := lockflow.StateAtLive(pass.TypesInfo, res.In[b], b, i)
+				for lockKey := range held {
+					for _, gs := range spawned {
+						lit := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+						if closureAcquires(pass.TypesInfo, lit.Body, lockKey) {
+							wgKey, _, _ := wgCall(pass.TypesInfo, w)
+							pass.Reportf(w.Pos(), "%s.Wait() runs while %s is held and goroutines launched here also lock %s; the workers block on the mutex and Wait blocks on the workers",
+								wgKey, lockKey, lockKey)
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// inLoop reports whether the stack crosses a for/range statement without
+// leaving the current function body (FuncLits cut the search).
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// doneKeys lists the WaitGroup keys body calls Done on, with nested
+// FuncLits opaque except deferred closures (a deferred Done still runs).
+func doneKeys(info *types.Info, body *ast.BlockStmt) []string {
+	seen := map[string]bool{}
+	var keys []string
+	astq.Inspect(body, func(n ast.Node, stack []ast.Node) bool {
+		if lit, isLit := n.(*ast.FuncLit); isLit && !astq.DeferredLit(lit, stack) {
+			return false
+		}
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if key, name, ok := wgCall(info, call); ok && name == "Done" && !seen[key] {
+				seen[key] = true
+				keys = append(keys, key)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// hasWGDone reports whether CFG node n guarantees a Done on key once it
+// executes: a direct call, or a defer (deferred Done runs even on panic).
+func hasWGDone(info *types.Info, n ast.Node, key string) bool {
+	found := false
+	astq.Inspect(n, func(m ast.Node, stack []ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, isLit := m.(*ast.FuncLit); isLit && !astq.DeferredLit(lit, stack) {
+			return false
+		}
+		if call, isCall := m.(*ast.CallExpr); isCall {
+			if k, name, ok := wgCall(info, call); ok && name == "Done" && k == key {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// waitIn returns the Wait call contained in CFG node n at unit level, if
+// any (nested closures excluded).
+func waitIn(info *types.Info, n ast.Node, waits []*ast.CallExpr) *ast.CallExpr {
+	var found *ast.CallExpr
+	astq.Inspect(n, func(m ast.Node, _ []ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		for _, w := range waits {
+			if m == ast.Node(w) {
+				found = w
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// closureAcquires reports whether the closure body (including its nested
+// literals) acquires the lock named by key.
+func closureAcquires(info *types.Info, body *ast.BlockStmt, key string) bool {
+	found := false
+	astq.Inspect(body, func(m ast.Node, _ []ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, isCall := m.(*ast.CallExpr); isCall {
+			if k, op, ok := lockflow.MutexOp(info, call); ok && k == key && (op == lockflow.Lock || op == lockflow.RLock) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,25 @@
+package waitgroup_test
+
+import (
+	"testing"
+
+	"setlearn/internal/lint/linttest"
+	"setlearn/internal/lint/waitgroup"
+)
+
+func TestWaitgroup(t *testing.T) {
+	linttest.Run(t, waitgroup.Analyzer, "waitgroup")
+}
+
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{
+		"setlearn/internal/shard",
+		"setlearn/internal/server",
+		"setlearn/internal/hybrid",
+		"setlearn/internal/deepsets",
+	} {
+		if !waitgroup.Analyzer.InScope(pkg) {
+			t.Errorf("waitgroup should cover %s", pkg)
+		}
+	}
+}

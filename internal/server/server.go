@@ -160,6 +160,10 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Run(ctx context.Context) error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
+		// Close rather than abandon the address channel: a concurrent
+		// Addr() call would otherwise block forever on a server that
+		// never bound its listener.
+		close(s.addr)
 		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
 	}
 	s.addr <- ln.Addr()
@@ -183,9 +187,13 @@ func (s *Server) Run(ctx context.Context) error {
 }
 
 // Addr reports the resolved listen address once Run has bound its listener;
-// useful with ":0" configs in tests and scripts.
+// useful with ":0" configs in tests and scripts. It returns nil when Run
+// failed to listen (the channel is closed instead of sent).
 func (s *Server) Addr() net.Addr {
-	a := <-s.addr
+	a, ok := <-s.addr
+	if !ok {
+		return nil
+	}
 	s.addr <- a
 	return a
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -462,5 +463,34 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 	if _, err := http.Post(url, "application/json", strings.NewReader(`{"query":[1]}`)); err == nil {
 		t.Fatal("server still accepting connections after drain")
+	}
+}
+
+// TestAddrUnblocksWhenListenFails is a regression test for a stuck-goroutine
+// bug: when net.Listen failed, Run returned without touching s.addr, so any
+// goroutine already blocked in Addr() hung forever. Run must close the
+// channel on the error path and Addr must report the failure as nil.
+func TestAddrUnblocksWhenListenFails(t *testing.T) {
+	f := sharedFixture(t)
+	// Port 99999 is out of range, so the listen always fails.
+	s, err := New(Structures{Estimator: f.est}, Config{Addr: "127.0.0.1:99999"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrCh := make(chan net.Addr, 1)
+	go func() { addrCh <- s.Addr() }()
+
+	if err := s.Run(context.Background()); err == nil {
+		t.Fatal("Run succeeded on an unbindable address")
+	}
+
+	select {
+	case a := <-addrCh:
+		if a != nil {
+			t.Fatalf("Addr() = %v, want nil after failed listen", a)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Addr() still blocked 5s after Run failed to listen")
 	}
 }
