@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet lint lint-dataflow test race bench bench-inference bench-sharding fuzz-smoke experiments examples clean
+.PHONY: all build fmt-check vet lint lint-dataflow test race race-mutation bench bench-inference bench-sharding fuzz-smoke experiments examples clean
 
 all: build fmt-check vet lint test race
 
@@ -33,6 +33,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The live-mutation battery under the race detector: goroutines query all
+# three sharded containers while writers insert and the background trainer
+# hot-swaps shard states, plus the /v1/insert HTTP surface. CI runs the same
+# invocation with -count=2.
+race-mutation:
+	$(GO) test -race -run 'TestMutation|TestInsert|TestDelta|TestTrainer' -timeout 10m ./internal/shard/ ./internal/server/
+
 # One testing.B benchmark per table and figure of the paper, plus the
 # per-operation query benchmarks.
 bench:
@@ -55,6 +62,7 @@ bench-sharding:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoadStructure -fuzztime=20s ./internal/core/
 	$(GO) test -fuzz=FuzzLoadSharded -fuzztime=20s ./internal/shard/
+	$(GO) test -fuzz=FuzzInsertThenLoad -fuzztime=20s ./internal/shard/
 	$(GO) test -fuzz=FuzzReadCollection -fuzztime=10s ./internal/sets/
 	$(GO) test -fuzz=FuzzSetCanonical -fuzztime=10s ./internal/sets/
 

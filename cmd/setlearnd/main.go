@@ -21,6 +21,16 @@
 // and published under setlearn.shard.* on /debug/vars; -shards and
 // -partitioner assert the expected topology. The daemon drains in-flight
 // requests on SIGINT/SIGTERM before exiting.
+//
+// Live mutation: POST /v1/insert appends a set to every loaded structure;
+// answers include it the moment the response is written, served from a
+// per-shard exact delta. With -retrain-interval set, a background trainer
+// sweeps the sharded containers, rebuilds the shard with the most pending
+// inserts (at least -delta-threshold of them) off the serving path, and
+// hot-swaps it in; pending-delta counters appear under setlearn.delta.* and
+// trainer counters under setlearn.retrain.stats. Retraining a sharded
+// estimator or filter needs -data (the collection the deltas extend), like
+// the index.
 package main
 
 import (
@@ -49,6 +59,8 @@ func main() {
 	phiCacheMB := flag.Int("phi-cache-mb", 64, "φ memory budget in MiB per structure: φ-table if it fits, sharded φ-cache otherwise; 0 disables the fast path")
 	shards := flag.Int("shards", 0, "required shard count for loaded sharded containers; 0 accepts any")
 	partFlag := flag.String("partitioner", "", "required partitioner (hash|range) for loaded sharded containers; empty accepts any")
+	retrainEvery := flag.Duration("retrain-interval", 0, "background retrain sweep interval for sharded containers; 0 disables")
+	deltaThreshold := flag.Int("delta-threshold", 64, "pending inserts a shard must accumulate before a sweep rebuilds it")
 	flag.Parse()
 
 	if *indexPath == "" && *cardPath == "" && *memberPath == "" {
@@ -58,6 +70,18 @@ func main() {
 	if *indexPath != "" && *data == "" {
 		fmt.Fprintln(os.Stderr, "setlearnd: -index requires -data (the indexed collection)")
 		os.Exit(2)
+	}
+	var c *sets.Collection
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			fatal(err)
+		}
+		c, err = sets.ReadCollection(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
 	}
 	wantPart := shard.Partitioner(-1)
 	if *partFlag != "" {
@@ -77,12 +101,14 @@ func main() {
 	}
 
 	var st server.Structures
+	var retrainables []shard.Retrainable
 	if *cardPath != "" {
 		if sniffSharded(*cardPath) {
 			e := loadStructure(*cardPath, func(f *os.File) (*shard.Estimator, error) {
 				return shard.LoadShardedEstimator(f)
 			})
 			checkTopology("estimator", e.NumShards(), e.Partitioner(), *shards, wantPart)
+			retrainables = append(retrainables, attachForRetrain("estimator", e.AttachCollection, c, e)...)
 			st.Estimator = e
 			fmt.Printf("loaded sharded estimator from %s (%d %s shards, %.3f MB, φ %s)\n",
 				*cardPath, e.NumShards(), e.Partitioner(), mbOf(e.SizeBytes()), e.EnableFastPath(fp))
@@ -103,6 +129,7 @@ func main() {
 				return shard.LoadShardedFilter(f)
 			})
 			checkTopology("filter", m.NumShards(), m.Partitioner(), *shards, wantPart)
+			retrainables = append(retrainables, attachForRetrain("filter", m.AttachCollection, c, m)...)
 			st.Filter = m
 			fmt.Printf("loaded sharded filter from %s (%d %s shards, %.3f MB, φ %s)\n",
 				*memberPath, m.NumShards(), m.Partitioner(), mbOf(m.SizeBytes()), m.EnableFastPath(fp))
@@ -118,20 +145,12 @@ func main() {
 		}
 	}
 	if *indexPath != "" {
-		f, err := os.Open(*data)
-		if err != nil {
-			fatal(err)
-		}
-		c, err := sets.ReadCollection(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
 		if sniffSharded(*indexPath) {
 			x := loadStructure(*indexPath, func(f *os.File) (*shard.Index, error) {
 				return shard.LoadShardedIndex(f, c)
 			})
 			checkTopology("index", x.NumShards(), x.Partitioner(), *shards, wantPart)
+			retrainables = append(retrainables, x)
 			st.Index = x
 			fmt.Printf("loaded sharded index from %s over %d sets (%d %s shards, %.3f MB, φ %s)\n",
 				*indexPath, c.Len(), x.NumShards(), x.Partitioner(), mbOf(x.SizeBytes()), x.EnableFastPath(fp))
@@ -147,13 +166,30 @@ func main() {
 		}
 	}
 
-	srv, err := server.New(st, server.Config{Addr: *addr, DrainTimeout: *drain})
+	cfg := server.Config{Addr: *addr, DrainTimeout: *drain}
+	var trainer *shard.Trainer
+	if *retrainEvery > 0 {
+		if len(retrainables) == 0 {
+			fmt.Fprintln(os.Stderr, "setlearnd: -retrain-interval set but no retrainable sharded container loaded; background retrain disabled")
+		} else {
+			trainer = shard.NewTrainer(*retrainEvery, *deltaThreshold, func(err error) {
+				fmt.Fprintln(os.Stderr, "setlearnd: retrain:", err)
+			}, retrainables...)
+			cfg.RetrainStats = func() any { return trainer.Stats() }
+			fmt.Printf("background retrain: every %s, threshold %d pending, %d container(s)\n",
+				*retrainEvery, *deltaThreshold, len(retrainables))
+		}
+	}
+	srv, err := server.New(st, cfg)
 	if err != nil {
 		fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if trainer != nil {
+		trainer.Start(ctx)
+	}
 	go func() {
 		// Addr returns nil when Run fails to bind; Run's own error is
 		// already fatal, so only announce a live listener.
@@ -161,10 +197,33 @@ func main() {
 			fmt.Printf("serving on %s\n", a)
 		}
 	}()
-	if err := srv.Run(ctx); err != nil {
-		fatal(err)
+	runErr := srv.Run(ctx)
+	if trainer != nil {
+		// The trainer may be mid-rebuild; wait so the process never exits
+		// with a half-finished swap in flight.
+		trainer.Stop()
+	}
+	if runErr != nil {
+		fatal(runErr)
 	}
 	fmt.Println("drained, bye")
+}
+
+// attachForRetrain wires a loaded sharded estimator or filter for background
+// retraining: RetrainShard needs the collection its deltas extend, supplied
+// via -data. Returns the container as a one-element slice when it is ready
+// to retrain, nil (with a notice) when it is not — the daemon still serves
+// and absorbs inserts either way.
+func attachForRetrain(kind string, attach func(*sets.Collection) error, c *sets.Collection, r shard.Retrainable) []shard.Retrainable {
+	if c == nil {
+		fmt.Fprintf(os.Stderr, "setlearnd: sharded %s: no -data; serving without background retrain\n", kind)
+		return nil
+	}
+	if err := attach(c); err != nil {
+		fmt.Fprintf(os.Stderr, "setlearnd: sharded %s: %v; serving without background retrain\n", kind, err)
+		return nil
+	}
+	return []shard.Retrainable{r}
 }
 
 func mbOf(bytes int) float64 { return float64(bytes) / (1024 * 1024) }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"setlearn/internal/dataset"
 	"setlearn/internal/deepsets"
@@ -20,10 +21,15 @@ type EstimatorOptions struct {
 	Percentile float64
 }
 
-// CardinalityEstimator estimates |{i : q ⊆ S[i]}| for query subsets.
+// CardinalityEstimator estimates |{i : q ⊆ S[i]}| for query subsets. Sets
+// appended after build land in an exact delta whose containment counts are
+// added to every estimate, so counts involving fresh sets are exact
+// immediately.
 type CardinalityEstimator struct {
 	hybrid    *hybrid.Estimator
 	maxSubset int
+	delta     *hybrid.Delta
+	nextPos   atomic.Int64
 }
 
 // BuildEstimator trains a learned cardinality estimator over c.
@@ -50,10 +56,13 @@ func BuildEstimator(c *sets.Collection, opts EstimatorOptions) (*CardinalityEsti
 		return nil, fmt.Errorf("core: train estimator model: %w", err)
 	}
 	enableFastPath(m, DefaultFastPath)
-	return &CardinalityEstimator{
+	est := &CardinalityEstimator{
 		hybrid:    hybrid.BuildEstimator(m, sc, res),
 		maxSubset: opts.MaxSubset,
-	}, nil
+		delta:     hybrid.NewDelta(),
+	}
+	est.nextPos.Store(int64(c.Len()))
+	return est, nil
 }
 
 // Estimate returns the estimated number of sets containing q. Estimates are
@@ -63,27 +72,51 @@ func (e *CardinalityEstimator) Estimate(q sets.Set) float64 {
 	if len(q) == 0 {
 		return 0
 	}
-	return e.hybrid.Estimate(q)
+	return e.hybrid.Estimate(q) + e.delta.Count(q)
 }
 
 // EstimateBatch answers every query in qs, writing estimates into dst
 // (grown as needed) and returning it. Model evaluations share one pooled
 // predictor; answers match per-query Estimate exactly.
 func (e *CardinalityEstimator) EstimateBatch(dst []float64, qs []sets.Set) []float64 {
-	return e.hybrid.EstimateBatch(dst, qs)
+	dst = e.hybrid.EstimateBatch(dst, qs)
+	if e.delta.Len() > 0 {
+		for j, q := range qs {
+			if len(q) > 0 {
+				dst[j] += e.delta.Count(q)
+			}
+		}
+	}
+	return dst
 }
 
 // Update records an exact cardinality for a subset whose count changed; it
-// is served from the auxiliary structure thereafter (§7.2).
+// is served from the auxiliary structure thereafter (§7.2). The stored
+// override is reduced by the delta's current contribution so the composed
+// Estimate equals card now and keeps tracking future inserts exactly.
 func (e *CardinalityEstimator) Update(q sets.Set, card float64) {
-	e.hybrid.InsertOutlier(q, card)
+	e.hybrid.InsertOutlier(q, card-e.delta.Count(q))
+}
+
+// InsertSet appends s to the logical collection: every estimate whose query
+// is contained in s is one higher the instant this returns.
+func (e *CardinalityEstimator) InsertSet(s sets.Set) int {
+	pos := int(e.nextPos.Add(1)) - 1
+	e.delta.Add(s.Clone(), pos)
+	return pos
+}
+
+// DeltaStats reports the pending-insert state of the exact delta.
+func (e *CardinalityEstimator) DeltaStats() DeltaStats {
+	n := e.delta.Len()
+	return DeltaStats{Pending: n, PerShard: []int{n}, OldestSecs: e.delta.Age().Seconds()}
 }
 
 // MaxSubset returns the trained subset-size cap.
 func (e *CardinalityEstimator) MaxSubset() int { return e.maxSubset }
 
-// SizeBytes returns the estimator footprint (model + auxiliary map).
-func (e *CardinalityEstimator) SizeBytes() int { return e.hybrid.SizeBytes() }
+// SizeBytes returns the estimator footprint (model + auxiliary map + delta).
+func (e *CardinalityEstimator) SizeBytes() int { return e.hybrid.SizeBytes() + e.delta.SizeBytes() }
 
 // Hybrid exposes the underlying hybrid estimator for benchmarking.
 func (e *CardinalityEstimator) Hybrid() *hybrid.Estimator { return e.hybrid }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"setlearn/internal/bloom"
 	"setlearn/internal/dataset"
 	"setlearn/internal/deepsets"
+	"setlearn/internal/hybrid"
 	"setlearn/internal/sets"
 	"setlearn/internal/train"
 )
@@ -50,6 +52,8 @@ type MembershipFilter struct {
 	pre       *bloom.Filter // optional sandwich pre-filter
 	threshold float64
 	maxSubset int
+	delta     *hybrid.Delta // sets inserted after build; checked exactly
+	nextPos   atomic.Int64
 }
 
 // BuildMembershipFilter trains a learned membership filter over c.
@@ -89,7 +93,9 @@ func BuildMembershipFilter(c *sets.Collection, opts FilterOptions) (*MembershipF
 		pred:      m.NewPredictorPool(),
 		threshold: opts.Threshold,
 		maxSubset: opts.MaxSubset,
+		delta:     hybrid.NewDelta(),
 	}
+	f.nextPos.Store(int64(c.Len()))
 	if opts.Sandwich {
 		f.pre = bloom.NewWithEstimates(uint64(len(md.Positive)), opts.SandwichFPRate)
 		for _, s := range md.Positive {
@@ -125,8 +131,11 @@ func (f *MembershipFilter) Contains(q sets.Set) bool {
 	if len(q) == 0 {
 		return true // the empty set is a subset of everything
 	}
+	if f.delta.Contains(q) {
+		return true // exact hit among sets inserted after build
+	}
 	if q[len(q)-1] > f.model.Config().MaxID {
-		return false // unknown element: cannot occur
+		return false // unknown element: cannot occur in the trained bulk
 	}
 	if f.pre != nil && !f.pre.Contains(q.Hash()) {
 		return false // sandwich pre-filter: definitely absent
@@ -145,6 +154,21 @@ func (f *MembershipFilter) ModelProbability(q sets.Set) float64 {
 	return f.pred.Predict(q)
 }
 
+// InsertSet appends s to the logical collection: Contains answers true for
+// every subset of s the instant this returns, with no false-negative risk
+// (the delta check is exact, not probabilistic).
+func (f *MembershipFilter) InsertSet(s sets.Set) int {
+	pos := int(f.nextPos.Add(1)) - 1
+	f.delta.Add(s.Clone(), pos)
+	return pos
+}
+
+// DeltaStats reports the pending-insert state of the exact delta.
+func (f *MembershipFilter) DeltaStats() DeltaStats {
+	n := f.delta.Len()
+	return DeltaStats{Pending: n, PerShard: []int{n}, OldestSecs: f.delta.Age().Seconds()}
+}
+
 // BackupCount returns the number of positives stored in the backup filter.
 func (f *MembershipFilter) BackupCount() uint64 { return f.backup.Count() }
 
@@ -155,7 +179,7 @@ func (f *MembershipFilter) MaxSubset() int { return f.maxSubset }
 // negligible, §8.4.2; both it and any sandwich pre-filter are accounted
 // for).
 func (f *MembershipFilter) SizeBytes() int {
-	total := f.model.SizeBytes() + f.backup.SizeBytes()
+	total := f.model.SizeBytes() + f.backup.SizeBytes() + f.delta.SizeBytes()
 	if f.pre != nil {
 		total += f.pre.SizeBytes()
 	}
@@ -176,8 +200,10 @@ func (f *MembershipFilter) containsFused(out []bool, qs []sets.Set) {
 		switch {
 		case len(q) == 0:
 			out[i] = true // the empty set is a subset of everything
+		case f.delta.Contains(q):
+			out[i] = true // exact hit among sets inserted after build
 		case q[len(q)-1] > f.model.Config().MaxID:
-			out[i] = false // unknown element: cannot occur
+			out[i] = false // unknown element: cannot occur in the trained bulk
 		case f.pre != nil && !f.pre.Contains(q.Hash()):
 			out[i] = false // sandwich pre-filter: definitely absent
 		default:

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"setlearn/internal/dataset"
 	"setlearn/internal/deepsets"
@@ -31,10 +32,16 @@ type IndexOptions struct {
 }
 
 // SetIndex answers "first position where q appears as a subset" over an
-// unordered collection, backed by the hybrid learned structure.
+// unordered collection, backed by the hybrid learned structure. Sets
+// appended after build land in an exact delta composed into every lookup,
+// so the index stays correct under live mutation without retraining (the
+// monolithic delta is never retrained away; the sharded container in
+// internal/shard owns the background-retrain path).
 type SetIndex struct {
 	hybrid    *hybrid.Index
 	maxSubset int
+	delta     *hybrid.Delta
+	nextPos   atomic.Int64 // next global position handed to InsertSet
 }
 
 // BuildIndex trains a learned set index over c. The collection is captured
@@ -76,7 +83,18 @@ func BuildIndex(c *sets.Collection, opts IndexOptions) (*SetIndex, error) {
 		return nil, err
 	}
 	enableFastPath(m, DefaultFastPath)
-	return &SetIndex{hybrid: h, maxSubset: opts.MaxSubset}, nil
+	idx := &SetIndex{hybrid: h, maxSubset: opts.MaxSubset, delta: hybrid.NewDelta()}
+	idx.nextPos.Store(int64(c.Len()))
+	return idx, nil
+}
+
+// composeLookup folds the exact delta answer into the learned answer by
+// taking the smallest non-negative position.
+func composeLookup(learned, delta int) int {
+	if delta >= 0 && (learned < 0 || delta < learned) {
+		return delta
+	}
+	return learned
 }
 
 // Lookup returns the first position i with q ⊆ S[i], or -1 if q is not a
@@ -85,7 +103,7 @@ func (i *SetIndex) Lookup(q sets.Set) int {
 	if len(q) == 0 {
 		return -1
 	}
-	return i.hybrid.Lookup(q)
+	return composeLookup(i.hybrid.Lookup(q), i.delta.FirstPos(q, false))
 }
 
 // LookupEqual returns the first position whose set is exactly q, or -1 —
@@ -94,7 +112,7 @@ func (i *SetIndex) LookupEqual(q sets.Set) int {
 	if len(q) == 0 {
 		return -1
 	}
-	return i.hybrid.LookupEqual(q)
+	return composeLookup(i.hybrid.LookupEqual(q), i.delta.FirstPos(q, true))
 }
 
 // LookupBatch answers every query in qs, writing first positions (or -1)
@@ -103,7 +121,13 @@ func (i *SetIndex) LookupEqual(q sets.Set) int {
 // predictor, amortizing φ lookups and ρ scratch; answers match per-query
 // Lookup/LookupEqual exactly.
 func (i *SetIndex) LookupBatch(dst []int, qs []sets.Set, equal bool) []int {
-	return i.hybrid.LookupBatch(dst, qs, equal)
+	dst = i.hybrid.LookupBatch(dst, qs, equal)
+	if i.delta.Len() > 0 {
+		for j, q := range qs {
+			dst[j] = composeLookup(dst[j], i.delta.FirstPos(q, equal))
+		}
+	}
+	return dst
 }
 
 // Insert registers a new set appended to the collection at position pos: the
@@ -117,11 +141,26 @@ func (i *SetIndex) Insert(s sets.Set, pos int) {
 	})
 }
 
+// InsertSet appends s to the logical collection, assigning it the next
+// global position and recording it in the exact delta: lookups answer for
+// it the instant this returns, at O(pending delta) query cost.
+func (i *SetIndex) InsertSet(s sets.Set) int {
+	pos := int(i.nextPos.Add(1)) - 1
+	i.delta.Add(s.Clone(), pos)
+	return pos
+}
+
+// DeltaStats reports the pending-insert state of the exact delta.
+func (i *SetIndex) DeltaStats() DeltaStats {
+	n := i.delta.Len()
+	return DeltaStats{Pending: n, PerShard: []int{n}, OldestSecs: i.delta.Age().Seconds()}
+}
+
 // MaxSubset returns the trained subset-size cap.
 func (i *SetIndex) MaxSubset() int { return i.maxSubset }
 
 // SizeBytes returns the total structure footprint.
-func (i *SetIndex) SizeBytes() int { return i.hybrid.SizeBytes() }
+func (i *SetIndex) SizeBytes() int { return i.hybrid.SizeBytes() + i.delta.SizeBytes() }
 
 // MemoryBreakdown reports model, auxiliary-structure, and error-list bytes
 // (Table 7's columns).

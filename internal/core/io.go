@@ -33,6 +33,10 @@ func readHeader(r io.Reader) (coreHeader, error) {
 // Trained structures persist to a single stream so they can be built once
 // and reopened (the paper's models "extract the weights … and store"
 // them, §8.2.2). An index additionally needs its collection at load time.
+//
+// The monolithic formats do not persist the live-mutation delta: the
+// durable write path is the sharded container (SLSHRD1 v2 carries pending
+// deltas); a monolithic save captures only the trained state.
 
 type coreHeader struct {
 	MaxSubset int
@@ -60,7 +64,9 @@ func LoadIndex(r io.Reader, c *sets.Collection) (*SetIndex, error) {
 		return nil, err
 	}
 	enableFastPath(h.Model(), DefaultFastPath)
-	return &SetIndex{hybrid: h, maxSubset: hdr.MaxSubset}, nil
+	idx := &SetIndex{hybrid: h, maxSubset: hdr.MaxSubset, delta: hybrid.NewDelta()}
+	idx.nextPos.Store(int64(c.Len()))
+	return idx, nil
 }
 
 // Save persists the trained estimator.
@@ -82,7 +88,7 @@ func LoadCardinalityEstimator(r io.Reader) (*CardinalityEstimator, error) {
 		return nil, err
 	}
 	enableFastPath(h.Model(), DefaultFastPath)
-	return &CardinalityEstimator{hybrid: h, maxSubset: hdr.MaxSubset}, nil
+	return &CardinalityEstimator{hybrid: h, maxSubset: hdr.MaxSubset, delta: hybrid.NewDelta()}, nil
 }
 
 // Save persists the trained membership filter (model, threshold, backup
@@ -135,6 +141,7 @@ func LoadMembershipFilter(r io.Reader) (*MembershipFilter, error) {
 		backup:    backup,
 		threshold: hdr.Threshold,
 		maxSubset: hdr.MaxSubset,
+		delta:     hybrid.NewDelta(),
 	}
 	if hdr.Sandwich {
 		pBlock, err := blockio.Read(r)

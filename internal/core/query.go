@@ -68,11 +68,49 @@ var (
 	_ MembershipQuerier  = (*MembershipFilter)(nil)
 )
 
+// DeltaStats describes the write-side state of a mutable structure: how
+// many inserted sets are pending in exact delta structures (answered by
+// aux fan-in, not yet learned), how many a background retrain has absorbed
+// into fresh models, and how stale the oldest pending insert is. Published
+// by the server under setlearn.delta.*.
+type DeltaStats struct {
+	// Pending counts inserted sets not yet absorbed by a retrain.
+	Pending int `json:"pending"`
+	// PerShard is the pending count per shard (one entry, index 0, for
+	// monolithic structures).
+	PerShard []int `json:"per_shard"`
+	// Absorbed counts sets folded into retrained models since build/load.
+	Absorbed uint64 `json:"absorbed"`
+	// OldestSecs is the age of the oldest pending insert, 0 when none.
+	OldestSecs float64 `json:"oldest_secs"`
+}
+
+// Inserter is the write surface of a mutable structure: InsertSet absorbs a
+// whole new set into an exact delta structure, so every query composed with
+// the delta (aux fan-in) answers correctly the instant the call returns —
+// no retraining on the write path, O(pending delta) cost per operation.
+type Inserter interface {
+	// InsertSet registers s as appended to the logical collection and
+	// returns its assigned global position (structures without position
+	// semantics return a synthetic monotone position).
+	InsertSet(s sets.Set) int
+	// DeltaStats reports the pending/absorbed counters above.
+	DeltaStats() DeltaStats
+}
+
+// The monolithic structures and the sharded containers are all mutable.
+var (
+	_ Inserter = (*SetIndex)(nil)
+	_ Inserter = (*CardinalityEstimator)(nil)
+	_ Inserter = (*MembershipFilter)(nil)
+)
+
 // ShardStat describes one shard of a partitioned container — the per-shard
 // slice of the setlearn.shard.* expvar output.
 type ShardStat struct {
 	Shard   int    `json:"shard"`
-	Sets    int    `json:"sets"`     // sets owned by the shard
+	Sets    int    `json:"sets"`     // sets owned by the shard (trained + pending)
+	Pending int    `json:"pending"`  // inserted sets awaiting retrain
 	Bytes   int    `json:"bytes"`    // shard structure footprint
 	Queries uint64 `json:"queries"`  // fan-out queries routed to the shard
 	PhiMode string `json:"phi_mode"` // "table", "cache", or "off"

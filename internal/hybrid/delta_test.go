@@ -1,0 +1,132 @@
+package hybrid
+
+import (
+	"sync"
+	"testing"
+
+	"setlearn/internal/sets"
+)
+
+func TestDeltaEmpty(t *testing.T) {
+	d := NewDelta()
+	if d.Len() != 0 || d.Age() != 0 || d.MaxID() != 0 {
+		t.Fatal("empty delta must report zero state")
+	}
+	if d.FirstPos(sets.New(1), false) != -1 {
+		t.Fatal("empty delta FirstPos must miss")
+	}
+	if d.Count(sets.New(1)) != 0 || d.Contains(sets.New(1)) {
+		t.Fatal("empty delta must not answer positively")
+	}
+	if d.Snapshot() != nil || d.Tail(0) != nil {
+		t.Fatal("empty delta snapshots must be nil")
+	}
+}
+
+func TestDeltaAnswers(t *testing.T) {
+	d := NewDelta()
+	d.Add(sets.New(1, 2, 3), 10)
+	d.Add(sets.New(2, 3, 4), 7)
+	d.Add(sets.New(1, 2, 3), 12)
+
+	// FirstPos is the minimum matching position, not insertion order.
+	if got := d.FirstPos(sets.New(2, 3), false); got != 7 {
+		t.Fatalf("FirstPos({2,3}) = %d, want 7", got)
+	}
+	if got := d.FirstPos(sets.New(1, 2), false); got != 10 {
+		t.Fatalf("FirstPos({1,2}) = %d, want 10", got)
+	}
+	if got := d.FirstPos(sets.New(5), false); got != -1 {
+		t.Fatalf("FirstPos({5}) = %d, want -1", got)
+	}
+	// Equality matches only exactly-equal entries.
+	if got := d.FirstPos(sets.New(1, 2, 3), true); got != 10 {
+		t.Fatalf("FirstPos equal = %d, want 10", got)
+	}
+	if got := d.FirstPos(sets.New(2, 3), true); got != -1 {
+		t.Fatalf("FirstPos equal on strict subset = %d, want -1", got)
+	}
+	// Empty queries defer to the structure's own convention.
+	if d.FirstPos(sets.New(), false) != -1 || d.Count(sets.New()) != 0 || d.Contains(sets.New()) {
+		t.Fatal("empty query must not be answered by the delta")
+	}
+
+	if got := d.Count(sets.New(2, 3)); got != 3 {
+		t.Fatalf("Count({2,3}) = %g, want 3", got)
+	}
+	if got := d.Count(sets.New(4)); got != 1 {
+		t.Fatalf("Count({4}) = %g, want 1", got)
+	}
+	if !d.Contains(sets.New(1, 3)) || d.Contains(sets.New(1, 4)) {
+		t.Fatal("Contains must be exact subset containment per entry")
+	}
+	if d.MaxID() != 4 {
+		t.Fatalf("MaxID = %d, want 4", d.MaxID())
+	}
+	if d.Age() <= 0 {
+		t.Fatal("non-empty delta must report positive age")
+	}
+	if d.SizeBytes() <= 0 {
+		t.Fatal("non-empty delta must report positive size")
+	}
+}
+
+func TestDeltaSnapshotTail(t *testing.T) {
+	d := NewDelta()
+	d.Add(sets.New(1), 0)
+	d.Add(sets.New(2), 1)
+	snap := d.Snapshot()
+	cut := len(snap)
+	d.Add(sets.New(3), 2)
+
+	// The snapshot is a copy: later Adds must not grow it.
+	if len(snap) != 2 {
+		t.Fatalf("snapshot grew to %d entries", len(snap))
+	}
+	tail := d.Tail(cut)
+	if len(tail) != 1 || tail[0].Pos != 2 {
+		t.Fatalf("Tail(%d) = %v, want the one post-snapshot entry", cut, tail)
+	}
+	if d.Tail(99) != nil {
+		t.Fatal("Tail past the end must be nil")
+	}
+
+	// NewDeltaFrom carries the tail into a fresh delta.
+	nd := NewDeltaFrom(tail)
+	if nd.Len() != 1 || nd.FirstPos(sets.New(3), false) != 2 || nd.MaxID() != 3 {
+		t.Fatal("NewDeltaFrom must preserve entries")
+	}
+	if NewDeltaFrom(nil).Len() != 0 {
+		t.Fatal("NewDeltaFrom(nil) must be empty")
+	}
+}
+
+// TestDeltaConcurrent hammers one delta from readers and writers under
+// -race: reads only ever see fully-appended entries.
+func TestDeltaConcurrent(t *testing.T) {
+	d := NewDelta()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if g%2 == 0 {
+					d.Add(sets.New(uint32(g), uint32(100+i)), g*200+i)
+				} else {
+					q := sets.New(uint32(g - 1))
+					if p := d.FirstPos(q, false); p >= 0 && !d.Contains(q) {
+						t.Error("FirstPos hit but Contains missed")
+						return
+					}
+					d.Count(q)
+					d.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != 4*200 {
+		t.Fatalf("Len = %d, want %d", d.Len(), 4*200)
+	}
+}

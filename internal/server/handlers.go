@@ -182,18 +182,24 @@ func (s *Server) handleMember() http.HandlerFunc {
 // statusResponse describes the serving state for /v1/status.
 type statusResponse struct {
 	Structures map[string]bool `json:"structures"` // endpoint name → loaded
+	Mutable    []string        `json:"mutable"`    // structures /v1/insert appends to
 	Endpoints  []string        `json:"endpoints"`
 }
 
 func (s *Server) handleStatus() http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		mutable := []string{}
+		for _, t := range s.insertTargets() {
+			mutable = append(mutable, t.name)
+		}
 		writeJSON(w, http.StatusOK, statusResponse{
 			Structures: map[string]bool{
 				"card":   s.st.Estimator != nil,
 				"index":  s.st.Index != nil,
 				"member": s.st.Filter != nil,
 			},
-			Endpoints: []string{"/v1/card", "/v1/index", "/v1/member", "/v1/status", "/healthz", "/debug/vars", "/debug/pprof/"},
+			Mutable:   mutable,
+			Endpoints: []string{"/v1/card", "/v1/index", "/v1/member", "/v1/insert", "/v1/status", "/healthz", "/debug/vars", "/debug/pprof/"},
 		})
 	}
 }

@@ -1,0 +1,373 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"setlearn/internal/core"
+	"setlearn/internal/dataset"
+	"setlearn/internal/sets"
+	"setlearn/internal/shard"
+)
+
+// insertStructures builds a fresh sharded trio over a small collection for
+// every caller: insert tests mutate their structures, so sharing a fixture
+// across tests would couple their outcomes.
+func insertStructures(tb testing.TB) (*sets.Collection, *shard.Index, *shard.Estimator, *shard.Filter) {
+	tb.Helper()
+	model := core.ModelOptions{
+		EmbedDim: 2, PhiHidden: []int{4}, PhiOut: 4, RhoHidden: []int{4},
+		Epochs: 1, LR: 0.01, Workers: 1, Seed: 7,
+	}
+	c := dataset.GenerateSD(60, 20, 71)
+	o := shard.Options{Shards: 3, Partitioner: shard.HashBySet}
+	idx, err := shard.BuildShardedIndex(c, o, core.IndexOptions{Model: model, MaxSubset: 2, Percentile: 90})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	est, err := shard.BuildShardedEstimator(c, o, core.EstimatorOptions{Model: model, MaxSubset: 2, Percentile: 90})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	flt, err := shard.BuildShardedFilter(c, o, core.FilterOptions{Model: model, MaxSubset: 3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c, idx, est, flt
+}
+
+// freshPairs returns n two-element sets of in-vocabulary ids such that no
+// trained set contains any pair and the pairs share no elements: queries for
+// them must be answered purely by the delta/retrained path, never by a
+// coincidental trained superset.
+func freshPairs(tb testing.TB, c *sets.Collection, n int) []sets.Set {
+	tb.Helper()
+	co := map[[2]uint32]bool{}
+	for i := 0; i < c.Len(); i++ {
+		s := c.At(i)
+		for a := 0; a < len(s); a++ {
+			for b := a + 1; b < len(s); b++ {
+				co[[2]uint32{s[a], s[b]}] = true
+			}
+		}
+	}
+	used := map[uint32]bool{}
+	var out []sets.Set
+	for a := uint32(0); a <= c.MaxID() && len(out) < n; a++ {
+		if used[a] {
+			continue
+		}
+		for b := a + 1; b <= c.MaxID(); b++ {
+			if !used[b] && !co[[2]uint32{a, b}] {
+				out = append(out, sets.New(a, b))
+				used[a], used[b] = true, true
+				break
+			}
+		}
+	}
+	if len(out) < n {
+		tb.Fatalf("collection too dense: found %d/%d non-co-occurring pairs", len(out), n)
+	}
+	return out
+}
+
+type insertResponse struct {
+	Position  *int     `json:"position"`
+	Positions []int    `json:"positions"`
+	Applied   []string `json:"applied"`
+	Error     string   `json:"error"`
+}
+
+func TestInsertEndpoint(t *testing.T) {
+	c, idx, est, flt := insertStructures(t)
+	ts := newTestServer(t, Structures{Index: idx, Estimator: est, Filter: flt})
+	pairs := freshPairs(t, c, 3)
+
+	// Single insert: the set answers on every read endpoint the moment the
+	// insert response arrives, at the position the response reported.
+	var ins insertResponse
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/insert",
+		map[string]any{"set": idsOf(pairs[0])}, &ins); code != 200 {
+		t.Fatalf("insert: %d %+v", code, ins)
+	}
+	if ins.Position == nil || *ins.Position != c.Len() {
+		t.Fatalf("insert position = %v, want %d", ins.Position, c.Len())
+	}
+	if want := []string{"index", "card", "member"}; !equalStrings(ins.Applied, want) {
+		t.Fatalf("applied = %v, want %v", ins.Applied, want)
+	}
+	var look struct {
+		Position int `json:"position"`
+	}
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/index",
+		map[string]any{"query": idsOf(pairs[0])}, &look); code != 200 || look.Position != c.Len() {
+		t.Fatalf("lookup after insert: %d position %d, want %d", code, look.Position, c.Len())
+	}
+	var mem struct {
+		Member bool `json:"member"`
+	}
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/member",
+		map[string]any{"query": idsOf(pairs[0])}, &mem); code != 200 || !mem.Member {
+		t.Fatalf("member after insert: %d member %v, want true", code, mem.Member)
+	}
+	var card struct {
+		Estimate float64 `json:"estimate"`
+	}
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/card",
+		map[string]any{"query": idsOf(pairs[0])}, &card); code != 200 {
+		t.Fatalf("card after insert: %d", code)
+	}
+	if want := est.Estimate(pairs[0]); card.Estimate != want {
+		t.Fatalf("card after insert = %g, direct call says %g", card.Estimate, want)
+	}
+
+	// Batch insert: positions are assigned in order.
+	ins = insertResponse{}
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/insert",
+		map[string]any{"sets": [][]uint32{idsOf(pairs[1]), idsOf(pairs[2])}}, &ins); code != 200 {
+		t.Fatalf("batch insert: %d %+v", code, ins)
+	}
+	if len(ins.Positions) != 2 || ins.Positions[0] != c.Len()+1 || ins.Positions[1] != c.Len()+2 {
+		t.Fatalf("batch positions = %v, want [%d %d]", ins.Positions, c.Len()+1, c.Len()+2)
+	}
+	var looks struct {
+		Positions []int `json:"positions"`
+	}
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/index",
+		map[string]any{"queries": [][]uint32{idsOf(pairs[1]), idsOf(pairs[2])}}, &looks); code != 200 {
+		t.Fatalf("batch lookup after insert: %d", code)
+	}
+	if len(looks.Positions) != 2 || looks.Positions[0] != c.Len()+1 || looks.Positions[1] != c.Len()+2 {
+		t.Fatalf("batch lookup positions = %v, want [%d %d]", looks.Positions, c.Len()+1, c.Len()+2)
+	}
+
+	// Accounting: three single-set inserts landed in all three structures.
+	for name, ds := range map[string]core.DeltaStats{
+		"index": idx.DeltaStats(), "card": est.DeltaStats(), "member": flt.DeltaStats(),
+	} {
+		if ds.Pending != 3 {
+			t.Fatalf("%s pending = %d, want 3", name, ds.Pending)
+		}
+	}
+
+	// /v1/status reports the mutable surface.
+	var status statusResponse
+	resp, err := ts.Client().Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !equalStrings(status.Mutable, []string{"index", "card", "member"}) {
+		t.Fatalf("status mutable = %v", status.Mutable)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	_, idx, est, flt := insertStructures(t)
+	ts := newTestServer(t, Structures{Index: idx, Estimator: est, Filter: flt})
+	post := func(body string) (int, string) {
+		resp, err := ts.Client().Post(ts.URL+"/v1/insert", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, e.Error
+	}
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{}`, 400},
+		{`{"set":[]}`, 400},
+		{`{"sets":[]}`, 400},
+		{`{"sets":[[1],[]]}`, 400},
+		{`{"set":[1],"sets":[[2]]}`, 400},
+		{`{"set":[1],"bogus":true}`, 400},
+		{`not json`, 400},
+	}
+	for _, tc := range cases {
+		if code, msg := post(tc.body); code != tc.want {
+			t.Errorf("POST %s = %d (%s), want %d", tc.body, code, msg, tc.want)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/insert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/insert = %d, want 405", resp.StatusCode)
+	}
+	// Nothing above may have mutated any structure.
+	for _, ds := range []core.DeltaStats{idx.DeltaStats(), est.DeltaStats(), flt.DeltaStats()} {
+		if ds.Pending != 0 {
+			t.Fatalf("validation requests mutated a structure: pending %d", ds.Pending)
+		}
+	}
+}
+
+func TestInsertOutOfVocabularyRejected(t *testing.T) {
+	c, idx, est, flt := insertStructures(t)
+	ts := newTestServer(t, Structures{Index: idx, Estimator: est, Filter: flt})
+	oov := c.MaxID() + 1
+
+	var e errorResponse
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/insert",
+		map[string]any{"set": []uint32{oov}}, &e); code != 400 {
+		t.Fatalf("OOV insert = %d, want 400", code)
+	}
+	if !strings.Contains(e.Error, "max id") {
+		t.Fatalf("OOV error %q does not name the limit", e.Error)
+	}
+	// A batch with one OOV set is rejected whole: validation runs before the
+	// first set is applied, so a 400 never leaves a partial batch behind.
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/insert",
+		map[string]any{"sets": [][]uint32{{1}, {oov}}}, &e); code != 400 {
+		t.Fatalf("partially-OOV batch = %d, want 400", code)
+	}
+	for _, ds := range []core.DeltaStats{idx.DeltaStats(), est.DeltaStats(), flt.DeltaStats()} {
+		if ds.Pending != 0 {
+			t.Fatalf("rejected insert mutated a structure: pending %d", ds.Pending)
+		}
+	}
+}
+
+func TestInsertDrainingAnswers503(t *testing.T) {
+	_, idx, _, _ := insertStructures(t)
+	s, err := New(Structures{Index: idx}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.draining.Store(true)
+
+	var e errorResponse
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/insert",
+		map[string]any{"set": []uint32{1}}, &e); code != http.StatusServiceUnavailable {
+		t.Fatalf("insert while draining = %d, want 503", code)
+	}
+	if !strings.Contains(e.Error, "draining") {
+		t.Fatalf("drain error %q does not say draining", e.Error)
+	}
+	// Reads keep draining normally.
+	var look struct {
+		Position int `json:"position"`
+	}
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/index",
+		map[string]any{"query": []uint32{1}}, &look); code != 200 {
+		t.Fatalf("read while draining = %d, want 200", code)
+	}
+}
+
+// readOnlyIndex serves queries but has no write surface, so /v1/insert must
+// answer 503 rather than silently dropping the set.
+type readOnlyIndex struct{ core.IndexQuerier }
+
+func TestInsertNoMutableStructure(t *testing.T) {
+	f := sharedFixture(t)
+	ts := newTestServer(t, Structures{Index: readOnlyIndex{f.idx}})
+	var e errorResponse
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/insert",
+		map[string]any{"set": []uint32{1}}, &e); code != http.StatusServiceUnavailable {
+		t.Fatalf("insert without mutable structure = %d, want 503", code)
+	}
+	if !strings.Contains(e.Error, "no mutable structure") {
+		t.Fatalf("unexpected error %q", e.Error)
+	}
+}
+
+// TestDeltaExpvarsFallToZeroAfterRetrain pins the observability contract of
+// the write path: setlearn.delta.size counts pending inserts across the
+// served structures, and a retrain sweep drives it back to zero while
+// setlearn.retrain.stats records the work.
+func TestDeltaExpvarsFallToZeroAfterRetrain(t *testing.T) {
+	c, idx, est, flt := insertStructures(t)
+	if err := est.AttachCollection(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := flt.AttachCollection(c); err != nil {
+		t.Fatal(err)
+	}
+	tr := shard.NewTrainer(0, 1, func(err error) { t.Errorf("trainer: %v", err) }, idx, est, flt)
+	_, err := New(Structures{Index: idx, Estimator: est, Filter: flt},
+		Config{RetrainStats: func() any { return tr.Stats() }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	getVar := func(name string) string {
+		v := expvar.Get(name)
+		if v == nil {
+			t.Fatalf("expvar %s not published", name)
+		}
+		return v.String()
+	}
+	if got := getVar("setlearn.delta.size"); got != "0" {
+		t.Fatalf("delta.size before inserts = %s, want 0", got)
+	}
+
+	pairs := freshPairs(t, c, 2)
+	for _, p := range pairs {
+		idx.InsertSet(p)
+		est.InsertSet(p)
+		flt.InsertSet(p)
+	}
+	if got := getVar("setlearn.delta.size"); got != "6" {
+		t.Fatalf("delta.size after 2 inserts × 3 structures = %s, want 6", got)
+	}
+	var ds core.DeltaStats
+	if err := json.Unmarshal([]byte(getVar("setlearn.delta.index")), &ds); err != nil || ds.Pending != 2 {
+		t.Fatalf("delta.index = %s (%v), want pending 2", getVar("setlearn.delta.index"), err)
+	}
+
+	// Sweep until every delta is absorbed; one sweep retrains at most one
+	// shard per container, so bound the loop by the shard count.
+	for i := 0; i < 3+1; i++ {
+		tr.Sweep()
+	}
+	if got := getVar("setlearn.delta.size"); got != "0" {
+		t.Fatalf("delta.size after retrain = %s, want 0", got)
+	}
+	if err := json.Unmarshal([]byte(getVar("setlearn.delta.index")), &ds); err != nil ||
+		ds.Pending != 0 || ds.Absorbed != 2 {
+		t.Fatalf("delta.index after retrain = %s (%v), want pending 0 absorbed 2", getVar("setlearn.delta.index"), err)
+	}
+	var st shard.TrainerStats
+	if err := json.Unmarshal([]byte(getVar("setlearn.retrain.stats")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Retrains == 0 || st.Errors != 0 {
+		t.Fatalf("retrain.stats = %+v, want retrains > 0 and no errors", st)
+	}
+
+	// The inserted sets still answer, now from retrained models.
+	for i, p := range pairs {
+		if got := idx.Lookup(p); got != c.Len()+i {
+			t.Fatalf("after retrain: Lookup(%v) = %d, want %d", p, got, c.Len()+i)
+		}
+		if !flt.Contains(p) {
+			t.Fatalf("after retrain: Contains(%v) = false", p)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

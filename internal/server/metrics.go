@@ -133,3 +133,56 @@ func publishShard(name string, fn func() any) {
 	}
 	shardFns[name] = fn
 }
+
+// Write-path stats, published with the same once-per-name swappable-closure
+// pattern:
+//
+//	setlearn.delta.<endpoint>  per-structure core.DeltaStats (pending inserts,
+//	                           absorbed count, oldest pending age); a structure
+//	                           without a write surface renders {"mode":"static"}
+//	setlearn.delta.size        pending inserts summed across the served
+//	                           structures — the number a background retrain
+//	                           drives back to zero
+//	setlearn.retrain.stats     background trainer counters (sweeps, retrains,
+//	                           errors, last sweep duration); {"mode":"off"}
+//	                           when no trainer is wired
+var (
+	deltaMu  sync.Mutex
+	deltaFns = map[string]func() any{}
+)
+
+func publishDelta(name string, fn func() any) {
+	deltaMu.Lock()
+	defer deltaMu.Unlock()
+	if _, ok := deltaFns[name]; !ok {
+		expvar.Publish("setlearn.delta."+name, expvar.Func(func() any {
+			deltaMu.Lock()
+			f := deltaFns[name]
+			deltaMu.Unlock()
+			return f()
+		}))
+	}
+	deltaFns[name] = fn
+}
+
+var (
+	retrainMu sync.Mutex
+	retrainFn func() any
+)
+
+func publishRetrain(fn func() any) {
+	retrainMu.Lock()
+	defer retrainMu.Unlock()
+	if retrainFn == nil {
+		expvar.Publish("setlearn.retrain.stats", expvar.Func(func() any {
+			retrainMu.Lock()
+			f := retrainFn
+			retrainMu.Unlock()
+			return f()
+		}))
+	}
+	if fn == nil {
+		fn = func() any { return map[string]string{"mode": "off"} }
+	}
+	retrainFn = fn
+}

@@ -12,7 +12,8 @@
 //	/v1/card    {"query":[ids]} → {"estimate":x}   | {"queries":[[ids]…]} → {"estimates":[…]}
 //	/v1/index   {"query":[ids]} → {"position":p}   | batch → {"positions":[…]}; "equal":true selects equality search
 //	/v1/member  {"query":[ids]} → {"member":b}     | batch → {"members":[…]}
-//	/v1/status  GET/POST → which structures are loaded
+//	/v1/insert  {"set":[ids]}   → {"position":p}   | {"sets":[[ids]…]} → {"positions":[…]}; appends to every mutable structure
+//	/v1/status  GET/POST → which structures are loaded and which accept inserts
 //	/healthz    liveness probe
 //	/debug/vars expvar counters and latency histograms per endpoint
 //	/debug/pprof/ runtime profiling
@@ -25,6 +26,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"setlearn/internal/core"
@@ -56,6 +58,18 @@ func shardStatsVar(st any) func() any {
 	}
 }
 
+// deltaStatsVar adapts a served structure into the setlearn.delta.<name>
+// expvar: live write-side counters for mutable structures, {"mode":"static"}
+// for read-only ones.
+func deltaStatsVar(st any) func() any {
+	return func() any {
+		if ins, ok := st.(core.Inserter); ok {
+			return ins.DeltaStats()
+		}
+		return map[string]string{"mode": "static"}
+	}
+}
+
 // Structures bundles the trained structures to serve. The fields are the
 // core query interfaces, so a monolithic build and a sharded container
 // (internal/shard) serve identically; partitioned structures additionally
@@ -78,6 +92,10 @@ type Config struct {
 	// connections (defaults 10s / 30s).
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
+	// RetrainStats, when set, is published as the setlearn.retrain.stats
+	// expvar (the background trainer's counters). Nil renders
+	// {"mode":"off"}.
+	RetrainStats func() any
 }
 
 func (c *Config) applyDefaults() {
@@ -101,6 +119,11 @@ type Server struct {
 	cfg  Config
 	http *http.Server
 	addr chan net.Addr // resolved listen address, buffered 1
+
+	// draining flips once shutdown begins: reads keep draining, but
+	// /v1/insert starts answering 503 so no write lands after the last
+	// chance to persist it.
+	draining atomic.Bool
 }
 
 // New assembles a server over st. At least one structure must be non-nil.
@@ -111,17 +134,28 @@ func New(st Structures, cfg Config) (*Server, error) {
 	if st.Estimator != nil {
 		publishPhi("card", phiStatsVar(st.Estimator.PhiStats))
 		publishShard("card", shardStatsVar(st.Estimator))
+		publishDelta("card", deltaStatsVar(st.Estimator))
 	}
 	if st.Index != nil {
 		publishPhi("index", phiStatsVar(st.Index.PhiStats))
 		publishShard("index", shardStatsVar(st.Index))
+		publishDelta("index", deltaStatsVar(st.Index))
 	}
 	if st.Filter != nil {
 		publishPhi("member", phiStatsVar(st.Filter.PhiStats))
 		publishShard("member", shardStatsVar(st.Filter))
+		publishDelta("member", deltaStatsVar(st.Filter))
 	}
 	cfg.applyDefaults()
 	s := &Server{st: st, cfg: cfg, addr: make(chan net.Addr, 1)}
+	publishDelta("size", func() any {
+		total := 0
+		for _, t := range s.insertTargets() {
+			total += t.ins.DeltaStats().Pending
+		}
+		return total
+	})
+	publishRetrain(cfg.RetrainStats)
 	s.http = &http.Server{
 		Addr:         cfg.Addr,
 		Handler:      s.Handler(),
@@ -138,6 +172,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/card", s.handleCard())
 	mux.HandleFunc("/v1/index", s.handleIndex())
 	mux.HandleFunc("/v1/member", s.handleMember())
+	mux.HandleFunc("/v1/insert", s.handleInsert())
 	mux.HandleFunc("/v1/status", s.handleStatus())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -176,6 +211,7 @@ func (s *Server) Run(ctx context.Context) error {
 		return fmt.Errorf("server: serve: %w", err)
 	case <-ctx.Done():
 	}
+	s.draining.Store(true)
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	if err := s.http.Shutdown(drainCtx); err != nil {

@@ -104,6 +104,41 @@ func (s Set) Key() string {
 	return string(buf)
 }
 
+// FromKey decodes a key produced by Key back into the canonical Set. It
+// rejects malformed input (truncated varints, overlong encodings, or id
+// sequences that are not strictly increasing), so keys recovered from
+// persisted containers cannot smuggle in non-canonical sets.
+func FromKey(key string) (Set, error) {
+	var s Set
+	for i := 0; i < len(key); {
+		var v uint32
+		shift := 0
+		for {
+			if i >= len(key) {
+				return nil, fmt.Errorf("sets: truncated varint in key at byte %d", i)
+			}
+			b := key[i]
+			i++
+			if shift == 28 && b&0x7F > 0x0F {
+				return nil, fmt.Errorf("sets: varint overflows uint32 in key")
+			}
+			v |= uint32(b&0x7F) << shift
+			if b < 0x80 {
+				break
+			}
+			shift += 7
+			if shift > 28 {
+				return nil, fmt.Errorf("sets: varint overflows uint32 in key")
+			}
+		}
+		if len(s) > 0 && v <= s[len(s)-1] {
+			return nil, fmt.Errorf("sets: key ids not strictly increasing at %d", v)
+		}
+		s = append(s, v)
+	}
+	return s, nil
+}
+
 // Hash returns a 64-bit FNV-1a hash over the canonical (sorted) element
 // sequence. Because the representation is sorted, the hash is permutation
 // invariant — the property the paper requires of hashed set keys (§8.1.2).

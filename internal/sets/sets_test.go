@@ -79,6 +79,41 @@ func TestKeyCanonical(t *testing.T) {
 	}
 }
 
+func TestFromKeyRoundTrip(t *testing.T) {
+	cases := []Set{
+		New(),
+		New(0),
+		New(1, 2, 3),
+		New(300, 1, 70000),
+		New(0, 127, 128, 16383, 16384, 1<<21, 1<<28, 0xFFFFFFFF),
+	}
+	for _, want := range cases {
+		got, err := FromKey(want.Key())
+		if err != nil {
+			t.Fatalf("FromKey(Key(%v)): %v", want, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("FromKey(Key(%v)) = %v", want, got)
+		}
+	}
+}
+
+func TestFromKeyRejectsMalformed(t *testing.T) {
+	bad := map[string]string{
+		"truncated varint":        "\x80",
+		"truncated second varint": New(1, 2).Key() + "\xFF",
+		"uint32 overflow":         "\xFF\xFF\xFF\xFF\x7F",
+		"six-byte varint":         "\x80\x80\x80\x80\x80\x01",
+		"non-increasing ids":      "\x05\x05",
+		"decreasing ids":          "\x05\x03",
+	}
+	for name, key := range bad {
+		if s, err := FromKey(key); err == nil {
+			t.Errorf("%s: FromKey(%q) = %v, want error", name, key, s)
+		}
+	}
+}
+
 func TestHashPermutationInvariant(t *testing.T) {
 	a := New(9, 100, 5)
 	b := New(5, 9, 100)

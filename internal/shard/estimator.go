@@ -10,28 +10,56 @@ import (
 	"setlearn/internal/core"
 	"setlearn/internal/dataset"
 	"setlearn/internal/deepsets"
+	"setlearn/internal/hybrid"
 	"setlearn/internal/sets"
 )
+
+// estShard is the swap-unit state of one estimator shard: trained model,
+// its sub-collection (needed to retrain; nil when the container was loaded
+// without a collection), and the exact delta of sets inserted after the
+// model was trained.
+type estShard struct {
+	est    *core.CardinalityEstimator // nil for a shard with no trained sets yet
+	sub    *sets.Collection           // trained sets in position order; nil until attached
+	global []int                      // global positions of the trained sets
+	delta  *hybrid.Delta
+	stat   BuildStat
+}
+
+// auxOverride is one exact-cardinality override recorded by Update. The
+// decoded set rides along so a retrain can fold the counts of absorbed
+// inserts into the stored value, keeping the composed answer exact.
+type auxOverride struct {
+	set  sets.Set
+	card float64
+}
 
 // Estimator is a K-way partitioned CardinalityEstimator. Every set lives in
 // exactly one shard, so the true global cardinality of a query decomposes as
 // the sum of per-shard cardinalities — the fan-in is a plain sum of shard
-// estimates. Update cannot be decomposed the same way (a global count says
-// nothing about its per-shard split), so exact overrides live in a
-// container-level auxiliary map consulted before the fan-out, mirroring the
-// monolith's outlier list.
+// estimates plus each shard's exact delta count. Update cannot be
+// decomposed the same way (a global count says nothing about its per-shard
+// split), so exact overrides live in a container-level auxiliary map
+// consulted before the fan-out, mirroring the monolith's outlier list.
 type Estimator struct {
-	mu      sync.RWMutex
-	shards  []*core.CardinalityEstimator // nil for shards that received no sets
+	states  []atomic.Pointer[estShard]
 	k       int
 	part    Partitioner
 	maxSub  int
-	maxID   uint32
-	aux     map[string]float64 // query key → exact cardinality (Update)
-	bounds  []float64          // per-shard measured error bounds, nil unless measured
-	stats   []BuildStat
-	sizes   []int // sets per shard
+	maxID   atomic.Uint32
 	queries []atomic.Uint64
+	mutation
+	opts *core.EstimatorOptions // scaled per-shard build options; nil: not retrainable
+	fast atomic.Pointer[core.FastPathOptions]
+
+	// auxMu guards aux and bounds. A retrain folds absorbed-insert counts
+	// into the overrides under the write lock in the same critical section
+	// as the state swap, so an override reader (who holds the read lock
+	// across the override + delta-count composition) never sees the swap
+	// half-applied. Lock order: retrainMu → insertMu → auxMu.
+	auxMu  sync.RWMutex
+	aux    map[string]auxOverride // query key → exact override (Update)
+	bounds []float64              // per-shard measured error bounds; nil unless measured, invalidated by retrain
 
 	// hook, when non-nil, runs at the start of every per-shard dispatch.
 	// Test-only; set before use, never concurrently.
@@ -40,7 +68,9 @@ type Estimator struct {
 
 var (
 	_ core.CardinalityQuerier = (*Estimator)(nil)
+	_ core.Inserter           = (*Estimator)(nil)
 	_ core.ShardStatser       = (*Estimator)(nil)
+	_ Retrainable             = (*Estimator)(nil)
 )
 
 // BuildShardedEstimator partitions c and builds one CardinalityEstimator
@@ -60,7 +90,7 @@ func BuildShardedEstimator(c *sets.Collection, o Options, opts core.EstimatorOpt
 	if opts.MaxSubset == 0 {
 		opts.MaxSubset = 3
 	}
-	subs, _ := partition(c, o.Shards, o.Partitioner)
+	subs, globals := partition(c, o.Shards, o.Partitioner)
 	opts.Model = ScaleModel(opts.Model, o.Shards, o.Scaling)
 
 	var workload *dataset.SubsetStats
@@ -69,40 +99,45 @@ func BuildShardedEstimator(c *sets.Collection, o Options, opts core.EstimatorOpt
 	}
 
 	e := &Estimator{
-		shards:  make([]*core.CardinalityEstimator, o.Shards),
+		states:  make([]atomic.Pointer[estShard], o.Shards),
 		k:       o.Shards,
 		part:    o.Partitioner,
 		maxSub:  opts.MaxSubset,
-		maxID:   c.MaxID(),
-		aux:     make(map[string]float64),
-		stats:   make([]BuildStat, o.Shards),
-		sizes:   make([]int, o.Shards),
 		queries: make([]atomic.Uint64, o.Shards),
+		opts:    &opts,
+		aux:     make(map[string]auxOverride),
 	}
+	e.maxID.Store(c.MaxID())
+	e.baseLen = c.Len()
+	e.baseSeed = opts.Model.Seed
+	e.nextPos.Store(int64(c.Len()))
 	if o.MeasureBounds {
 		e.bounds = make([]float64, o.Shards)
 	}
-	baseSeed := opts.Model.Seed
 	err = runBounded(o.Shards, o.Parallelism, func(s int) error {
-		e.sizes[s] = subs[s].Len()
-		e.stats[s] = BuildStat{Shard: s, Sets: subs[s].Len()}
-		if subs[s].Len() == 0 {
-			return nil
+		st := &estShard{
+			sub:    subs[s],
+			global: globals[s],
+			delta:  hybrid.NewDelta(),
+			stat:   BuildStat{Shard: s, Sets: subs[s].Len()},
 		}
-		so := opts
-		so.Model.Seed = baseSeed + int64(s)
-		t0 := time.Now()
-		est, err := core.BuildEstimator(subs[s], so)
-		if err != nil {
-			return fmt.Errorf("shard %d: %w", s, err)
+		if subs[s].Len() > 0 {
+			so := opts
+			so.Model.Seed = e.baseSeed + int64(s)
+			t0 := time.Now()
+			est, err := core.BuildEstimator(subs[s], so)
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", s, err)
+			}
+			st.est = est
+			st.stat.BuildSecs = time.Since(t0).Seconds()
+			st.stat.Bytes = est.SizeBytes()
+			if o.MeasureBounds {
+				e.bounds[s] = measureShardBound(est, subs[s], workload, opts.MaxSubset)
+				st.stat.ErrBound = e.bounds[s]
+			}
 		}
-		e.shards[s] = est
-		e.stats[s].BuildSecs = time.Since(t0).Seconds()
-		e.stats[s].Bytes = est.SizeBytes()
-		if o.MeasureBounds {
-			e.bounds[s] = measureShardBound(est, subs[s], workload, opts.MaxSubset)
-			e.stats[s].ErrBound = e.bounds[s]
-		}
+		e.states[s].Store(st)
 		return nil
 	})
 	if err != nil {
@@ -131,34 +166,48 @@ func measureShardBound(est *core.CardinalityEstimator, sub *sets.Collection, wor
 	return bound
 }
 
-// estimateShard returns one shard's contribution to the fan-in sum. Caller
-// holds at least the read lock.
-func (e *Estimator) estimateShard(s int, q sets.Set) float64 {
+// estimateShard returns one shard's contribution to the fan-in sum: the
+// model estimate over the trained sets plus the exact count over the
+// shard's pending delta.
+func (e *Estimator) estimateShard(st *estShard, s int, q sets.Set) float64 {
 	if e.hook != nil {
 		e.hook(s)
 	}
 	e.queries[s].Add(1)
-	if e.shards[s] == nil {
-		return 0
+	total := st.delta.Count(q)
+	if st.est != nil {
+		total += st.est.Estimate(q)
 	}
-	return e.shards[s].Estimate(q)
+	return total
+}
+
+// deltaCount sums the exact pending-delta counts for q across all shards.
+func (e *Estimator) deltaCount(q sets.Set) float64 {
+	total := 0.0
+	for s := 0; s < e.k; s++ {
+		total += e.states[s].Load().delta.Count(q)
+	}
+	return total
 }
 
 // Estimate returns the estimated number of sets containing q: an exact
-// override when one was recorded by Update, otherwise the sum of per-shard
-// estimates. Empty queries return 0, as in the monolith.
+// override when one was recorded by Update (plus the exact count of later
+// inserts containing q), otherwise the sum of per-shard estimates. Empty
+// queries return 0, as in the monolith.
 func (e *Estimator) Estimate(q sets.Set) float64 {
 	if len(q) == 0 {
 		return 0
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if v, ok := e.aux[q.Key()]; ok {
-		return v
+	e.auxMu.RLock()
+	if ov, ok := e.aux[q.Key()]; ok {
+		total := ov.card + e.deltaCount(q)
+		e.auxMu.RUnlock()
+		return total
 	}
+	e.auxMu.RUnlock()
 	total := 0.0
 	for s := 0; s < e.k; s++ {
-		total += e.estimateShard(s, q)
+		total += e.estimateShard(e.states[s].Load(), s, q)
 	}
 	return total
 }
@@ -166,7 +215,7 @@ func (e *Estimator) Estimate(q sets.Set) float64 {
 // EstimateBatch answers every query in qs into dst (grown as needed,
 // returned). Exact overrides and empty queries are answered up front; the
 // rest fan out to every shard's fused batch path concurrently and fan in
-// by summation.
+// by summation, with each shard's delta count added on top.
 func (e *Estimator) EstimateBatch(dst []float64, qs []sets.Set) []float64 {
 	if cap(dst) < len(qs) {
 		dst = make([]float64, len(qs))
@@ -176,22 +225,30 @@ func (e *Estimator) EstimateBatch(dst []float64, qs []sets.Set) []float64 {
 	if len(qs) == 0 {
 		return dst
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	sts := make([]*estShard, e.k)
+	for s := range sts {
+		sts[s] = e.states[s].Load()
+	}
 	need := make([]sets.Set, 0, len(qs))
 	needAt := make([]int, 0, len(qs))
+	e.auxMu.RLock()
 	for i, q := range qs {
 		if len(q) == 0 {
 			dst[i] = 0
 			continue
 		}
-		if v, ok := e.aux[q.Key()]; ok {
-			dst[i] = v
+		if ov, ok := e.aux[q.Key()]; ok {
+			total := ov.card
+			for s := 0; s < e.k; s++ {
+				total += sts[s].delta.Count(q)
+			}
+			dst[i] = total
 			continue
 		}
 		need = append(need, q)
 		needAt = append(needAt, i)
 	}
+	e.auxMu.RUnlock()
 	if len(need) == 0 {
 		return dst
 	}
@@ -201,16 +258,23 @@ func (e *Estimator) EstimateBatch(dst []float64, qs []sets.Set) []float64 {
 			e.hook(s)
 		}
 		e.queries[s].Add(uint64(len(need)))
-		if e.shards[s] == nil {
+		if sts[s].est == nil {
 			return
 		}
-		per[s] = e.shards[s].EstimateBatch(nil, need)
+		per[s] = sts[s].est.EstimateBatch(nil, need)
 	})
+	hasDelta := make([]bool, e.k)
+	for s := range sts {
+		hasDelta[s] = sts[s].delta.Len() > 0
+	}
 	for j := range need {
 		total := 0.0
 		for s := 0; s < e.k; s++ {
 			if per[s] != nil {
 				total += per[s][j]
+			}
+			if hasDelta[s] {
+				total += sts[s].delta.Count(need[j])
 			}
 		}
 		dst[needAt[j]] = total
@@ -220,17 +284,80 @@ func (e *Estimator) EstimateBatch(dst []float64, qs []sets.Set) []float64 {
 
 // Update records an exact cardinality for q, served from the container's
 // auxiliary map thereafter (a global count has no canonical per-shard
-// split, so it is not pushed down).
+// split, so it is not pushed down). The stored value is reduced by the
+// deltas' current contribution — and retrains fold absorbed counts back in
+// — so the composed Estimate equals card now and keeps tracking future
+// inserts exactly. insertMu is held across the read-compose-write so no
+// insert or retrain swap can slip between the delta count and the store.
 func (e *Estimator) Update(q sets.Set, card float64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.aux[q.Key()] = card
+	q = q.Clone()
+	e.insertMu.Lock()
+	stored := card - e.deltaCount(q)
+	e.auxMu.Lock()
+	e.aux[q.Key()] = auxOverride{set: q, card: stored}
+	e.auxMu.Unlock()
+	e.insertMu.Unlock()
+}
+
+// Insert registers a set appended to the logical collection at global
+// position pos, recording it in the owning shard's exact delta.
+func (e *Estimator) Insert(s sets.Set, pos int) {
+	s = s.Clone()
+	e.insertMu.Lock()
+	if int64(pos) >= e.nextPos.Load() {
+		e.nextPos.Store(int64(pos) + 1)
+	}
+	e.logInsert(s, pos)
+	e.states[ownerShard(e.k, e.part, s)].Load().delta.Add(s, pos)
+	e.insertMu.Unlock()
+}
+
+// InsertSet appends s to the logical collection: every estimate whose
+// query is contained in s is one higher the instant this returns.
+func (e *Estimator) InsertSet(s sets.Set) int {
+	s = s.Clone()
+	e.insertMu.Lock()
+	pos := int(e.nextPos.Add(1)) - 1
+	e.logInsert(s, pos)
+	e.states[ownerShard(e.k, e.part, s)].Load().delta.Add(s, pos)
+	e.insertMu.Unlock()
+	return pos
+}
+
+// DeltaStats reports the pending/absorbed insert counters across shards.
+func (e *Estimator) DeltaStats() core.DeltaStats {
+	ds := core.DeltaStats{PerShard: make([]int, e.k), Absorbed: e.absorbed.Load()}
+	var oldest time.Duration
+	for s := 0; s < e.k; s++ {
+		d := e.states[s].Load().delta
+		n := d.Len()
+		ds.PerShard[s] = n
+		ds.Pending += n
+		if a := d.Age(); a > oldest {
+			oldest = a
+		}
+	}
+	ds.OldestSecs = oldest.Seconds()
+	return ds
+}
+
+// StalestShard returns the shard most in need of a retrain, or -1 (see
+// Index.StalestShard). An estimator loaded from disk additionally needs
+// AttachCollection before it can retrain.
+func (e *Estimator) StalestShard(minPending int) int {
+	if e.opts == nil || e.states[0].Load().sub == nil {
+		return -1
+	}
+	return stalestShard(e.k, minPending, func(s int) *hybrid.Delta { return e.states[s].Load().delta })
 }
 
 // CombinedErrorBound returns Σ per-shard measured bounds; ok is false when
-// the build did not measure them (MeasureBounds unset or the container was
-// loaded from disk without bounds).
+// the build did not measure them, the container was loaded from disk
+// without bounds, or a retrain invalidated them (the rebuilt shard model's
+// error over the workload is no longer the measured one).
 func (e *Estimator) CombinedErrorBound() (float64, bool) {
+	e.auxMu.RLock()
+	defer e.auxMu.RUnlock()
 	if e.bounds == nil {
 		return 0, false
 	}
@@ -241,11 +368,13 @@ func (e *Estimator) CombinedErrorBound() (float64, bool) {
 	return total, true
 }
 
-// EnableFastPath (re)configures φ acceleration on every shard.
+// EnableFastPath (re)configures φ acceleration on every shard; the
+// configuration is remembered and re-applied to retrained shard models.
 func (e *Estimator) EnableFastPath(o core.FastPathOptions) string {
+	e.fast.Store(&o)
 	mode := ""
-	for _, sh := range e.shards {
-		if sh != nil {
+	for s := 0; s < e.k; s++ {
+		if sh := e.states[s].Load().est; sh != nil {
 			mode = mergeMode(mode, sh.EnableFastPath(o))
 		}
 	}
@@ -258,16 +387,17 @@ func (e *Estimator) EnableFastPath(o core.FastPathOptions) string {
 // PhiStats aggregates the per-shard φ accel counters.
 func (e *Estimator) PhiStats() (deepsets.AccelStats, bool) {
 	ps := make([]phiStatser, 0, e.k)
-	for _, sh := range e.shards {
-		if sh != nil {
+	for s := 0; s < e.k; s++ {
+		if sh := e.states[s].Load().est; sh != nil {
 			ps = append(ps, sh)
 		}
 	}
 	return aggregatePhi(ps)
 }
 
-// MaxID returns the largest element id in the partitioned collection.
-func (e *Estimator) MaxID() uint32 { return e.maxID }
+// MaxID returns the largest element id accepted by the trained models; it
+// grows when a retrain absorbs inserted sets with fresh elements.
+func (e *Estimator) MaxID() uint32 { return e.maxID.Load() }
 
 // MaxSubset returns the trained subset-size cap shared by all shards.
 func (e *Estimator) MaxSubset() int { return e.maxSub }
@@ -278,26 +408,31 @@ func (e *Estimator) NumShards() int { return e.k }
 // Partitioner returns the partitioning scheme.
 func (e *Estimator) Partitioner() Partitioner { return e.part }
 
-// SizeBytes sums the per-shard footprints plus the override map.
+// SizeBytes sums the per-shard footprints, deltas, and the override map.
 func (e *Estimator) SizeBytes() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	total := 0
-	for _, sh := range e.shards {
-		if sh != nil {
-			total += sh.SizeBytes()
+	for s := 0; s < e.k; s++ {
+		st := e.states[s].Load()
+		if st.est != nil {
+			total += st.est.SizeBytes()
 		}
+		total += st.delta.SizeBytes()
 	}
-	for k := range e.aux {
-		total += len(k) + 8
+	e.auxMu.RLock()
+	for k, ov := range e.aux {
+		total += len(k) + 8 + 4*len(ov.set)
 	}
+	e.auxMu.RUnlock()
 	return total
 }
 
-// BuildStats returns a copy of the per-shard build statistics.
+// BuildStats returns the per-shard build statistics; a retrained shard
+// reports its latest build.
 func (e *Estimator) BuildStats() []BuildStat {
-	out := make([]BuildStat, len(e.stats))
-	copy(out, e.stats)
+	out := make([]BuildStat, e.k)
+	for s := 0; s < e.k; s++ {
+		out[s] = e.states[s].Load().stat
+	}
 	return out
 }
 
@@ -305,19 +440,22 @@ func (e *Estimator) BuildStats() []BuildStat {
 func (e *Estimator) ShardStats() []core.ShardStat {
 	out := make([]core.ShardStat, e.k)
 	for s := 0; s < e.k; s++ {
-		st := core.ShardStat{
+		st := e.states[s].Load()
+		pending := st.delta.Len()
+		cs := core.ShardStat{
 			Shard:   s,
-			Sets:    e.sizes[s],
+			Sets:    st.stat.Sets + pending,
+			Pending: pending,
 			Queries: e.queries[s].Load(),
 			PhiMode: "off",
 		}
-		if sh := e.shards[s]; sh != nil {
-			st.Bytes = sh.SizeBytes()
-			if ps, ok := sh.PhiStats(); ok {
-				st.PhiMode = ps.Mode
+		if st.est != nil {
+			cs.Bytes = st.est.SizeBytes()
+			if ps, ok := st.est.PhiStats(); ok {
+				cs.PhiMode = ps.Mode
 			}
 		}
-		out[s] = st
+		out[s] = cs
 	}
 	return out
 }

@@ -7,27 +7,43 @@ import (
 
 	"setlearn/internal/core"
 	"setlearn/internal/deepsets"
+	"setlearn/internal/hybrid"
 	"setlearn/internal/sets"
 )
+
+// fltShard is the swap-unit state of one filter shard: the trained filter,
+// its sub-collection (needed to retrain; nil when loaded without a
+// collection), and the exact delta of sets inserted after training.
+type fltShard struct {
+	flt    *core.MembershipFilter // nil for a shard with no trained sets yet
+	sub    *sets.Collection       // trained sets in position order; nil until attached
+	global []int                  // global positions of the trained sets
+	delta  *hybrid.Delta
+	stat   BuildStat
+}
 
 // Filter is a K-way partitioned MembershipFilter. A query is a subset of
 // some set in the collection iff it is a subset of some set in one of the
 // shards, so the fan-in is a short-circuiting OR. Each shard keeps the
 // monolith's guarantee over its own sub-collection — no false negatives
 // within the trained size cap — and OR preserves it: the shard owning a
-// positive query answers true.
+// positive query answers true. Sets inserted after build are answered
+// exactly from the owning shard's delta, so the no-false-negative
+// guarantee extends to them at any query size.
 //
-// The filter is immutable after build, so queries need no container lock;
-// per-shard predictor pools make each shard safe for concurrent use.
+// Queries are lock-free: each per-shard dispatch loads the shard's atomic
+// state pointer once; per-shard predictor pools make each trained filter
+// safe for concurrent use.
 type Filter struct {
-	shards  []*core.MembershipFilter // nil for shards that received no sets
+	states  []atomic.Pointer[fltShard]
 	k       int
 	part    Partitioner
 	maxSub  int
-	maxID   uint32
-	stats   []BuildStat
-	sizes   []int
+	maxID   atomic.Uint32
 	queries []atomic.Uint64
+	mutation
+	opts *core.FilterOptions // scaled per-shard build options; nil: not retrainable
+	fast atomic.Pointer[core.FastPathOptions]
 
 	// hook, when non-nil, runs at the start of every per-shard dispatch.
 	// Test-only; set before use, never concurrently.
@@ -36,7 +52,9 @@ type Filter struct {
 
 var (
 	_ core.MembershipQuerier = (*Filter)(nil)
+	_ core.Inserter          = (*Filter)(nil)
 	_ core.ShardStatser      = (*Filter)(nil)
+	_ Retrainable            = (*Filter)(nil)
 )
 
 // BuildShardedFilter partitions c and builds one MembershipFilter per shard
@@ -52,36 +70,41 @@ func BuildShardedFilter(c *sets.Collection, o Options, opts core.FilterOptions) 
 	if opts.MaxSubset == 0 {
 		opts.MaxSubset = 3
 	}
-	subs, _ := partition(c, o.Shards, o.Partitioner)
+	subs, globals := partition(c, o.Shards, o.Partitioner)
 	opts.Model = ScaleModel(opts.Model, o.Shards, o.Scaling)
 
 	f := &Filter{
-		shards:  make([]*core.MembershipFilter, o.Shards),
+		states:  make([]atomic.Pointer[fltShard], o.Shards),
 		k:       o.Shards,
 		part:    o.Partitioner,
 		maxSub:  opts.MaxSubset,
-		maxID:   c.MaxID(),
-		stats:   make([]BuildStat, o.Shards),
-		sizes:   make([]int, o.Shards),
 		queries: make([]atomic.Uint64, o.Shards),
+		opts:    &opts,
 	}
-	baseSeed := opts.Model.Seed
+	f.maxID.Store(c.MaxID())
+	f.baseLen = c.Len()
+	f.baseSeed = opts.Model.Seed
+	f.nextPos.Store(int64(c.Len()))
 	err = runBounded(o.Shards, o.Parallelism, func(s int) error {
-		f.sizes[s] = subs[s].Len()
-		f.stats[s] = BuildStat{Shard: s, Sets: subs[s].Len()}
-		if subs[s].Len() == 0 {
-			return nil
+		st := &fltShard{
+			sub:    subs[s],
+			global: globals[s],
+			delta:  hybrid.NewDelta(),
+			stat:   BuildStat{Shard: s, Sets: subs[s].Len()},
 		}
-		so := opts
-		so.Model.Seed = baseSeed + int64(s)
-		t0 := time.Now()
-		flt, err := core.BuildMembershipFilter(subs[s], so)
-		if err != nil {
-			return fmt.Errorf("shard %d: %w", s, err)
+		if subs[s].Len() > 0 {
+			so := opts
+			so.Model.Seed = f.baseSeed + int64(s)
+			t0 := time.Now()
+			flt, err := core.BuildMembershipFilter(subs[s], so)
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", s, err)
+			}
+			st.flt = flt
+			st.stat.BuildSecs = time.Since(t0).Seconds()
+			st.stat.Bytes = flt.SizeBytes()
 		}
-		f.shards[s] = flt
-		f.stats[s].BuildSecs = time.Since(t0).Seconds()
-		f.stats[s].Bytes = flt.SizeBytes()
+		f.states[s].Store(st)
 		return nil
 	})
 	if err != nil {
@@ -91,8 +114,9 @@ func BuildShardedFilter(c *sets.Collection, o Options, opts core.FilterOptions) 
 }
 
 // Contains reports whether q may be a subset of some set in the collection,
-// OR-ing the shards with short-circuit. No false negatives occur for
-// subsets within the trained size cap.
+// OR-ing the shards (trained filter plus exact delta) with short-circuit.
+// No false negatives occur for trained subsets within the size cap, nor for
+// any subset of a set inserted after build.
 func (f *Filter) Contains(q sets.Set) bool {
 	if len(q) == 0 {
 		return true // the empty set is a subset of everything
@@ -102,7 +126,11 @@ func (f *Filter) Contains(q sets.Set) bool {
 			f.hook(s)
 		}
 		f.queries[s].Add(1)
-		if f.shards[s] != nil && f.shards[s].Contains(q) {
+		st := f.states[s].Load()
+		if st.delta.Contains(q) {
+			return true
+		}
+		if st.flt != nil && st.flt.Contains(q) {
 			return true
 		}
 	}
@@ -119,24 +147,32 @@ func (f *Filter) ContainsBatch(qs []sets.Set, workers int) []bool {
 	if len(qs) == 0 {
 		return out
 	}
+	sts := make([]*fltShard, f.k)
+	for s := range sts {
+		sts[s] = f.states[s].Load()
+	}
 	per := make([][]bool, f.k)
 	fanOut(f.k, func(s int) {
 		if f.hook != nil {
 			f.hook(s)
 		}
 		f.queries[s].Add(uint64(len(qs)))
-		if f.shards[s] == nil {
+		if sts[s].flt == nil {
 			return
 		}
-		per[s] = f.shards[s].ContainsBatch(qs, 1)
+		per[s] = sts[s].flt.ContainsBatch(qs, 1)
 	})
+	hasDelta := make([]bool, f.k)
+	for s := range sts {
+		hasDelta[s] = sts[s].delta.Len() > 0
+	}
 	for i := range qs {
 		if len(qs[i]) == 0 {
 			out[i] = true
 			continue
 		}
 		for s := 0; s < f.k; s++ {
-			if per[s] != nil && per[s][i] {
+			if (per[s] != nil && per[s][i]) || (hasDelta[s] && sts[s].delta.Contains(qs[i])) {
 				out[i] = true
 				break
 			}
@@ -145,11 +181,65 @@ func (f *Filter) ContainsBatch(qs []sets.Set, workers int) []bool {
 	return out
 }
 
-// EnableFastPath (re)configures φ acceleration on every shard.
+// Insert registers a set appended to the logical collection at global
+// position pos, recording it in the owning shard's exact delta.
+func (f *Filter) Insert(s sets.Set, pos int) {
+	s = s.Clone()
+	f.insertMu.Lock()
+	if int64(pos) >= f.nextPos.Load() {
+		f.nextPos.Store(int64(pos) + 1)
+	}
+	f.logInsert(s, pos)
+	f.states[ownerShard(f.k, f.part, s)].Load().delta.Add(s, pos)
+	f.insertMu.Unlock()
+}
+
+// InsertSet appends s to the logical collection: Contains answers true for
+// every subset of s the instant this returns, with no false-negative risk.
+func (f *Filter) InsertSet(s sets.Set) int {
+	s = s.Clone()
+	f.insertMu.Lock()
+	pos := int(f.nextPos.Add(1)) - 1
+	f.logInsert(s, pos)
+	f.states[ownerShard(f.k, f.part, s)].Load().delta.Add(s, pos)
+	f.insertMu.Unlock()
+	return pos
+}
+
+// DeltaStats reports the pending/absorbed insert counters across shards.
+func (f *Filter) DeltaStats() core.DeltaStats {
+	ds := core.DeltaStats{PerShard: make([]int, f.k), Absorbed: f.absorbed.Load()}
+	var oldest time.Duration
+	for s := 0; s < f.k; s++ {
+		d := f.states[s].Load().delta
+		n := d.Len()
+		ds.PerShard[s] = n
+		ds.Pending += n
+		if a := d.Age(); a > oldest {
+			oldest = a
+		}
+	}
+	ds.OldestSecs = oldest.Seconds()
+	return ds
+}
+
+// StalestShard returns the shard most in need of a retrain, or -1 (see
+// Index.StalestShard). A filter loaded from disk additionally needs
+// AttachCollection before it can retrain.
+func (f *Filter) StalestShard(minPending int) int {
+	if f.opts == nil || f.states[0].Load().sub == nil {
+		return -1
+	}
+	return stalestShard(f.k, minPending, func(s int) *hybrid.Delta { return f.states[s].Load().delta })
+}
+
+// EnableFastPath (re)configures φ acceleration on every shard; the
+// configuration is remembered and re-applied to retrained shard models.
 func (f *Filter) EnableFastPath(o core.FastPathOptions) string {
+	f.fast.Store(&o)
 	mode := ""
-	for _, sh := range f.shards {
-		if sh != nil {
+	for s := 0; s < f.k; s++ {
+		if sh := f.states[s].Load().flt; sh != nil {
 			mode = mergeMode(mode, sh.EnableFastPath(o))
 		}
 	}
@@ -162,16 +252,17 @@ func (f *Filter) EnableFastPath(o core.FastPathOptions) string {
 // PhiStats aggregates the per-shard φ accel counters.
 func (f *Filter) PhiStats() (deepsets.AccelStats, bool) {
 	ps := make([]phiStatser, 0, f.k)
-	for _, sh := range f.shards {
-		if sh != nil {
+	for s := 0; s < f.k; s++ {
+		if sh := f.states[s].Load().flt; sh != nil {
 			ps = append(ps, sh)
 		}
 	}
 	return aggregatePhi(ps)
 }
 
-// MaxID returns the largest element id in the partitioned collection.
-func (f *Filter) MaxID() uint32 { return f.maxID }
+// MaxID returns the largest element id accepted by the trained models; it
+// grows when a retrain absorbs inserted sets with fresh elements.
+func (f *Filter) MaxID() uint32 { return f.maxID.Load() }
 
 // MaxSubset returns the trained subset-size cap shared by all shards.
 func (f *Filter) MaxSubset() int { return f.maxSub }
@@ -182,21 +273,26 @@ func (f *Filter) NumShards() int { return f.k }
 // Partitioner returns the partitioning scheme.
 func (f *Filter) Partitioner() Partitioner { return f.part }
 
-// SizeBytes sums the per-shard footprints.
+// SizeBytes sums the per-shard structure and delta footprints.
 func (f *Filter) SizeBytes() int {
 	total := 0
-	for _, sh := range f.shards {
-		if sh != nil {
-			total += sh.SizeBytes()
+	for s := 0; s < f.k; s++ {
+		st := f.states[s].Load()
+		if st.flt != nil {
+			total += st.flt.SizeBytes()
 		}
+		total += st.delta.SizeBytes()
 	}
 	return total
 }
 
-// BuildStats returns a copy of the per-shard build statistics.
+// BuildStats returns the per-shard build statistics; a retrained shard
+// reports its latest build.
 func (f *Filter) BuildStats() []BuildStat {
-	out := make([]BuildStat, len(f.stats))
-	copy(out, f.stats)
+	out := make([]BuildStat, f.k)
+	for s := 0; s < f.k; s++ {
+		out[s] = f.states[s].Load().stat
+	}
 	return out
 }
 
@@ -204,19 +300,22 @@ func (f *Filter) BuildStats() []BuildStat {
 func (f *Filter) ShardStats() []core.ShardStat {
 	out := make([]core.ShardStat, f.k)
 	for s := 0; s < f.k; s++ {
-		st := core.ShardStat{
+		st := f.states[s].Load()
+		pending := st.delta.Len()
+		cs := core.ShardStat{
 			Shard:   s,
-			Sets:    f.sizes[s],
+			Sets:    st.stat.Sets + pending,
+			Pending: pending,
 			Queries: f.queries[s].Load(),
 			PhiMode: "off",
 		}
-		if sh := f.shards[s]; sh != nil {
-			st.Bytes = sh.SizeBytes()
-			if ps, ok := sh.PhiStats(); ok {
-				st.PhiMode = ps.Mode
+		if st.flt != nil {
+			cs.Bytes = st.flt.SizeBytes()
+			if ps, ok := st.flt.PhiStats(); ok {
+				cs.PhiMode = ps.Mode
 			}
 		}
-		out[s] = st
+		out[s] = cs
 	}
 	return out
 }

@@ -9,6 +9,7 @@ import (
 
 	"setlearn/internal/blockio"
 	"setlearn/internal/core"
+	"setlearn/internal/hybrid"
 	"setlearn/internal/sets"
 )
 
@@ -24,6 +25,13 @@ import (
 // length-prefixed framing the monolithic format uses, and each shard's
 // payload is parsed by the fuzz-hardened core loaders, so corrupt or
 // truncated inputs surface as errors, never panics.
+//
+// Format version 2 adds the live-mutation state: the insert log, each
+// shard's pending-delta positions, and the scaled build options — so a
+// restart loses nothing (pending inserts answer exactly again immediately)
+// and background retrains can resume with the original deterministic
+// configuration. Version-1 streams still load; they come up with empty
+// deltas and no retrain state.
 
 // Magic is the 8-byte sharded-container signature.
 const Magic = "SLSHRD1\x00"
@@ -33,7 +41,7 @@ func IsShardedMagic(b []byte) bool {
 	return len(b) >= len(Magic) && string(b[:len(Magic)]) == Magic
 }
 
-const formatVersion = 1
+const formatVersion = 2
 
 type containerHeader struct {
 	Version     int
@@ -41,11 +49,22 @@ type containerHeader struct {
 	Shards      int
 	Partitioner int
 	MaxSubset   int
-	ShardSets   []int    // sets per shard; 0 marks an empty (nil) shard
-	Globals     [][]int  // index only: per-shard local → global position
+	ShardSets   []int    // trained sets per shard; 0 marks an empty (nil) shard
+	Globals     [][]int  // per-shard local → global position (v1: index only; v2: all kinds)
 	AuxKeys     []string // estimator only: exact-override keys, sorted
 	AuxVals     []float64
 	Bounds      []float64 // estimator only: per-shard measured bounds, or nil
+
+	// Live-mutation state (version ≥ 2; zero values in v1 streams).
+	BaseLen      int        // collection length at the original build
+	NextPos      int64      // next global position InsertSet will hand out
+	BaseSeed     int64      // per-shard model seed base
+	InsertedPos  []int      // every insert since the original build, in order
+	InsertedSets [][]uint32 // parallel to InsertedPos; canonical element lists
+	DeltaPos     [][]int    // per shard: pending-delta positions, insertion order
+	IndexOpts    *core.IndexOptions
+	EstOpts      *core.EstimatorOptions
+	FltOpts      *core.FilterOptions
 }
 
 func writeMagic(w io.Writer) error {
@@ -69,7 +88,7 @@ func readContainerHeader(r io.Reader, kind string) (containerHeader, error) {
 	if err := gob.NewDecoder(block).Decode(&hdr); err != nil {
 		return hdr, fmt.Errorf("shard: decode header: %w", err)
 	}
-	if hdr.Version != formatVersion {
+	if hdr.Version < 1 || hdr.Version > formatVersion {
 		return hdr, fmt.Errorf("shard: unsupported container version %d", hdr.Version)
 	}
 	if hdr.Kind != kind {
@@ -88,6 +107,109 @@ func readContainerHeader(r io.Reader, kind string) (containerHeader, error) {
 		return hdr, fmt.Errorf("shard: subset cap %d out of range", hdr.MaxSubset)
 	}
 	return hdr, nil
+}
+
+// mutationState is the decoded v2 live-mutation header state, shared by the
+// three loaders.
+type mutationState struct {
+	inserted []hybrid.DeltaEntry
+	byPos    map[int]sets.Set
+	deltas   [][]hybrid.DeltaEntry // per shard; nil deltas in v1 streams
+	baseLen  int
+	nextPos  int64
+	baseSeed int64
+}
+
+// decodeMutation validates and decodes the v2 live-mutation header fields.
+// Version-1 streams return the zero state (empty deltas). All malformed
+// inputs — this is a fuzz surface — come back as errors, never panics.
+func decodeMutation(hdr containerHeader) (mutationState, error) {
+	var ms mutationState
+	if hdr.Version < 2 {
+		ms.deltas = make([][]hybrid.DeltaEntry, hdr.Shards)
+		return ms, nil
+	}
+	if hdr.BaseLen < 0 {
+		return ms, fmt.Errorf("shard: negative base length %d", hdr.BaseLen)
+	}
+	if hdr.NextPos < int64(hdr.BaseLen) {
+		return ms, fmt.Errorf("shard: next position %d below base length %d", hdr.NextPos, hdr.BaseLen)
+	}
+	if len(hdr.InsertedPos) != len(hdr.InsertedSets) {
+		return ms, fmt.Errorf("shard: %d insert positions for %d insert sets", len(hdr.InsertedPos), len(hdr.InsertedSets))
+	}
+	ms.baseLen = hdr.BaseLen
+	ms.nextPos = hdr.NextPos
+	ms.baseSeed = hdr.BaseSeed
+	ms.byPos = make(map[int]sets.Set, len(hdr.InsertedPos))
+	ms.inserted = make([]hybrid.DeltaEntry, 0, len(hdr.InsertedPos))
+	for i, pos := range hdr.InsertedPos {
+		if pos < 0 {
+			return ms, fmt.Errorf("shard: insert %d: negative position %d", i, pos)
+		}
+		if _, dup := ms.byPos[pos]; dup {
+			return ms, fmt.Errorf("shard: insert %d: duplicate position %d", i, pos)
+		}
+		s, err := canonicalSet(hdr.InsertedSets[i])
+		if err != nil {
+			return ms, fmt.Errorf("shard: insert %d: %w", i, err)
+		}
+		ms.byPos[pos] = s
+		ms.inserted = append(ms.inserted, hybrid.DeltaEntry{Pos: pos, Set: s})
+	}
+	if hdr.DeltaPos != nil && len(hdr.DeltaPos) != hdr.Shards {
+		return ms, fmt.Errorf("shard: header lists %d delta lists for %d shards", len(hdr.DeltaPos), hdr.Shards)
+	}
+	ms.deltas = make([][]hybrid.DeltaEntry, hdr.Shards)
+	for s, dp := range hdr.DeltaPos {
+		for _, pos := range dp {
+			set, ok := ms.byPos[pos]
+			if !ok {
+				return ms, fmt.Errorf("shard: shard %d delta references position %d outside the insert log", s, pos)
+			}
+			ms.deltas[s] = append(ms.deltas[s], hybrid.DeltaEntry{Pos: pos, Set: set})
+		}
+	}
+	return ms, nil
+}
+
+// canonicalSet validates a persisted element list: strictly increasing ids
+// (the sets.Set canonical form).
+func canonicalSet(ids []uint32) (sets.Set, error) {
+	s := make(sets.Set, len(ids))
+	for i, id := range ids {
+		if i > 0 && id <= ids[i-1] {
+			return nil, fmt.Errorf("element list not strictly increasing at %d", i)
+		}
+		s[i] = id
+	}
+	return s, nil
+}
+
+// resolvePos maps a persisted global position to its set: base-collection
+// positions resolve through c, later ones through the insert log.
+func resolvePos(pos int, baseLen int, c *sets.Collection, byPos map[int]sets.Set) (sets.Set, error) {
+	if pos >= 0 && pos < baseLen {
+		return c.At(pos), nil
+	}
+	if s, ok := byPos[pos]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("position %d outside the collection and the insert log", pos)
+}
+
+// validateGlobals checks the per-shard position maps against the shard
+// sizes.
+func validateGlobals(hdr containerHeader) error {
+	if len(hdr.Globals) != hdr.Shards {
+		return fmt.Errorf("shard: header lists %d global maps for %d shards", len(hdr.Globals), hdr.Shards)
+	}
+	for s, g := range hdr.Globals {
+		if len(g) != hdr.ShardSets[s] {
+			return fmt.Errorf("shard: shard %d: %d globals for %d sets", s, len(g), hdr.ShardSets[s])
+		}
+	}
+	return nil
 }
 
 func writeContainerHeader(w io.Writer, hdr containerHeader) error {
@@ -114,12 +236,42 @@ func saveShard(w io.Writer, s int, save func(io.Writer) error) error {
 	return nil
 }
 
-// Save persists the sharded index (headers, per-shard models, bounds, aux
-// structures). Like the monolithic SetIndex, the collection itself is not
-// written; LoadShardedIndex needs it back.
+// fillMutation writes the shared live-mutation header fields from a
+// consistent snapshot. Caller holds insertMu (so no insert or retrain swap
+// can interleave between the state loads and the log copy).
+func (m *mutation) fillMutation(hdr *containerHeader, deltas [][]hybrid.DeltaEntry) {
+	hdr.BaseLen = m.baseLen
+	hdr.NextPos = m.nextPos.Load()
+	hdr.BaseSeed = m.baseSeed
+	hdr.InsertedPos = make([]int, len(m.inserted))
+	hdr.InsertedSets = make([][]uint32, len(m.inserted))
+	for i, en := range m.inserted {
+		hdr.InsertedPos[i] = en.Pos
+		hdr.InsertedSets[i] = en.Set
+	}
+	hdr.DeltaPos = make([][]int, len(deltas))
+	for s, dl := range deltas {
+		hdr.DeltaPos[s] = make([]int, len(dl))
+		for i, en := range dl {
+			hdr.DeltaPos[s][i] = en.Pos
+		}
+	}
+}
+
+// Save persists the sharded index: header (including the insert log and
+// pending-delta positions, so a reload answers inserted sets exactly),
+// then the per-shard model streams. Like the monolithic SetIndex, the
+// collection itself is not written; LoadShardedIndex needs it back.
 func (x *Index) Save(w io.Writer) error {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	// Snapshot states + deltas + insert log under insertMu: retrain swaps
+	// also hold it, so the snapshot is one consistent cut.
+	x.insertMu.Lock()
+	sts := make([]*indexShard, x.k)
+	deltas := make([][]hybrid.DeltaEntry, x.k)
+	for s := 0; s < x.k; s++ {
+		sts[s] = x.states[s].Load()
+		deltas[s] = sts[s].delta.Snapshot()
+	}
 	hdr := containerHeader{
 		Version:     formatVersion,
 		Kind:        "index",
@@ -127,18 +279,22 @@ func (x *Index) Save(w io.Writer) error {
 		Partitioner: int(x.part),
 		MaxSubset:   x.maxSub,
 		ShardSets:   make([]int, x.k),
-		Globals:     x.globals,
+		Globals:     make([][]int, x.k),
+		IndexOpts:   x.opts,
 	}
+	x.fillMutation(&hdr, deltas)
+	x.insertMu.Unlock()
 	for s := 0; s < x.k; s++ {
-		hdr.ShardSets[s] = x.subs[s].Len()
+		hdr.ShardSets[s] = len(sts[s].global)
+		hdr.Globals[s] = sts[s].global
 	}
 	if err := writeContainerHeader(w, hdr); err != nil {
 		return err
 	}
 	for s := 0; s < x.k; s++ {
 		var save func(io.Writer) error
-		if sh := x.shards[s]; sh != nil {
-			save = sh.Save
+		if sts[s].idx != nil {
+			save = sts[s].idx.Save
 		}
 		if err := saveShard(w, s, save); err != nil {
 			return err
@@ -147,9 +303,11 @@ func (x *Index) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadShardedIndex restores a sharded index over the same collection it was
-// built on (including any sets registered through Insert, which the caller
-// appended to c).
+// LoadShardedIndex restores a sharded index over the collection it was
+// built on. c must cover the original build (the first BaseLen positions);
+// sets inserted afterwards travel in the stream itself and need not be in
+// c. Pending deltas are restored exactly, so lookups for inserted sets
+// answer correctly the moment the load returns.
 func LoadShardedIndex(r io.Reader, c *sets.Collection) (*Index, error) {
 	if c == nil {
 		return nil, fmt.Errorf("shard: load index: nil collection")
@@ -158,42 +316,52 @@ func LoadShardedIndex(r io.Reader, c *sets.Collection) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(hdr.Globals) != hdr.Shards {
-		return nil, fmt.Errorf("shard: header lists %d global maps for %d shards", len(hdr.Globals), hdr.Shards)
+	if err := validateGlobals(hdr); err != nil {
+		return nil, err
 	}
-	total := 0
-	for s, g := range hdr.Globals {
-		if len(g) != hdr.ShardSets[s] {
-			return nil, fmt.Errorf("shard: shard %d: %d globals for %d sets", s, len(g), hdr.ShardSets[s])
-		}
-		total += len(g)
-		for _, pos := range g {
-			if pos < 0 || pos >= c.Len() {
-				return nil, fmt.Errorf("shard: shard %d: global position %d outside collection of %d sets", s, pos, c.Len())
-			}
-		}
+	ms, err := decodeMutation(hdr)
+	if err != nil {
+		return nil, err
 	}
-	if total > c.Len() {
-		return nil, fmt.Errorf("shard: container maps %d sets but the collection has %d", total, c.Len())
+	if hdr.Version < 2 {
+		// v1 resolved every position through the collection.
+		ms.baseLen = c.Len()
+		ms.nextPos = int64(c.Len())
+	}
+	if ms.baseLen > c.Len() {
+		return nil, fmt.Errorf("shard: container was built over %d sets but the collection has %d", ms.baseLen, c.Len())
 	}
 	x := &Index{
-		shards:  make([]*core.SetIndex, hdr.Shards),
-		subs:    make([]*sets.Collection, hdr.Shards),
-		globals: hdr.Globals,
+		states:  make([]atomic.Pointer[indexShard], hdr.Shards),
 		k:       hdr.Shards,
 		part:    Partitioner(hdr.Partitioner),
 		maxSub:  hdr.MaxSubset,
-		maxID:   c.MaxID(),
-		stats:   make([]BuildStat, hdr.Shards),
 		queries: make([]atomic.Uint64, hdr.Shards),
+		opts:    hdr.IndexOpts,
 	}
+	x.baseLen = ms.baseLen
+	x.baseSeed = ms.baseSeed
+	x.nextPos.Store(ms.nextPos)
+	x.inserted = ms.inserted
+	var maxID uint32
 	for s := 0; s < hdr.Shards; s++ {
 		sub := &sets.Collection{Sets: make([]sets.Set, 0, len(hdr.Globals[s]))}
 		for _, pos := range hdr.Globals[s] {
-			sub.Append(c.At(pos))
+			set, err := resolvePos(pos, ms.baseLen, c, ms.byPos)
+			if err != nil {
+				return nil, fmt.Errorf("shard: shard %d: %w", s, err)
+			}
+			sub.Append(set)
 		}
-		x.subs[s] = sub
-		x.stats[s] = BuildStat{Shard: s, Sets: sub.Len()}
+		if id := sub.MaxID(); id > maxID {
+			maxID = id
+		}
+		st := &indexShard{
+			sub:    sub,
+			global: hdr.Globals[s],
+			delta:  hybrid.NewDeltaFrom(ms.deltas[s]),
+			stat:   BuildStat{Shard: s, Sets: sub.Len()},
+		}
 		block, err := blockio.Read(r)
 		if err != nil {
 			return nil, fmt.Errorf("shard: load shard %d: %w", s, err)
@@ -202,33 +370,46 @@ func LoadShardedIndex(r io.Reader, c *sets.Collection) (*Index, error) {
 			if block.Len() != 0 {
 				return nil, fmt.Errorf("shard: load shard %d: payload for an empty shard", s)
 			}
+			x.states[s].Store(st)
 			continue
 		}
 		idx, err := core.LoadIndex(block, sub)
 		if err != nil {
 			return nil, fmt.Errorf("shard: load shard %d: %w", s, err)
 		}
-		x.shards[s] = idx
-		x.stats[s].Bytes = idx.SizeBytes()
-		x.stats[s].MaxError = idx.MaxError()
+		st.idx = idx
+		st.stat.Bytes = idx.SizeBytes()
+		st.stat.MaxError = idx.MaxError()
+		x.states[s].Store(st)
 	}
+	x.maxID.Store(maxID)
 	return x, nil
 }
 
 // Save persists the sharded estimator, including the container-level exact
-// overrides (sorted for deterministic bytes) and any measured bounds.
+// overrides (sorted for deterministic bytes), any measured bounds, and the
+// live-mutation state.
 func (e *Estimator) Save(w io.Writer) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.insertMu.Lock()
+	sts := make([]*estShard, e.k)
+	deltas := make([][]hybrid.DeltaEntry, e.k)
+	for s := 0; s < e.k; s++ {
+		sts[s] = e.states[s].Load()
+		deltas[s] = sts[s].delta.Snapshot()
+	}
 	hdr := containerHeader{
 		Version:     formatVersion,
 		Kind:        "card",
 		Shards:      e.k,
 		Partitioner: int(e.part),
 		MaxSubset:   e.maxSub,
-		ShardSets:   append([]int(nil), e.sizes...),
-		Bounds:      e.bounds,
+		ShardSets:   make([]int, e.k),
+		Globals:     make([][]int, e.k),
+		EstOpts:     e.opts,
 	}
+	e.fillMutation(&hdr, deltas)
+	e.auxMu.RLock()
+	hdr.Bounds = e.bounds
 	hdr.AuxKeys = make([]string, 0, len(e.aux))
 	for k := range e.aux {
 		hdr.AuxKeys = append(hdr.AuxKeys, k)
@@ -236,15 +417,21 @@ func (e *Estimator) Save(w io.Writer) error {
 	sort.Strings(hdr.AuxKeys)
 	hdr.AuxVals = make([]float64, len(hdr.AuxKeys))
 	for i, k := range hdr.AuxKeys {
-		hdr.AuxVals[i] = e.aux[k]
+		hdr.AuxVals[i] = e.aux[k].card
+	}
+	e.auxMu.RUnlock()
+	e.insertMu.Unlock()
+	for s := 0; s < e.k; s++ {
+		hdr.ShardSets[s] = sts[s].stat.Sets
+		hdr.Globals[s] = sts[s].global
 	}
 	if err := writeContainerHeader(w, hdr); err != nil {
 		return err
 	}
 	for s := 0; s < e.k; s++ {
 		var save func(io.Writer) error
-		if sh := e.shards[s]; sh != nil {
-			save = sh.Save
+		if sts[s].est != nil {
+			save = sts[s].est.Save
 		}
 		if err := saveShard(w, s, save); err != nil {
 			return err
@@ -254,7 +441,8 @@ func (e *Estimator) Save(w io.Writer) error {
 }
 
 // LoadShardedEstimator restores an estimator saved by Save. The maximum
-// accepted element id is recovered from the shard models.
+// accepted element id is recovered from the shard models; pending deltas
+// are restored exactly. Retraining additionally needs AttachCollection.
 func LoadShardedEstimator(r io.Reader) (*Estimator, error) {
 	hdr, err := readContainerHeader(r, "card")
 	if err != nil {
@@ -266,24 +454,47 @@ func LoadShardedEstimator(r io.Reader) (*Estimator, error) {
 	if hdr.Bounds != nil && len(hdr.Bounds) != hdr.Shards {
 		return nil, fmt.Errorf("shard: header lists %d bounds for %d shards", len(hdr.Bounds), hdr.Shards)
 	}
+	if hdr.Version >= 2 {
+		if err := validateGlobals(hdr); err != nil {
+			return nil, err
+		}
+	}
+	ms, err := decodeMutation(hdr)
+	if err != nil {
+		return nil, err
+	}
 	e := &Estimator{
-		shards:  make([]*core.CardinalityEstimator, hdr.Shards),
+		states:  make([]atomic.Pointer[estShard], hdr.Shards),
 		k:       hdr.Shards,
 		part:    Partitioner(hdr.Partitioner),
 		maxSub:  hdr.MaxSubset,
-		aux:     make(map[string]float64, len(hdr.AuxKeys)),
+		aux:     make(map[string]auxOverride, len(hdr.AuxKeys)),
 		bounds:  hdr.Bounds,
-		stats:   make([]BuildStat, hdr.Shards),
-		sizes:   hdr.ShardSets,
 		queries: make([]atomic.Uint64, hdr.Shards),
+		opts:    hdr.EstOpts,
 	}
+	e.baseLen = ms.baseLen
+	e.baseSeed = ms.baseSeed
+	e.nextPos.Store(ms.nextPos)
+	e.inserted = ms.inserted
 	for i, k := range hdr.AuxKeys {
-		e.aux[k] = hdr.AuxVals[i]
+		set, err := sets.FromKey(k)
+		if err != nil {
+			return nil, fmt.Errorf("shard: override %d: %w", i, err)
+		}
+		e.aux[k] = auxOverride{set: set, card: hdr.AuxVals[i]}
 	}
+	var maxID uint32
 	for s := 0; s < hdr.Shards; s++ {
-		e.stats[s] = BuildStat{Shard: s, Sets: hdr.ShardSets[s]}
+		st := &estShard{
+			delta: hybrid.NewDeltaFrom(ms.deltas[s]),
+			stat:  BuildStat{Shard: s, Sets: hdr.ShardSets[s]},
+		}
+		if hdr.Version >= 2 {
+			st.global = hdr.Globals[s]
+		}
 		if e.bounds != nil {
-			e.stats[s].ErrBound = e.bounds[s]
+			st.stat.ErrBound = e.bounds[s]
 		}
 		block, err := blockio.Read(r)
 		if err != nil {
@@ -293,38 +504,57 @@ func LoadShardedEstimator(r io.Reader) (*Estimator, error) {
 			if block.Len() != 0 {
 				return nil, fmt.Errorf("shard: load shard %d: payload for an empty shard", s)
 			}
+			e.states[s].Store(st)
 			continue
 		}
 		est, err := core.LoadCardinalityEstimator(block)
 		if err != nil {
 			return nil, fmt.Errorf("shard: load shard %d: %w", s, err)
 		}
-		e.shards[s] = est
-		e.stats[s].Bytes = est.SizeBytes()
-		if id := est.MaxID(); id > e.maxID {
-			e.maxID = id
+		st.est = est
+		st.stat.Bytes = est.SizeBytes()
+		if id := est.MaxID(); id > maxID {
+			maxID = id
 		}
+		e.states[s].Store(st)
 	}
+	e.maxID.Store(maxID)
 	return e, nil
 }
 
-// Save persists the sharded membership filter.
+// Save persists the sharded membership filter, including the live-mutation
+// state.
 func (f *Filter) Save(w io.Writer) error {
+	f.insertMu.Lock()
+	sts := make([]*fltShard, f.k)
+	deltas := make([][]hybrid.DeltaEntry, f.k)
+	for s := 0; s < f.k; s++ {
+		sts[s] = f.states[s].Load()
+		deltas[s] = sts[s].delta.Snapshot()
+	}
 	hdr := containerHeader{
 		Version:     formatVersion,
 		Kind:        "member",
 		Shards:      f.k,
 		Partitioner: int(f.part),
 		MaxSubset:   f.maxSub,
-		ShardSets:   append([]int(nil), f.sizes...),
+		ShardSets:   make([]int, f.k),
+		Globals:     make([][]int, f.k),
+		FltOpts:     f.opts,
+	}
+	f.fillMutation(&hdr, deltas)
+	f.insertMu.Unlock()
+	for s := 0; s < f.k; s++ {
+		hdr.ShardSets[s] = sts[s].stat.Sets
+		hdr.Globals[s] = sts[s].global
 	}
 	if err := writeContainerHeader(w, hdr); err != nil {
 		return err
 	}
 	for s := 0; s < f.k; s++ {
 		var save func(io.Writer) error
-		if sh := f.shards[s]; sh != nil {
-			save = sh.Save
+		if sts[s].flt != nil {
+			save = sts[s].flt.Save
 		}
 		if err := saveShard(w, s, save); err != nil {
 			return err
@@ -333,23 +563,43 @@ func (f *Filter) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadShardedFilter restores a filter saved by Save.
+// LoadShardedFilter restores a filter saved by Save; pending deltas are
+// restored exactly. Retraining additionally needs AttachCollection.
 func LoadShardedFilter(r io.Reader) (*Filter, error) {
 	hdr, err := readContainerHeader(r, "member")
 	if err != nil {
 		return nil, err
 	}
+	if hdr.Version >= 2 {
+		if err := validateGlobals(hdr); err != nil {
+			return nil, err
+		}
+	}
+	ms, err := decodeMutation(hdr)
+	if err != nil {
+		return nil, err
+	}
 	f := &Filter{
-		shards:  make([]*core.MembershipFilter, hdr.Shards),
+		states:  make([]atomic.Pointer[fltShard], hdr.Shards),
 		k:       hdr.Shards,
 		part:    Partitioner(hdr.Partitioner),
 		maxSub:  hdr.MaxSubset,
-		stats:   make([]BuildStat, hdr.Shards),
-		sizes:   hdr.ShardSets,
 		queries: make([]atomic.Uint64, hdr.Shards),
+		opts:    hdr.FltOpts,
 	}
+	f.baseLen = ms.baseLen
+	f.baseSeed = ms.baseSeed
+	f.nextPos.Store(ms.nextPos)
+	f.inserted = ms.inserted
+	var maxID uint32
 	for s := 0; s < hdr.Shards; s++ {
-		f.stats[s] = BuildStat{Shard: s, Sets: hdr.ShardSets[s]}
+		st := &fltShard{
+			delta: hybrid.NewDeltaFrom(ms.deltas[s]),
+			stat:  BuildStat{Shard: s, Sets: hdr.ShardSets[s]},
+		}
+		if hdr.Version >= 2 {
+			st.global = hdr.Globals[s]
+		}
 		block, err := blockio.Read(r)
 		if err != nil {
 			return nil, fmt.Errorf("shard: load shard %d: %w", s, err)
@@ -358,18 +608,21 @@ func LoadShardedFilter(r io.Reader) (*Filter, error) {
 			if block.Len() != 0 {
 				return nil, fmt.Errorf("shard: load shard %d: payload for an empty shard", s)
 			}
+			f.states[s].Store(st)
 			continue
 		}
 		flt, err := core.LoadMembershipFilter(block)
 		if err != nil {
 			return nil, fmt.Errorf("shard: load shard %d: %w", s, err)
 		}
-		f.shards[s] = flt
-		f.stats[s].Bytes = flt.SizeBytes()
-		if id := flt.MaxID(); id > f.maxID {
-			f.maxID = id
+		st.flt = flt
+		st.stat.Bytes = flt.SizeBytes()
+		if id := flt.MaxID(); id > maxID {
+			maxID = id
 		}
+		f.states[s].Store(st)
 	}
+	f.maxID.Store(maxID)
 	return f, nil
 }
 
