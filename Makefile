@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet lint lint-dataflow test race race-mutation bench bench-inference bench-sharding fuzz-smoke experiments examples clean
+.PHONY: all build fmt-check vet lint lint-dataflow test race race-mutation bench bench-inference bench-sharding bench-gate fuzz-smoke experiments examples clean
 
 all: build fmt-check vet lint test race
 
@@ -56,6 +56,16 @@ bench-inference:
 # BENCH_sharding.json trajectory.
 bench-sharding:
 	BENCH_SHARDING_OUT=BENCH_sharding.json $(GO) run ./cmd/experiments -exp sharding -scale small
+
+# Benchmark-regression gate: re-measure the inference and sharding
+# experiments and compare against the committed BENCH_*.json baselines on
+# hardware-independent metrics (speedup ratios, accuracy, allocs/op);
+# non-zero exit on a regression beyond the noise tolerance. CI runs this.
+bench-gate:
+	BENCH_INFERENCE_OUT=/tmp/bench_inference_fresh.json $(GO) run ./cmd/experiments -exp inference -scale small
+	$(GO) run ./cmd/benchgate -kind inference -baseline BENCH_inference.json -fresh /tmp/bench_inference_fresh.json
+	BENCH_SHARDING_OUT=/tmp/bench_sharding_fresh.json $(GO) run ./cmd/experiments -exp sharding -scale small
+	$(GO) run ./cmd/benchgate -kind sharding -baseline BENCH_sharding.json -fresh /tmp/bench_sharding_fresh.json
 
 # Short coverage-guided fuzz runs over the load paths and the set parser;
 # CI runs the same budget on every push and a longer nightly pass.

@@ -1,0 +1,81 @@
+// Command benchgate compares a fresh benchmark run against a committed
+// BENCH_*.json baseline and exits non-zero on regressions beyond a noise
+// tolerance — the CI gate behind `make bench-gate`.
+//
+// The gate judges hardware-independent metrics only: speedup ratios (each a
+// ratio of two measurements on the same machine, so it transfers to
+// different CI hardware), relative accuracy, and allocation counts (exact,
+// so they get no tolerance). Absolute latencies are never compared.
+//
+// Usage:
+//
+//	BENCH_INFERENCE_OUT=fresh.json go run ./cmd/experiments -exp inference -scale small
+//	benchgate -kind inference -baseline BENCH_inference.json -fresh fresh.json
+//	benchgate -kind sharding  -baseline BENCH_sharding.json  -fresh fresh.json -tol 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"setlearn/internal/bench"
+)
+
+func main() {
+	kind := flag.String("kind", "", "benchmark kind: inference or sharding (required)")
+	baselinePath := flag.String("baseline", "", "committed baseline JSON (required)")
+	freshPath := flag.String("fresh", "", "freshly measured JSON (required)")
+	tol := flag.Float64("tol", 0.4, "noise tolerance on ratio metrics (0.4 = 40%)")
+	flag.Parse()
+
+	if *kind == "" || *baselinePath == "" || *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -kind, -baseline and -fresh are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tol < 0 || *tol >= 1 {
+		fatal(fmt.Errorf("-tol must be in [0, 1), got %v", *tol))
+	}
+
+	var violations []bench.GateViolation
+	switch *kind {
+	case "inference":
+		base, err := bench.LoadInferenceReport(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		fresh, err := bench.LoadInferenceReport(*freshPath)
+		if err != nil {
+			fatal(err)
+		}
+		violations = bench.GateInference(base, fresh, *tol)
+	case "sharding":
+		base, err := bench.LoadShardingReport(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		fresh, err := bench.LoadShardingReport(*freshPath)
+		if err != nil {
+			fatal(err)
+		}
+		violations = bench.GateSharding(base, fresh, *tol)
+	default:
+		fatal(fmt.Errorf("unknown -kind %q (want inference or sharding)", *kind))
+	}
+
+	if len(violations) == 0 {
+		fmt.Printf("benchgate: %s within tolerance %.0f%% of %s\n", *freshPath, *tol*100, *baselinePath)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) vs %s (tol %.0f%%):\n", len(violations), *baselinePath, *tol*100)
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "  "+v.String())
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

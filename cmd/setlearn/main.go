@@ -56,9 +56,14 @@ func main() {
 	loadPath := flag.String("load", "", "load a previously saved structure instead of training")
 	shards := flag.Int("shards", 0, "build a sharded container with this many shards (0/1 = monolithic)")
 	partFlag := flag.String("partitioner", "hash", "shard partitioner: hash or range")
+	precFlag := flag.String("precision", "f64", "serving precision: f64 (bit-exact reference) or f32 (zero-alloc float32 kernels)")
 	flag.Parse()
 
 	part, err := shard.ParsePartitioner(*partFlag)
+	if err != nil {
+		fatal(err)
+	}
+	prec, err := core.ParsePrecision(*precFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -138,6 +143,7 @@ func main() {
 			saveStructure(*savePath, e.Save)
 			est = e
 		}
+		applyPrecision(est, prec)
 		for _, q := range qs {
 			fmt.Printf("card(%v) ≈ %.1f (exact %d)\n", q, est.Estimate(q), c.Cardinality(q))
 		}
@@ -181,6 +187,7 @@ func main() {
 			saveStructure(*savePath, x.Save)
 			idx = x
 		}
+		applyPrecision(idx, prec)
 		for _, q := range qs {
 			fmt.Printf("pos(%v) = %d (exact %d)\n", q, idx.Lookup(q), c.FirstPosition(q))
 		}
@@ -224,6 +231,7 @@ func main() {
 			saveStructure(*savePath, m.Save)
 			mf = m
 		}
+		applyPrecision(mf, prec)
 		for _, q := range qs {
 			fmt.Printf("member(%v) = %v (exact %v)\n", q, mf.Contains(q), c.Member(q))
 		}
@@ -234,6 +242,16 @@ func main() {
 }
 
 func mbOf(bytes int) float64 { return float64(bytes) / (1024 * 1024) }
+
+// applyPrecision switches a structure's serving precision when -precision
+// asked for something other than the float64 default (training and
+// persistence always run float64; the f32 snapshot is derived at serve time).
+func applyPrecision[T interface{ SetPrecision(core.Precision) }](s T, p core.Precision) {
+	if p != core.F64 {
+		s.SetPrecision(p)
+		fmt.Printf("serving precision: %s\n", p)
+	}
+}
 
 // sniffSharded reports whether path holds a sharded container (by magic), so
 // -load reopens either format without a mode flag.

@@ -61,7 +61,13 @@ func main() {
 	partFlag := flag.String("partitioner", "", "required partitioner (hash|range) for loaded sharded containers; empty accepts any")
 	retrainEvery := flag.Duration("retrain-interval", 0, "background retrain sweep interval for sharded containers; 0 disables")
 	deltaThreshold := flag.Int("delta-threshold", 64, "pending inserts a shard must accumulate before a sweep rebuilds it")
+	precFlag := flag.String("precision", "f64", "serving precision: f64 (bit-exact reference) or f32 (zero-alloc float32 kernels)")
 	flag.Parse()
+
+	prec, err := core.ParsePrecision(*precFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *indexPath == "" && *cardPath == "" && *memberPath == "" {
 		fmt.Fprintln(os.Stderr, "setlearnd: provide at least one of -index, -card, -member")
@@ -164,6 +170,21 @@ func main() {
 			fmt.Printf("loaded index from %s over %d sets (%.3f MB, φ %s)\n",
 				*indexPath, c.Len(), mbOf(x.SizeBytes()), x.EnableFastPath(fp))
 		}
+	}
+
+	// Precision is applied after EnableFastPath so the f32 snapshot carries
+	// the freshly built φ-table; /v1/status reports the active precision.
+	if prec != core.F64 {
+		if st.Estimator != nil {
+			st.Estimator.SetPrecision(prec)
+		}
+		if st.Index != nil {
+			st.Index.SetPrecision(prec)
+		}
+		if st.Filter != nil {
+			st.Filter.SetPrecision(prec)
+		}
+		fmt.Printf("serving precision: %s\n", prec)
 	}
 
 	cfg := server.Config{Addr: *addr, DrainTimeout: *drain}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func inferenceFixturePoint(speedup float64) InferencePoint {
+	return InferencePoint{
+		Config: "lsm", SetSize: 8,
+		UncachedUS: 12, TableUS: 12 / speedup, BatchTableUS: 12 / speedup,
+		TableSpeedup: speedup, BatchSpeedup: speedup,
+		F32TableUS: 12 / (speedup * 1.1), F32Speedup: speedup * 1.1, F32AllocsOp: 0,
+	}
+}
+
+func TestGateInferencePassesWithinTolerance(t *testing.T) {
+	base := &InferenceReport{Points: []InferencePoint{inferenceFixturePoint(8)}}
+	// 30% slower speedup on a 40% tolerance: no violation.
+	fresh := &InferenceReport{Points: []InferencePoint{inferenceFixturePoint(8 * 0.7)}}
+	if vs := GateInference(base, fresh, 0.4); len(vs) != 0 {
+		t.Fatalf("unexpected violations: %v", vs)
+	}
+}
+
+func TestGateInferenceCatchesSpeedupRegression(t *testing.T) {
+	base := &InferenceReport{Points: []InferencePoint{inferenceFixturePoint(8)}}
+	fresh := &InferenceReport{Points: []InferencePoint{inferenceFixturePoint(3)}}
+	vs := GateInference(base, fresh, 0.4)
+	if len(vs) == 0 {
+		t.Fatal("halved speedup must violate")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Metric == "table_speedup" && strings.Contains(v.String(), "lsm/k=8") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want table_speedup violation, got %v", vs)
+	}
+}
+
+func TestGateInferenceCatchesAllocRegression(t *testing.T) {
+	base := &InferenceReport{Points: []InferencePoint{inferenceFixturePoint(8)}}
+	p := inferenceFixturePoint(8)
+	p.F32AllocsOp = 2 // any steady-state allocation is a regression, no tolerance
+	fresh := &InferenceReport{Points: []InferencePoint{p}}
+	vs := GateInference(base, fresh, 0.4)
+	if len(vs) != 1 || vs[0].Metric != "f32_allocs_op" {
+		t.Fatalf("want exactly the alloc violation, got %v", vs)
+	}
+}
+
+func TestGateInferenceEnforcesF32Floor(t *testing.T) {
+	// Baseline predates the f32 path (F32Speedup 0): the relative check is
+	// skipped but the absolute 1.5× floor still applies to the fresh run.
+	base := &InferenceReport{Points: []InferencePoint{{Config: "lsm", SetSize: 8, TableSpeedup: 8, BatchSpeedup: 8}}}
+	p := inferenceFixturePoint(8)
+	p.F32Speedup = 1.2
+	fresh := &InferenceReport{Points: []InferencePoint{p}}
+	vs := GateInference(base, fresh, 0.4)
+	if len(vs) != 1 || vs[0].Metric != "f32_speedup_floor" {
+		t.Fatalf("want the f32 floor violation, got %v", vs)
+	}
+}
+
+func TestGateInferenceMissingPoint(t *testing.T) {
+	base := &InferenceReport{Points: []InferencePoint{inferenceFixturePoint(8)}}
+	fresh := &InferenceReport{}
+	if vs := GateInference(base, fresh, 0.4); len(vs) != 1 || !strings.Contains(vs[0].Metric, "missing") {
+		t.Fatalf("want a missing-point violation, got %v", vs)
+	}
+	// Fresh-only points are allowed: new configurations may appear.
+	if vs := GateInference(fresh, base, 0.4); len(vs) != 0 {
+		t.Fatalf("fresh-only points must pass, got %v", vs)
+	}
+}
+
+func shardingFixturePoint(speedup, err float64) ShardingPoint {
+	return ShardingPoint{
+		Shards: 4, Partitioner: "hash",
+		BuildSpeedup: speedup, MeanAbsErr: err, SingleUS: 10, BatchUS: 9,
+	}
+}
+
+func TestGateSharding(t *testing.T) {
+	base := &ShardingReport{Points: []ShardingPoint{shardingFixturePoint(2.7, 2.7)}}
+	ok := &ShardingReport{Points: []ShardingPoint{shardingFixturePoint(2.0, 3.0)}}
+	if vs := GateSharding(base, ok, 0.4); len(vs) != 0 {
+		t.Fatalf("within tolerance must pass, got %v", vs)
+	}
+	bad := &ShardingReport{Points: []ShardingPoint{shardingFixturePoint(1.2, 9.0)}}
+	vs := GateSharding(base, bad, 0.4)
+	metrics := map[string]bool{}
+	for _, v := range vs {
+		metrics[v.Metric] = true
+	}
+	if !metrics["build_speedup"] || !metrics["mean_abs_err"] {
+		t.Fatalf("want build_speedup and mean_abs_err violations, got %v", vs)
+	}
+}

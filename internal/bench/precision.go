@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"setlearn/internal/core"
+	"setlearn/internal/dataset"
+	"setlearn/internal/mat"
+	"setlearn/internal/sets"
+)
+
+func init() {
+	Registry["precision"] = RunPrecision
+}
+
+// PrecisionPoint is the measured f32-vs-f64 accuracy delta of one structure:
+// the differential harness switches the same trained structure between
+// precisions and replays an identical workload through both.
+type PrecisionPoint struct {
+	Structure string  `json:"structure"` // "estimator", "index", "filter"
+	Queries   int     `json:"queries"`
+	MaxDelta  float64 `json:"max_delta"`       // max relative delta, WithinTol scale
+	MeanDelta float64 `json:"mean_delta"`      // mean relative delta
+	Tol       float64 `json:"tol"`             // documented bound for this structure
+	WithinTol float64 `json:"within_tol_rate"` // fraction of queries inside Tol
+	Flips     int     `json:"flips"`           // discrete answers that changed
+	FalseNeg  int     `json:"false_negatives"` // filter only: trained positives lost
+}
+
+// PrecisionReport is the JSON trajectory written via BENCH_PRECISION_OUT.
+type PrecisionReport struct {
+	Scale  string           `json:"scale"`
+	Sets   int              `json:"sets"`
+	Points []PrecisionPoint `json:"points"`
+}
+
+// Documented per-structure tolerances for the f32 serving path. The
+// estimator's scaler amplifies the raw model delta, so its bound is looser
+// than the filter's probability bound; the index bound is on the predicted
+// scan position relative to the collection size.
+const (
+	precisionTolEstimator = 1e-2
+	precisionTolIndex     = 1e-2
+	precisionTolFilter    = 1e-3
+)
+
+// relDelta measures |a−b| on mat.WithinTol's scale: max(1, |a|, |b|).
+func relDelta(a, b float64) float64 {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) / scale
+}
+
+// deltaStats folds per-query reference/candidate pairs into a PrecisionPoint.
+func deltaStats(structure string, tol float64, ref, got []float64) PrecisionPoint {
+	pt := PrecisionPoint{Structure: structure, Queries: len(ref), Tol: tol}
+	within := 0
+	for i := range ref {
+		d := relDelta(ref[i], got[i])
+		pt.MeanDelta += d
+		if d > pt.MaxDelta {
+			pt.MaxDelta = d
+		}
+		if mat.WithinTol(got[i], ref[i], tol) {
+			within++
+		}
+	}
+	if len(ref) > 0 {
+		pt.MeanDelta /= float64(len(ref))
+		pt.WithinTol = float64(within) / float64(len(ref))
+	}
+	return pt
+}
+
+// precisionWorkload samples trained subsets, evenly strided so every result
+// region of the collection is represented.
+func precisionWorkload(st *dataset.SubsetStats, n int) []sets.Set {
+	qs := make([]sets.Set, 0, n)
+	stride := len(st.Keys)/n + 1
+	for i := 0; i < len(st.Keys); i += stride {
+		qs = append(qs, st.ByKey[st.Keys[i]].Set)
+	}
+	return qs
+}
+
+// RunPrecision trains the three structures once, then replays the same
+// workload at f64 and f32 and reports the max/mean relative delta, the
+// fraction of queries inside each structure's documented tolerance, and the
+// discrete answers that changed. The filter row additionally proves the
+// guard band keeps the no-false-negative guarantee: FalseNeg must be 0.
+func RunPrecision(w io.Writer, sc dataset.Scale) error {
+	c := dataset.GenerateRW(sc.RWN, sc.RWVocab, 31)
+	st := dataset.CollectSubsets(c, sc.MaxSubset)
+	model := core.ModelOptions{Compressed: true, Epochs: sc.Epochs, Seed: 17}
+	qs := precisionWorkload(st, 256)
+
+	rep := &Report{
+		Title:  fmt.Sprintf("f32 serving precision (scale=%s, %d sets, %d queries): relative delta vs f64", sc.Name, c.Len(), len(qs)),
+		Header: []string{"Structure", "MaxΔ", "MeanΔ", "Tol", "WithinTol", "Flips", "FalseNeg"},
+		Notes: []string{
+			"Deltas are |f32−f64| / max(1,|f32|,|f64|) — mat.WithinTol's scale.",
+			"Flips counts discrete answers that changed (index positions, filter",
+			"booleans); FalseNeg counts trained positives the f32 filter lost and",
+			"must be 0 (the threshold guard band preserves the one-sided guarantee).",
+		},
+	}
+	out := PrecisionReport{Scale: sc.Name, Sets: c.Len()}
+	addRow := func(pt PrecisionPoint) {
+		out.Points = append(out.Points, pt)
+		rep.AddRow(pt.Structure, fmt.Sprintf("%.2e", pt.MaxDelta), fmt.Sprintf("%.2e", pt.MeanDelta),
+			pt.Tol, fmt.Sprintf("%.3f", pt.WithinTol), pt.Flips, pt.FalseNeg)
+	}
+
+	// Cardinality estimator: scaled estimates through both precisions.
+	est, err := core.BuildEstimator(c, core.EstimatorOptions{
+		Model: model, MaxSubset: sc.MaxSubset, Percentile: 90,
+	})
+	if err != nil {
+		return fmt.Errorf("bench: precision estimator: %w", err)
+	}
+	refE := est.EstimateBatch(nil, qs)
+	est.SetPrecision(core.F32)
+	gotE := est.EstimateBatch(nil, qs)
+	est.SetPrecision(core.F64)
+	addRow(deltaStats("estimator", precisionTolEstimator, refE, gotE))
+
+	// Set index: the discrete scan answer, compared as positions so the
+	// relative delta reflects how far the f32 scan landed from the f64 one.
+	idx, err := core.BuildIndex(c, core.IndexOptions{
+		Model: model, MaxSubset: sc.MaxSubset, Percentile: 90,
+	})
+	if err != nil {
+		return fmt.Errorf("bench: precision index: %w", err)
+	}
+	refP := make([]float64, len(qs))
+	for i, q := range qs {
+		refP[i] = float64(idx.Lookup(q))
+	}
+	idx.SetPrecision(core.F32)
+	gotP := make([]float64, len(qs))
+	flips := 0
+	for i, q := range qs {
+		gotP[i] = float64(idx.Lookup(q))
+		if gotP[i] != refP[i] { //lint:allow floateq -- integer positions, exact comparison intended
+			flips++
+		}
+	}
+	idx.SetPrecision(core.F64)
+	ptIdx := deltaStats("index", precisionTolIndex, refP, gotP)
+	ptIdx.Flips = flips
+	addRow(ptIdx)
+
+	// Membership filter: the raw classifier probability plus the boolean
+	// answer; trained positives must all survive the switch.
+	flt, err := core.BuildMembershipFilter(c, core.FilterOptions{
+		Model: model, MaxSubset: sc.MaxSubset,
+	})
+	if err != nil {
+		return fmt.Errorf("bench: precision filter: %w", err)
+	}
+	refProb := make([]float64, len(qs))
+	refAns := make([]bool, len(qs))
+	for i, q := range qs {
+		refProb[i] = flt.ModelProbability(q)
+		refAns[i] = flt.Contains(q)
+	}
+	flt.SetPrecision(core.F32)
+	gotProb := make([]float64, len(qs))
+	ptFlt := PrecisionPoint{}
+	for i, q := range qs {
+		gotProb[i] = flt.ModelProbability(q)
+		ans := flt.Contains(q)
+		if ans != refAns[i] {
+			ptFlt.Flips++
+		}
+		if !ans {
+			// Every workload query is a trained subset, so any false answer
+			// under f32 is a lost positive.
+			ptFlt.FalseNeg++
+		}
+	}
+	flt.SetPrecision(core.F64)
+	stats := deltaStats("filter", precisionTolFilter, refProb, gotProb)
+	stats.Flips, stats.FalseNeg = ptFlt.Flips, ptFlt.FalseNeg
+	addRow(stats)
+	if stats.FalseNeg > 0 {
+		return fmt.Errorf("bench: precision filter lost %d trained positives under f32", stats.FalseNeg)
+	}
+
+	if path := os.Getenv("BENCH_PRECISION_OUT"); path != "" {
+		blob, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("bench: write %s: %w", path, err)
+		}
+		rep.Notes = append(rep.Notes, "JSON written to "+path)
+	}
+	return rep.Render(w)
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"setlearn/internal/sets"
+)
+
+// Precision selects the numeric width of a structure's serving path.
+// Float64 is the build/training precision and the bit-identity reference;
+// Float32 serves from an immutable snapshot of the trained weights (and
+// installed φ-table), trading a bounded accuracy delta — quantified by the
+// bench "precision" experiment — for roughly half the memory traffic on
+// the table- and embedding-bound inner loops. Training, persistence, and
+// retraining always run float64; switching precision never touches the
+// stored model.
+type Precision int
+
+// Supported serving precisions.
+const (
+	F64 Precision = iota
+	F32
+)
+
+// String implements fmt.Stringer, matching the -precision flag values.
+func (p Precision) String() string {
+	switch p {
+	case F64:
+		return "f64"
+	case F32:
+		return "f32"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// ParsePrecision parses a -precision flag value.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f64", "float64", "":
+		return F64, nil
+	case "f32", "float32":
+		return F32, nil
+	default:
+		return F64, fmt.Errorf("core: unknown precision %q (want f32 or f64)", s)
+	}
+}
+
+// SetPrecision switches the index's serving precision. Safe to call while
+// queries are in flight; in-flight queries finish on the precision they
+// started with.
+func (i *SetIndex) SetPrecision(p Precision) {
+	i.hybrid.SetF32(p == F32)
+}
+
+// Precision reports the index's active serving precision.
+func (i *SetIndex) Precision() Precision {
+	if i.hybrid.F32() {
+		return F32
+	}
+	return F64
+}
+
+// SetPrecision switches the estimator's serving precision; see
+// SetIndex.SetPrecision.
+func (e *CardinalityEstimator) SetPrecision(p Precision) {
+	e.hybrid.SetF32(p == F32)
+}
+
+// Precision reports the estimator's active serving precision.
+func (e *CardinalityEstimator) Precision() Precision {
+	if e.hybrid.F32() {
+		return F32
+	}
+	return F64
+}
+
+// SetPrecision switches the filter's serving precision; see
+// SetIndex.SetPrecision.
+func (f *MembershipFilter) SetPrecision(p Precision) {
+	if p != F32 {
+		f.pred32.Store(nil)
+		return
+	}
+	f.pred32.Store(f.model.Snapshot32().NewPredictorPool32())
+}
+
+// Precision reports the filter's active serving precision.
+func (f *MembershipFilter) Precision() Precision {
+	if f.pred32.Load() != nil {
+		return F32
+	}
+	return F64
+}
+
+// predict routes one filter model evaluation through the active precision.
+func (f *MembershipFilter) predict(q sets.Set) float64 {
+	if p := f.pred32.Load(); p != nil {
+		return p.Predict(q)
+	}
+	return f.pred.Predict(q)
+}
+
+// predictBatch routes a batched filter model evaluation through the active
+// precision.
+func (f *MembershipFilter) predictBatch(dst []float64, qs []sets.Set) []float64 {
+	if p := f.pred32.Load(); p != nil {
+		return p.PredictBatch(dst, qs)
+	}
+	return f.pred.PredictBatch(dst, qs)
+}

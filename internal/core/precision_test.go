@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"setlearn/internal/dataset"
+	"setlearn/internal/mat"
+	"setlearn/internal/sets"
+)
+
+func TestParsePrecision(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Precision
+		err  bool
+	}{
+		{"f64", F64, false}, {"float64", F64, false}, {"", F64, false},
+		{"f32", F32, false}, {"float32", F32, false},
+		{"f16", F64, true}, {"double", F64, true},
+	} {
+		got, err := ParsePrecision(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParsePrecision(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+	if F32.String() != "f32" || F64.String() != "f64" {
+		t.Fatalf("String(): %v %v", F32, F64)
+	}
+}
+
+// queriesFrom enumerates 2-subsets of collection sets as test queries.
+func queriesFrom(c *sets.Collection, n int) []sets.Set {
+	var qs []sets.Set
+	for i := 0; i < c.Len() && len(qs) < n; i++ {
+		s := c.At(i)
+		if len(s) >= 2 {
+			qs = append(qs, sets.New(s[0], s[1]))
+		}
+	}
+	return qs
+}
+
+func TestIndexPrecisionSwitch(t *testing.T) {
+	c := dataset.GenerateSD(300, 40, 41)
+	idx, err := BuildIndex(c, IndexOptions{Model: fastModel(false), MaxSubset: 2, Percentile: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := queriesFrom(c, 100)
+	ref := make([]int, len(qs))
+	for i, q := range qs {
+		ref[i] = idx.Lookup(q)
+	}
+
+	if idx.Precision() != F64 {
+		t.Fatal("fresh index must serve f64")
+	}
+	idx.SetPrecision(F32)
+	if idx.Precision() != F32 {
+		t.Fatal("SetPrecision(F32) not reported")
+	}
+	// The f32 estimate can shift the scan window by a position or two, so
+	// a small disagreement rate is tolerated; every positive answer must
+	// still be a true containment.
+	diff := 0
+	for i, q := range qs {
+		got := idx.Lookup(q)
+		if got != ref[i] {
+			diff++
+		}
+		if got >= 0 && !c.At(got).ContainsAll(q) {
+			t.Fatalf("f32 Lookup(%v)=%d is not a containment", q, got)
+		}
+	}
+	if diff > len(qs)/20 {
+		t.Fatalf("f32 Lookup disagreed on %d/%d queries", diff, len(qs))
+	}
+	// Batch matches scalar under f32.
+	batch := idx.LookupBatch(nil, qs, false)
+	for i, q := range qs {
+		if batch[i] != idx.Lookup(q) {
+			t.Fatalf("f32 LookupBatch[%d] = %d, scalar = %d", i, batch[i], idx.Lookup(q))
+		}
+	}
+
+	// Switching back restores the bit-identical f64 answers.
+	idx.SetPrecision(F64)
+	if idx.Precision() != F64 {
+		t.Fatal("SetPrecision(F64) not reported")
+	}
+	for i, q := range qs {
+		if got := idx.Lookup(q); got != ref[i] {
+			t.Fatalf("f64 restore: Lookup(%v)=%d, want %d", q, got, ref[i])
+		}
+	}
+}
+
+func TestEstimatorPrecisionSwitch(t *testing.T) {
+	c := dataset.GenerateSD(300, 40, 42)
+	e, err := BuildEstimator(c, EstimatorOptions{Model: fastModel(false), MaxSubset: 2, Percentile: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := queriesFrom(c, 100)
+	ref := e.EstimateBatch(nil, qs)
+
+	e.SetPrecision(F32)
+	if e.Precision() != F32 {
+		t.Fatal("SetPrecision(F32) not reported")
+	}
+	got := e.EstimateBatch(nil, qs)
+	for i := range qs {
+		// The scaler amplifies the raw model delta; 1e-2 relative bounds
+		// the tiny trained models here with margin (the bench precision
+		// experiment reports measured deltas on realistic models).
+		if !mat.WithinTol(got[i], ref[i], 1e-2) {
+			t.Fatalf("f32 Estimate[%d] = %v, f64 = %v", i, got[i], ref[i])
+		}
+	}
+
+	e.SetPrecision(F64)
+	back := e.EstimateBatch(nil, qs)
+	for i := range qs {
+		if back[i] != ref[i] {
+			t.Fatalf("f64 restore: Estimate[%d]=%v, want %v bit-identical", i, back[i], ref[i])
+		}
+	}
+}
+
+func TestFilterPrecisionKeepsNoFalseNegatives(t *testing.T) {
+	c := dataset.GenerateSD(200, 30, 43)
+	f, err := BuildMembershipFilter(c, FilterOptions{Model: fastModel(false), MaxSubset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dataset.CollectSubsets(c, 2)
+	subs := make([]sets.Set, 0, len(st.Keys))
+	for _, k := range st.Keys {
+		subs = append(subs, st.ByKey[k].Set)
+	}
+	f.SetPrecision(F32)
+	if f.Precision() != F32 {
+		t.Fatal("SetPrecision(F32) not reported")
+	}
+	// The threshold guard band must preserve the one-sided guarantee:
+	// every trained positive still answers true under f32.
+	miss := 0
+	for _, s := range subs {
+		if !f.Contains(s) {
+			miss++
+		}
+	}
+	if miss != 0 {
+		t.Fatalf("f32 filter produced %d false negatives", miss)
+	}
+	// Batch path agrees with scalar under f32.
+	qs := subs[:min(64, len(subs))]
+	out := f.ContainsBatch(qs, 4)
+	for i, q := range qs {
+		if out[i] != f.Contains(q) {
+			t.Fatalf("f32 ContainsBatch[%d] disagrees with Contains", i)
+		}
+	}
+	f.SetPrecision(F64)
+	if f.Precision() != F64 {
+		t.Fatal("SetPrecision(F64) not reported")
+	}
+}
+
+func TestEnableFastPathRefreshesF32Snapshot(t *testing.T) {
+	c := dataset.GenerateSD(200, 30, 44)
+	e, err := BuildEstimator(c, EstimatorOptions{Model: fastModel(false), MaxSubset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetPrecision(F32)
+	qs := queriesFrom(c, 50)
+	ref := e.EstimateBatch(nil, qs)
+	// Re-enabling the fast path rebuilds the φ-table and must keep the
+	// structure serving f32, with answers unchanged within rounding (the
+	// snapshot's table rows are the new table's rows, rounded once).
+	if mode := e.EnableFastPath(DefaultFastPath); mode != "table" {
+		t.Fatalf("mode=%q want table", mode)
+	}
+	if e.Precision() != F32 {
+		t.Fatal("EnableFastPath must not reset precision")
+	}
+	got := e.EstimateBatch(nil, qs)
+	for i := range qs {
+		if !mat.WithinTol(got[i], ref[i], 1e-2) {
+			t.Fatalf("post-refresh Estimate[%d]=%v, was %v", i, got[i], ref[i])
+		}
+	}
+}

@@ -28,6 +28,11 @@ type IndexQuerier interface {
 	EnableFastPath(o FastPathOptions) string
 	// PhiStats reports φ accel counters; ok is false when uncached.
 	PhiStats() (deepsets.AccelStats, bool)
+	// SetPrecision switches the serving precision (F64 is the
+	// bit-identity reference; F32 serves from a weight snapshot).
+	SetPrecision(p Precision)
+	// Precision reports the active serving precision.
+	Precision() Precision
 	// MaxID returns the largest element id the structure accepts.
 	MaxID() uint32
 	// SizeBytes returns the total structure footprint.
@@ -44,6 +49,8 @@ type CardinalityQuerier interface {
 	Update(q sets.Set, card float64)
 	EnableFastPath(o FastPathOptions) string
 	PhiStats() (deepsets.AccelStats, bool)
+	SetPrecision(p Precision)
+	Precision() Precision
 	MaxID() uint32
 	SizeBytes() int
 }
@@ -57,6 +64,8 @@ type MembershipQuerier interface {
 	ContainsBatch(qs []sets.Set, workers int) []bool
 	EnableFastPath(o FastPathOptions) string
 	PhiStats() (deepsets.AccelStats, bool)
+	SetPrecision(p Precision)
+	Precision() Precision
 	MaxID() uint32
 	SizeBytes() int
 }

@@ -1,0 +1,318 @@
+// Float32 serving path: an immutable snapshot of a trained model whose
+// inference runs entirely in float32. Training, persistence, and the
+// bit-identity story stay float64 — a snapshot is taken once (per
+// precision switch or retrain hot-swap) and the weights cross the f64→f32
+// boundary exactly there. Weights are persisted at float32 already
+// (nn/io.go), so a snapshot of a loaded model loses nothing against the
+// on-disk bits.
+//
+// The predictor owns a single flat arena that every fixed-size scratch
+// window aliases, so steady-state Predict and PredictBatch allocate zero
+// bytes (pinned by TestPredictor32ZeroAllocs). The f32 fast path is the
+// φ-table: an installed *PhiTable is snapshotted to half-width rows.
+// A *PhiCache is not carried over — without a table the f32 predictor
+// recomputes φ per element through the f32 MLP.
+//
+// This file is a blessed mixed-precision conversion site for the floateq
+// analyzer.
+package deepsets
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"setlearn/internal/compress"
+	"setlearn/internal/mat"
+	"setlearn/internal/nn"
+	"setlearn/internal/sets"
+)
+
+// Model32 is an immutable float32 snapshot of a Model, safe for concurrent
+// readers.
+type Model32 struct {
+	cfg    Config
+	embeds []*nn.Embedding32
+	phi    *nn.MLP32
+	rho    *nn.MLP32
+	table  *PhiTable32 // nil when the source model had no φ-table installed
+}
+
+// Snapshot32 returns a float32 copy of the model's current weights. An
+// installed *PhiTable is snapshotted along with them (half the footprint,
+// same rows rounded once); any other accel is dropped — rebuild the
+// snapshot after attaching a table to pick it up.
+func (m *Model) Snapshot32() *Model32 {
+	s := m.Snapshot32WithoutAccel()
+	if t, ok := m.PhiAccel().(*PhiTable); ok {
+		s.table = t.Snapshot32()
+	}
+	return s
+}
+
+// Snapshot32WithoutAccel returns a float32 snapshot that ignores any
+// installed accel — the pure-MLP f32 path, used by the differential
+// harness to separate kernel rounding from table rounding.
+func (m *Model) Snapshot32WithoutAccel() *Model32 {
+	s := &Model32{
+		cfg: m.cfg,
+		phi: m.phi.Snapshot32(),
+		rho: m.rho.Snapshot32(),
+	}
+	for _, e := range m.embeds {
+		s.embeds = append(s.embeds, e.Snapshot32())
+	}
+	return s
+}
+
+// Config returns the snapshot's model configuration.
+func (m *Model32) Config() Config { return m.cfg }
+
+// HasPhiTable reports whether the snapshot carries a float32 φ-table.
+func (m *Model32) HasPhiTable() bool { return m.table != nil }
+
+// SizeBytes returns the snapshot's weight footprint (4 bytes per scalar,
+// φ-table excluded — see PhiTable32.SizeBytes).
+func (m *Model32) SizeBytes() int {
+	n := 0
+	for _, e := range m.embeds {
+		n += e.Vocab() * e.Dim()
+	}
+	for _, mlp := range []*nn.MLP32{m.phi, m.rho} {
+		for _, l := range mlp.Layers {
+			n += len(l.W.Data) + len(l.B)
+		}
+	}
+	return n * 4
+}
+
+// PhiTable32 holds float32 φ rows for the whole universe — the f64 table's
+// rows rounded once, at half the footprint.
+type PhiTable32 struct {
+	maxID uint32
+	out   int
+	data  []float32
+}
+
+// Snapshot32 returns a float32 copy of the table.
+func (t *PhiTable) Snapshot32() *PhiTable32 {
+	return &PhiTable32{maxID: t.maxID, out: t.out, data: mat.ToF32(nil, t.data)}
+}
+
+func (t *PhiTable32) row(id uint32) []float32 {
+	if id > t.maxID {
+		panic(fmt.Sprintf("deepsets: element id %d exceeds MaxID %d", id, t.maxID))
+	}
+	return t.data[int(id)*t.out : (int(id)+1)*t.out]
+}
+
+// SizeBytes returns the table footprint.
+func (t *PhiTable32) SizeBytes() int { return len(t.data) * 4 }
+
+// Predictor32 holds preallocated float32 scratch for tape-free inference
+// against a Model32. All fixed-size scratch aliases one flat arena, so
+// steady-state queries allocate nothing. Not safe for concurrent use;
+// create one per goroutine (or use PredictorPool32).
+type Predictor32 struct {
+	m     *Model32
+	arena []float32 // backing store for every window below
+
+	catBuf   []float32 // φ input (CLSM concat)
+	pool     []float32 // pooled φ output (PhiOut)
+	lseSum   []float32 // log-sum-exp exp-sum scratch (PhiOut)
+	phiS     *nn.InferScratch32
+	rhoS     *nn.InferScratch32
+	partsBuf []uint32
+	lseBuf   []float32 // per-element φ outputs for LSE; grows to the largest set seen
+}
+
+// NewPredictor32 returns inference scratch bound to m, carved from one
+// arena allocation.
+func (m *Model32) NewPredictor32() *Predictor32 {
+	in := m.cfg.EmbedDim
+	if m.cfg.Compressed {
+		in *= m.cfg.NS
+	}
+	out := m.cfg.PhiOut
+	p := &Predictor32{
+		m:        m,
+		arena:    make([]float32, in+2*out+m.phi.ScratchLen()+m.rho.ScratchLen()),
+		partsBuf: make([]uint32, 0, 8),
+	}
+	a := p.arena
+	p.catBuf, a = a[:in:in], a[in:]
+	p.pool, a = a[:out:out], a[out:]
+	p.lseSum, a = a[:out:out], a[out:]
+	p.phiS, a = m.phi.BindScratch(a)
+	p.rhoS, _ = m.rho.BindScratch(a)
+	return p
+}
+
+// phiInput validates id and prepares the φ input vector, mirroring
+// Predictor.phiInput.
+func (p *Predictor32) phiInput(id uint32) []float32 {
+	m := p.m
+	if id > m.cfg.MaxID {
+		panic(fmt.Sprintf("deepsets: element id %d exceeds MaxID %d", id, m.cfg.MaxID))
+	}
+	if m.cfg.Compressed {
+		parts := compress.Compress(p.partsBuf[:0], id, m.cfg.SVD, m.cfg.NS)
+		for i, part := range parts {
+			copy(p.catBuf[i*m.cfg.EmbedDim:], m.embeds[i].Row(int(part)))
+		}
+		return p.catBuf
+	}
+	return m.embeds[0].Row(int(id))
+}
+
+// phiRow returns φ for one element: a zero-copy table row when the
+// snapshot carries one, otherwise a fresh run of the f32 φ MLP. The slice
+// is scratch — consume before the next phiRow call.
+func (p *Predictor32) phiRow(id uint32) []float32 {
+	if t := p.m.table; t != nil {
+		return t.row(id)
+	}
+	return p.m.phi.Infer(p.phiS, p.phiInput(id))
+}
+
+// phiInto computes φ for one element directly into dst (table row copy or
+// a direct MLP write).
+func (p *Predictor32) phiInto(id uint32, dst []float32) {
+	if t := p.m.table; t != nil {
+		copy(dst, t.row(id))
+		return
+	}
+	p.m.phi.InferInto(p.phiS, p.phiInput(id), dst)
+}
+
+func (p *Predictor32) pooled(s sets.Set) []float32 {
+	if len(s) == 0 {
+		panic("deepsets: empty set")
+	}
+	m := p.m
+	if m.cfg.Pool == LSEPool {
+		return p.pooledLSE(s)
+	}
+	if m.cfg.Pool == MaxPool {
+		mat.Fill32(p.pool, float32(math.Inf(-1)))
+	} else {
+		mat.Fill32(p.pool, 0)
+	}
+	for _, id := range s {
+		phiOut := p.phiRow(id)
+		if m.cfg.Pool == MaxPool {
+			for i, v := range phiOut {
+				if v > p.pool[i] {
+					p.pool[i] = v
+				}
+			}
+		} else {
+			mat.AddTo32(p.pool, phiOut)
+		}
+	}
+	if m.cfg.Pool == MeanPool {
+		mat.Scale32(p.pool, 1/float32(len(s)))
+	}
+	return p.pool
+}
+
+// pooledLSE mirrors Predictor.pooledLSE: buffer φ per element, then max,
+// exp-sum, log. exp and log run through float64 math per element, exact
+// for f32 inputs with one rounding at the boundary.
+func (p *Predictor32) pooledLSE(s sets.Set) []float32 {
+	out := p.m.cfg.PhiOut
+	need := len(s) * out
+	if cap(p.lseBuf) < need {
+		p.lseBuf = make([]float32, need)
+	}
+	buf := p.lseBuf[:need]
+	for i, id := range s {
+		p.phiInto(id, buf[i*out:(i+1)*out])
+	}
+	mat.Fill32(p.pool, float32(math.Inf(-1)))
+	for i := range s {
+		for j, v := range buf[i*out : (i+1)*out] {
+			if v > p.pool[j] {
+				p.pool[j] = v
+			}
+		}
+	}
+	mat.Fill32(p.lseSum, 0)
+	for i := range s {
+		for j, v := range buf[i*out : (i+1)*out] {
+			p.lseSum[j] += float32(math.Exp(float64(v - p.pool[j])))
+		}
+	}
+	for i := range p.pool {
+		p.pool[i] += float32(math.Log(float64(p.lseSum[i])))
+	}
+	return p.pool
+}
+
+// Predict returns the model output (after the output activation) for s.
+// The result is widened to float64 at the boundary so callers (scalers,
+// thresholds, error windows) stay precision-agnostic.
+func (p *Predictor32) Predict(s sets.Set) float64 {
+	return float64(p.m.rho.Infer(p.rhoS, p.pooled(s))[0])
+}
+
+// PredictLogit returns the pre-activation output for s.
+func (p *Predictor32) PredictLogit(s sets.Set) float64 {
+	return float64(p.m.rho.InferLogit(p.rhoS, p.pooled(s))[0])
+}
+
+// PredictBatch evaluates the model for every query in qs, writing outputs
+// into dst (grown if needed) and returning it. Unlike the f64 batch path
+// there is no per-batch φ memo: the f32 path's accel is the φ-table, which
+// already serves every id as a zero-copy row read.
+func (p *Predictor32) PredictBatch(dst []float64, qs []sets.Set) []float64 {
+	if cap(dst) < len(qs) {
+		dst = make([]float64, len(qs))
+	} else {
+		dst = dst[:len(qs)]
+	}
+	for i, q := range qs {
+		dst[i] = float64(p.m.rho.Infer(p.rhoS, p.pooled(q))[0])
+	}
+	return dst
+}
+
+// PredictorPool32 is a concurrency-safe wrapper around per-goroutine
+// Predictor32s — the f32 counterpart of PredictorPool.
+type PredictorPool32 struct {
+	m    *Model32
+	pool sync.Pool
+}
+
+// NewPredictorPool32 returns a pool bound to m.
+func (m *Model32) NewPredictorPool32() *PredictorPool32 {
+	p := &PredictorPool32{m: m}
+	p.pool.New = func() any { return m.NewPredictor32() }
+	return p
+}
+
+// Model returns the snapshot the pool serves.
+func (p *PredictorPool32) Model() *Model32 { return p.m }
+
+// Predict evaluates the model for s; safe for concurrent use.
+func (p *PredictorPool32) Predict(s sets.Set) float64 {
+	pred := p.pool.Get().(*Predictor32)
+	defer p.pool.Put(pred)
+	return pred.Predict(s)
+}
+
+// PredictLogit evaluates the pre-activation output for s; safe for
+// concurrent use.
+func (p *PredictorPool32) PredictLogit(s sets.Set) float64 {
+	pred := p.pool.Get().(*Predictor32)
+	defer p.pool.Put(pred)
+	return pred.PredictLogit(s)
+}
+
+// PredictBatch evaluates every query in qs with one pooled predictor; safe
+// for concurrent use.
+func (p *PredictorPool32) PredictBatch(dst []float64, qs []sets.Set) []float64 {
+	pred := p.pool.Get().(*Predictor32)
+	defer p.pool.Put(pred)
+	return pred.PredictBatch(dst, qs)
+}

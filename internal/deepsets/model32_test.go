@@ -1,0 +1,245 @@
+package deepsets
+
+import (
+	"math/rand"
+	"testing"
+
+	"setlearn/internal/mat"
+	"setlearn/internal/nn"
+	"setlearn/internal/sets"
+)
+
+// f32Tol bounds the f32-vs-f64 prediction divergence for the small test
+// models: every weight rounds once and each layer reassociates short dot
+// products; observed deltas are ~1e-6, so 1e-4 leaves margin without
+// masking real bugs. The bench precision experiment measures the same
+// delta on trained, realistic models.
+const f32Tol = 1e-4
+
+func randSets(rng *rand.Rand, n, k int, maxID uint32) []sets.Set {
+	qs := make([]sets.Set, n)
+	for i := range qs {
+		ids := make([]uint32, 0, k)
+		for len(sets.New(ids...)) < k {
+			ids = append(ids, uint32(rng.Intn(int(maxID)+1)))
+		}
+		qs[i] = sets.New(ids...)
+	}
+	return qs
+}
+
+func TestSnapshot32MatchesF64(t *testing.T) {
+	for _, compressed := range []bool{false, true} {
+		m := newTestModel(t, compressed)
+		m32 := m.Snapshot32()
+		if m32.HasPhiTable() {
+			t.Fatal("snapshot of accel-free model must not carry a table")
+		}
+		p64 := m.NewPredictor()
+		p32 := m32.NewPredictor32()
+		rng := rand.New(rand.NewSource(11))
+		for _, q := range randSets(rng, 50, 5, m.cfg.MaxID) {
+			want := p64.Predict(q)
+			got := p32.Predict(q)
+			if !mat.WithinTol(got, want, f32Tol) {
+				t.Fatalf("compressed=%v q=%v: f32=%v f64=%v", compressed, q, got, want)
+			}
+			wantL := p64.PredictLogit(q)
+			gotL := p32.PredictLogit(q)
+			if !mat.WithinTol(gotL, wantL, f32Tol) {
+				t.Fatalf("compressed=%v q=%v logit: f32=%v f64=%v", compressed, q, gotL, wantL)
+			}
+		}
+	}
+}
+
+func TestSnapshot32CarriesPhiTable(t *testing.T) {
+	m := newTestModel(t, false)
+	m.SetPhiAccel(m.BuildPhiTable())
+	m32 := m.Snapshot32()
+	if !m32.HasPhiTable() {
+		t.Fatal("snapshot must carry the installed φ-table")
+	}
+	if m32.table.SizeBytes()*2 != m.PhiAccel().SizeBytes() {
+		t.Fatalf("f32 table must be half the f64 footprint: %d vs %d",
+			m32.table.SizeBytes(), m.PhiAccel().SizeBytes())
+	}
+	// Table-served and MLP-served f32 predictions agree to f32 rounding:
+	// the table rows are the f64 φ outputs rounded once, the MLP output is
+	// the f32 φ stack — both within tolerance of the f64 reference.
+	bare := m.Snapshot32WithoutAccel()
+	pT := m32.NewPredictor32()
+	pM := bare.NewPredictor32()
+	p64 := m.NewPredictor()
+	rng := rand.New(rand.NewSource(12))
+	for _, q := range randSets(rng, 30, 6, m.cfg.MaxID) {
+		ref := p64.Predict(q)
+		if got := pT.Predict(q); !mat.WithinTol(got, ref, f32Tol) {
+			t.Fatalf("table path diverged: %v vs %v", got, ref)
+		}
+		if got := pM.Predict(q); !mat.WithinTol(got, ref, f32Tol) {
+			t.Fatalf("mlp path diverged: %v vs %v", got, ref)
+		}
+	}
+}
+
+func TestSnapshot32DropsPhiCache(t *testing.T) {
+	m := newTestModel(t, false)
+	m.SetPhiAccel(m.NewPhiCache(1<<16, 4))
+	m32 := m.Snapshot32()
+	if m32.HasPhiTable() {
+		t.Fatal("a φ-cache must not be snapshotted as a table")
+	}
+}
+
+func TestPredictor32PoolingVariants(t *testing.T) {
+	for _, pool := range []Pooling{SumPool, MeanPool, MaxPool, LSEPool} {
+		m, err := New(Config{
+			MaxID: 200, EmbedDim: 4, PhiHidden: []int{8}, PhiOut: 8,
+			RhoHidden: []int{8}, Pool: pool, OutputAct: nn.Sigmoid, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p64 := m.NewPredictor()
+		p32 := m.Snapshot32().NewPredictor32()
+		rng := rand.New(rand.NewSource(int64(pool) + 100))
+		for _, q := range randSets(rng, 25, 4, 200) {
+			want := p64.Predict(q)
+			got := p32.Predict(q)
+			if !mat.WithinTol(got, want, f32Tol) {
+				t.Fatalf("pool=%v q=%v: f32=%v f64=%v", pool, q, got, want)
+			}
+		}
+	}
+}
+
+func TestPredictBatch32MatchesScalar(t *testing.T) {
+	m := newTestModel(t, true)
+	m32 := m.Snapshot32()
+	p := m32.NewPredictor32()
+	rng := rand.New(rand.NewSource(13))
+	qs := randSets(rng, 40, 5, m.cfg.MaxID)
+	batch := p.PredictBatch(nil, qs)
+	if len(batch) != len(qs) {
+		t.Fatalf("batch length %d want %d", len(batch), len(qs))
+	}
+	for i, q := range qs {
+		if got := p.Predict(q); got != batch[i] {
+			t.Fatalf("batch[%d]=%v scalar=%v — batch must match scalar bit-for-bit", i, batch[i], got)
+		}
+	}
+	// dst reuse: a big-enough dst comes back re-sliced, not reallocated.
+	dst := make([]float64, 0, len(qs))
+	out := p.PredictBatch(dst, qs)
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("PredictBatch must reuse a big-enough dst")
+	}
+}
+
+// TestPredictor32ZeroAllocs pins the arena contract: steady-state f32
+// Predict and PredictBatch allocate zero bytes, with and without a
+// φ-table, for LSM and CLSM — the acceptance criterion of the f32 path.
+func TestPredictor32ZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, compressed := range []bool{false, true} {
+		for _, withTable := range []bool{false, true} {
+			m := newTestModel(t, compressed)
+			if withTable {
+				m.SetPhiAccel(m.BuildPhiTable())
+			}
+			p := m.Snapshot32().NewPredictor32()
+			qs := randSets(rng, 16, 6, m.cfg.MaxID)
+			dst := make([]float64, len(qs))
+			// Warm up (grows nothing today, but keeps the measurement
+			// honest if scratch ever becomes lazily grown).
+			p.Predict(qs[0])
+			p.PredictBatch(dst, qs)
+			if n := testing.AllocsPerRun(100, func() { p.Predict(qs[1]) }); n != 0 {
+				t.Errorf("compressed=%v table=%v: Predict allocs/op = %v, want 0", compressed, withTable, n)
+			}
+			if n := testing.AllocsPerRun(50, func() { p.PredictBatch(dst, qs) }); n != 0 {
+				t.Errorf("compressed=%v table=%v: PredictBatch allocs/op = %v, want 0", compressed, withTable, n)
+			}
+		}
+	}
+}
+
+// TestPredictor32ZeroAllocsLSE pins the LSE pooling path too, after its
+// per-element buffer has grown to the largest set seen.
+func TestPredictor32ZeroAllocsLSE(t *testing.T) {
+	m, err := New(Config{
+		MaxID: 200, EmbedDim: 4, PhiHidden: []int{8}, PhiOut: 8,
+		RhoHidden: []int{8}, Pool: LSEPool, OutputAct: nn.Sigmoid, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Snapshot32().NewPredictor32()
+	rng := rand.New(rand.NewSource(15))
+	qs := randSets(rng, 8, 6, 200)
+	p.Predict(qs[0]) // grow lseBuf once
+	if n := testing.AllocsPerRun(100, func() { p.Predict(qs[1]) }); n != 0 {
+		t.Errorf("LSE Predict allocs/op = %v, want 0", n)
+	}
+}
+
+func TestPredictorPool32Concurrent(t *testing.T) {
+	m := newTestModel(t, false)
+	m.SetPhiAccel(m.BuildPhiTable())
+	pool := m.Snapshot32().NewPredictorPool32()
+	ref := m.Snapshot32().NewPredictor32()
+	rng := rand.New(rand.NewSource(16))
+	qs := randSets(rng, 64, 5, m.cfg.MaxID)
+	want := make([]float64, len(qs))
+	for i, q := range qs {
+		want[i] = ref.Predict(q)
+	}
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			ok := true
+			for i, q := range qs {
+				if pool.Predict(q) != want[i] {
+					ok = false
+				}
+			}
+			done <- ok
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("concurrent pool prediction diverged from single-predictor reference")
+		}
+	}
+}
+
+func TestPredictor32Panics(t *testing.T) {
+	m := newTestModel(t, false)
+	p := m.Snapshot32().NewPredictor32()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for empty set")
+			}
+		}()
+		p.Predict(sets.Set{})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for id > MaxID")
+			}
+		}()
+		p.Predict(sets.Set{m.cfg.MaxID + 1})
+	}()
+	// The table path must bound-check too.
+	m.SetPhiAccel(m.BuildPhiTable())
+	pt := m.Snapshot32().NewPredictor32()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for id > MaxID on table path")
+		}
+	}()
+	pt.Predict(sets.Set{m.cfg.MaxID + 1})
+}

@@ -136,6 +136,14 @@ func (t *PhiTable) Stats() AccelStats {
 // from id to slot lives beside it. Hits copy the vector into the caller's
 // predictor scratch under the shard read lock (a slot may be recycled the
 // moment the lock drops), misses run the φ MLP outside any lock and insert.
+//
+// Counter semantics (pinned by TestPhiCacheCounterSemantics): hits and
+// misses count cache *probes* — one per φ-vector request that reaches the
+// cache. The PredictBatch memo sits in front of the cache, so within one
+// batch each distinct element id probes at most once; repeated ids are
+// served by the memo and move no counter. Under concurrency two goroutines
+// racing on a cold id may each count a miss for one resulting entry
+// (φ runs outside the lock), so misses ≥ distinct ids inserted.
 type PhiCache struct {
 	out   int
 	mask  uint32

@@ -8,6 +8,7 @@ package hybrid
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"setlearn/internal/bptree"
 	"setlearn/internal/dataset"
@@ -25,6 +26,12 @@ type Index struct {
 	model      *deepsets.Model
 	scaler     train.Scaler
 	pred       *deepsets.PredictorPool
+
+	// pred32, when non-nil, routes predictions through a float32 snapshot
+	// of the model (see SetF32). Atomic so precision can be switched while
+	// queries are in flight; everything downstream of the prediction
+	// (scaler, error windows, aux) stays float64.
+	pred32 atomic.Pointer[deepsets.PredictorPool32]
 
 	auxMu sync.RWMutex
 	aux   *bptree.Tree // outlier subsets: permutation-invariant hash → first position
@@ -108,9 +115,43 @@ func inVocab(m *deepsets.Model, q sets.Set) bool {
 	return len(q) == 0 || q[len(q)-1] <= m.Config().MaxID
 }
 
+// SetF32 switches the index's serving precision. Enabling snapshots the
+// model's current weights (and installed φ-table, if any) to float32;
+// disabling restores the bit-identical float64 path. The error bounds were
+// measured with float64 predictions, so the f32 path trades a bounded
+// accuracy delta (see the bench precision experiment) for speed. Re-enable
+// after EnableFastPath or further training to refresh the snapshot.
+func (idx *Index) SetF32(on bool) {
+	if !on {
+		idx.pred32.Store(nil)
+		return
+	}
+	idx.pred32.Store(idx.model.Snapshot32().NewPredictorPool32())
+}
+
+// F32 reports whether the index serves predictions in float32.
+func (idx *Index) F32() bool { return idx.pred32.Load() != nil }
+
+// predict routes one model evaluation through the active precision.
+func (idx *Index) predict(q sets.Set) float64 {
+	if p := idx.pred32.Load(); p != nil {
+		return p.Predict(q)
+	}
+	return idx.pred.Predict(q)
+}
+
+// predictBatch routes a batched model evaluation through the active
+// precision.
+func (idx *Index) predictBatch(dst []float64, qs []sets.Set) []float64 {
+	if p := idx.pred32.Load(); p != nil {
+		return p.PredictBatch(dst, qs)
+	}
+	return idx.pred.PredictBatch(dst, qs)
+}
+
 // estimatePos runs the model and maps the output to an integer position.
 func (idx *Index) estimatePos(q sets.Set) int {
-	return idx.clampPos(idx.scaler.Unscale(idx.pred.Predict(q)))
+	return idx.clampPos(idx.scaler.Unscale(idx.predict(q)))
 }
 
 // clampPos rounds an unscaled model output to a valid collection position.
@@ -223,7 +264,7 @@ func (idx *Index) LookupBatch(dst []int, qs []sets.Set, equal bool) []int {
 	if len(need) == 0 {
 		return dst
 	}
-	outs := idx.pred.PredictBatch(nil, need)
+	outs := idx.predictBatch(nil, need)
 	for j, q := range need {
 		est := idx.clampPos(idx.scaler.Unscale(outs[j]))
 		dst[needAt[j]] = idx.scanFromEstimate(q, est, equal)
@@ -331,6 +372,9 @@ type Estimator struct {
 	scaler train.Scaler
 	pred   *deepsets.PredictorPool
 
+	// pred32 mirrors Index.pred32: the optional float32 serving path.
+	pred32 atomic.Pointer[deepsets.PredictorPool32]
+
 	auxMu sync.RWMutex
 	aux   map[string]float64 // outlier subset key → exact cardinality
 }
@@ -363,11 +407,40 @@ func (e *Estimator) Estimate(q sets.Set) float64 {
 	if !inVocab(e.model, q) {
 		return 0 // out-of-vocabulary elements cannot occur in the collection
 	}
-	est := e.scaler.Unscale(e.pred.Predict(q))
+	est := e.scaler.Unscale(e.predict(q))
 	if est < 1 {
 		est = 1
 	}
 	return est
+}
+
+// SetF32 switches the estimator's serving precision (see Index.SetF32).
+func (e *Estimator) SetF32(on bool) {
+	if !on {
+		e.pred32.Store(nil)
+		return
+	}
+	e.pred32.Store(e.model.Snapshot32().NewPredictorPool32())
+}
+
+// F32 reports whether the estimator serves predictions in float32.
+func (e *Estimator) F32() bool { return e.pred32.Load() != nil }
+
+// predict routes one model evaluation through the active precision.
+func (e *Estimator) predict(q sets.Set) float64 {
+	if p := e.pred32.Load(); p != nil {
+		return p.Predict(q)
+	}
+	return e.pred.Predict(q)
+}
+
+// predictBatch routes a batched model evaluation through the active
+// precision.
+func (e *Estimator) predictBatch(dst []float64, qs []sets.Set) []float64 {
+	if p := e.pred32.Load(); p != nil {
+		return p.PredictBatch(dst, qs)
+	}
+	return e.pred.PredictBatch(dst, qs)
 }
 
 // EstimateBatch answers every query in qs, writing estimates into dst
@@ -404,7 +477,7 @@ func (e *Estimator) EstimateBatch(dst []float64, qs []sets.Set) []float64 {
 	if len(need) == 0 {
 		return dst
 	}
-	outs := e.pred.PredictBatch(nil, need)
+	outs := e.predictBatch(nil, need)
 	for j := range need {
 		est := e.scaler.Unscale(outs[j])
 		if est < 1 {

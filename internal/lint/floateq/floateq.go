@@ -12,6 +12,14 @@
 // Everything else must go through the tolerance helpers (mat.ApproxEqual,
 // mat.WithinTol), whose bodies the analyzer skips, or carry an
 // explicit //lint:allow floateq -- <reason> escape hatch.
+//
+// The analyzer also guards the float32 serving path's precision boundary:
+// non-constant float64↔float32 conversions are flagged everywhere in scope
+// except in blessed kernel/conversion files, so rounding happens exactly
+// once, at the model-snapshot boundary, instead of leaking ad-hoc
+// conversions through the f64 training code. Blessed files are those named
+// by the repo's f32-kernel convention (*32.go — mat32.go, infer32.go,
+// model32.go) plus nn/io.go, which persists weights at float32.
 package floateq
 
 import (
@@ -19,6 +27,8 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"path/filepath"
+	"strings"
 
 	"setlearn/internal/lint/analysis"
 	"setlearn/internal/lint/astq"
@@ -31,9 +41,20 @@ var toleranceFuncs = map[string]bool{
 	"WithinTol":   true,
 }
 
+// isBlessedMixed reports whether the file may convert between float64 and
+// float32: the *32.go kernel files hold the f32 serving path, and nn/io.go
+// is the float32 persistence boundary.
+func isBlessedMixed(filename string) bool {
+	if strings.HasSuffix(filepath.Base(filename), "32.go") {
+		return true
+	}
+	return strings.HasSuffix(filepath.ToSlash(filename), "nn/io.go")
+}
+
 var Analyzer = &analysis.Analyzer{
 	Name: "floateq",
-	Doc: "flag ==/!=/switch on float32/float64 outside approved tolerance helpers; " +
+	Doc: "flag ==/!=/switch on float32/float64 outside approved tolerance helpers, " +
+		"and float64↔float32 conversions outside blessed kernel files; " +
 		"exact-zero, math.Inf, and x != x NaN checks are allowed",
 	Scope: []string{
 		"setlearn/internal/mat",
@@ -48,6 +69,7 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
+		blessed := isBlessedMixed(pass.Fset.Position(f.Pos()).Filename)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if ok && fd.Recv == nil && toleranceFuncs[fd.Name.Name] {
@@ -59,12 +81,49 @@ func run(pass *analysis.Pass) error {
 					checkBinary(pass, n)
 				case *ast.SwitchStmt:
 					checkSwitch(pass, n)
+				case *ast.CallExpr:
+					if !blessed {
+						checkConversion(pass, n)
+					}
 				}
 				return true
 			})
 		}
 	}
 	return nil
+}
+
+// checkConversion flags non-constant conversions between float64 and
+// float32 outside the blessed files: a stray conversion rounds (or
+// silently re-widens rounded values) away from the one sanctioned
+// precision boundary.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	fun, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]
+	if !ok || !fun.IsType() {
+		return
+	}
+	dst, ok := fun.Type.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	arg, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || arg.Value != nil { // constants convert at compile time, deterministically
+		return
+	}
+	src, ok := arg.Type.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	narrowing := dst.Kind() == types.Float32 && src.Kind() == types.Float64
+	widening := dst.Kind() == types.Float64 && src.Kind() == types.Float32
+	if !narrowing && !widening {
+		return
+	}
+	pass.Reportf(call.Pos(), "precision-mixing conversion %s outside a blessed kernel file; keep the f64↔f32 boundary in *32.go / nn/io.go (or annotate //lint:allow floateq -- <reason>)",
+		types.ExprString(call))
 }
 
 func checkBinary(pass *analysis.Pass, e *ast.BinaryExpr) {

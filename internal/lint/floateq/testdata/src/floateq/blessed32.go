@@ -1,0 +1,19 @@
+package floateq
+
+// A file named *32.go is a blessed precision boundary: the f32 kernel and
+// conversion code lives here, so float64↔float32 conversions are allowed.
+// The comparison checks still apply.
+
+func blessedConvert(dst []float32, src []float64) {
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+func blessedWiden(a float32, b float64) bool {
+	v := float64(a)
+	if v == b { // want `float comparison v == b is not determinism-safe`
+		return true
+	}
+	return false
+}

@@ -1,0 +1,202 @@
+// Float32 kernel set: the serving-precision mirror of the float64 kernels
+// in mat.go. Training and the bit-identity reference stay float64; these
+// kernels exist only for the opt-in f32 inference path, where halving the
+// working-set size roughly doubles the effective memory bandwidth of the
+// table- and embedding-bound loops.
+//
+// This file is a blessed mixed-precision kernel: the floateq analyzer
+// allows float32↔float64 conversions here (and only in files on its
+// allowlist), so every precision change in the repo funnels through
+// auditable code.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// F32Eps is the float32 machine epsilon (2^-23). Converting a float64 v
+// with |v| ≤ MaxFloat32 to float32 and back perturbs it by at most
+// F32Eps/2 · |v| (round-to-nearest), the bound RoundTripBound exposes and
+// TestRoundTripBound pins.
+const F32Eps = 1.0 / (1 << 23)
+
+// Matrix32 is a dense row-major float32 matrix, the serving-precision
+// counterpart of Matrix.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// New32 returns a zeroed Rows x Cols float32 matrix.
+func New32(rows, cols int) *Matrix32 {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice32 wraps data (not copied) as a Rows x Cols matrix.
+func FromSlice32(rows, cols int, data []float32) *Matrix32 {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix32) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// ToF32 converts src into dst (allocated when too small) and returns it —
+// the f64→f32 boundary every weight snapshot crosses exactly once.
+func ToF32(dst []float32, src []float64) []float32 {
+	if cap(dst) < len(src) {
+		dst = make([]float32, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return dst
+}
+
+// ToF64 converts src into dst (allocated when too small) and returns it.
+// Every float32 is exactly representable as float64, so the conversion is
+// lossless.
+func ToF64(dst []float64, src []float32) []float64 {
+	if cap(dst) < len(src) {
+		dst = make([]float64, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+	return dst
+}
+
+// MatrixToF32 returns a freshly allocated float32 copy of m.
+func MatrixToF32(m *Matrix) *Matrix32 {
+	return &Matrix32{Rows: m.Rows, Cols: m.Cols, Data: ToF32(nil, m.Data)}
+}
+
+// RoundTripBound returns the maximum perturbation a f64→f32→f64 round
+// trip can apply to a finite v with |v| ≤ MaxFloat32: half an ulp,
+// i.e. F32Eps/2 scaled by |v| (and never below the smallest normal
+// float32, which covers the denormal range).
+func RoundTripBound(v float64) float64 {
+	b := math.Abs(v) * F32Eps / 2
+	if minNormal := math.Ldexp(1, -126); b < minNormal {
+		b = minNormal
+	}
+	return b
+}
+
+// MatVec32 computes dst = m * x. dst must have length m.Rows and x length
+// m.Cols. dst must not alias x.
+func MatVec32(dst []float32, m *Matrix32, x []float32) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MatVec32 dims %dx%d with x=%d dst=%d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = dotUnchecked32(m.Data[i*m.Cols:(i+1)*m.Cols], x)
+	}
+}
+
+// MatVecAcc32 accumulates dst += m * x. dst must have length m.Rows and x
+// length m.Cols; dst must not alias x.
+func MatVecAcc32(dst []float32, m *Matrix32, x []float32) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MatVecAcc32 dims %dx%d with x=%d dst=%d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] += dotUnchecked32(m.Data[i*m.Cols:(i+1)*m.Cols], x)
+	}
+}
+
+// MatVecAdd32 computes dst = m*x + b.
+func MatVecAdd32(dst []float32, m *Matrix32, x, b []float32) {
+	MatVec32(dst, m, x)
+	if len(b) != len(dst) {
+		panic("mat: MatVecAdd32 bias length mismatch")
+	}
+	for i := range dst {
+		dst[i] += b[i]
+	}
+}
+
+// Dot32 returns the inner product of a and b.
+func Dot32(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("mat: Dot32 length mismatch")
+	}
+	return dotUnchecked32(a, b)
+}
+
+// dotUnchecked32 mirrors dotUnchecked: four independent accumulators break
+// the loop-carried add dependency, and the fixed summation order keeps the
+// kernel deterministic for fixed input.
+func dotUnchecked32(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for i := n; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// AddTo32 computes dst += x — the f32 pooled-sum inner loop, unrolled like
+// AddTo.
+func AddTo32(dst, x []float32) {
+	if len(dst) != len(x) {
+		panic("mat: AddTo32 length mismatch")
+	}
+	n := len(x) &^ 3
+	for i := 0; i < n; i += 4 {
+		dst[i] += x[i]
+		dst[i+1] += x[i+1]
+		dst[i+2] += x[i+2]
+		dst[i+3] += x[i+3]
+	}
+	for i := n; i < len(x); i++ {
+		dst[i] += x[i]
+	}
+}
+
+// Scale32 multiplies every element of x by a in place.
+func Scale32(x []float32, a float32) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Fill32 sets every element of x to v.
+func Fill32(x []float32, v float32) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// MaxAbs32 returns the largest absolute element of x, or 0 for empty x.
+func MaxAbs32(x []float32) float32 {
+	var m float32
+	for _, v := range x {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,253 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDot32 is the straight-line reference the unrolled kernel must match
+// up to f32 reassociation error.
+func naiveDot32(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func randVec32(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func TestNew32AndAccessors(t *testing.T) {
+	m := New32(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+	m.Data[1*3+2] = 7
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2)=%v want 7", m.At(1, 2))
+	}
+	row := m.Row(1)
+	row[0] = 5
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row must be a view, not a copy")
+	}
+}
+
+func TestNew32PanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 3x0")
+		}
+	}()
+	New32(3, 0)
+}
+
+func TestFromSlice32(t *testing.T) {
+	d := []float32{1, 2, 3, 4}
+	m := FromSlice32(2, 2, d)
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromSlice32 layout wrong: %v", m.Data)
+	}
+	d[0] = 9
+	if m.At(0, 0) != 9 {
+		t.Fatal("FromSlice32 must wrap, not copy")
+	}
+}
+
+func TestFromSlice32PanicsOnLenMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice32(2, 2, []float32{1, 2, 3})
+}
+
+// TestDot32MatchesNaive checks the unrolled kernel against the float64
+// reference at every length crossing the unroll boundary.
+func TestDot32MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n <= 19; n++ {
+		a := randVec32(rng, n)
+		b := randVec32(rng, n)
+		got := float64(Dot32(a, b))
+		want := naiveDot32(a, b)
+		// The kernel reassociates; each of n products carries ≤ eps/2
+		// relative error, so bound the absolute error by the term scale.
+		tol := float64(n+1) * F32Eps * (1 + math.Abs(want))
+		for i := range a {
+			if p := math.Abs(float64(a[i]) * float64(b[i])); p > 1 {
+				tol *= 1 + p
+				break
+			}
+		}
+		if math.Abs(got-want) > tol {
+			t.Fatalf("n=%d Dot32=%v naive=%v (|Δ|=%g > %g)", n, got, want, math.Abs(got-want), tol)
+		}
+	}
+}
+
+func TestDot32Deterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randVec32(rng, 33)
+	b := randVec32(rng, 33)
+	first := Dot32(a, b)
+	for i := 0; i < 10; i++ {
+		if got := Dot32(a, b); got != first {
+			t.Fatalf("Dot32 nondeterministic: %v vs %v", got, first)
+		}
+	}
+}
+
+func TestMatVec32Family(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := New32(5, 7)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	x := randVec32(rng, 7)
+	b := randVec32(rng, 5)
+
+	dst := make([]float32, 5)
+	MatVec32(dst, m, x)
+	for i := 0; i < 5; i++ {
+		if dst[i] != dotUnchecked32(m.Row(i), x) {
+			t.Fatalf("MatVec32 row %d mismatch", i)
+		}
+	}
+
+	acc := make([]float32, 5)
+	copy(acc, b)
+	MatVecAcc32(acc, m, x)
+	for i := 0; i < 5; i++ {
+		if acc[i] != b[i]+dotUnchecked32(m.Row(i), x) {
+			t.Fatalf("MatVecAcc32 row %d mismatch", i)
+		}
+	}
+
+	add := make([]float32, 5)
+	MatVecAdd32(add, m, x, b)
+	for i := 0; i < 5; i++ {
+		if add[i] != dotUnchecked32(m.Row(i), x)+b[i] {
+			t.Fatalf("MatVecAdd32 row %d mismatch", i)
+		}
+	}
+}
+
+func TestMatVec32PanicsOnDims(t *testing.T) {
+	m := New32(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dst length mismatch")
+		}
+	}()
+	MatVec32(make([]float32, 3), m, make([]float32, 3))
+}
+
+func TestAddTo32MatchesScalarLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 3, 4, 5, 8, 13} {
+		dst := randVec32(rng, n)
+		x := randVec32(rng, n)
+		want := make([]float32, n)
+		for i := range want {
+			want[i] = dst[i] + x[i]
+		}
+		AddTo32(dst, x)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d AddTo32[%d]=%v want %v", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScale32Fill32MaxAbs32(t *testing.T) {
+	x := []float32{1, -2, 3}
+	Scale32(x, 2)
+	if x[0] != 2 || x[1] != -4 || x[2] != 6 {
+		t.Fatalf("Scale32 wrong: %v", x)
+	}
+	if MaxAbs32(x) != 6 {
+		t.Fatalf("MaxAbs32=%v want 6", MaxAbs32(x))
+	}
+	if MaxAbs32(nil) != 0 {
+		t.Fatal("MaxAbs32(nil) must be 0")
+	}
+	Fill32(x, 9)
+	for _, v := range x {
+		if v != 9 {
+			t.Fatalf("Fill32 wrong: %v", x)
+		}
+	}
+}
+
+// TestRoundTripBound pins the f64→f32→f64 error bound the conversion
+// helpers promise: for any finite float64 in float32 range, the round trip
+// moves the value by at most RoundTripBound(v).
+func TestRoundTripBound(t *testing.T) {
+	check := func(v float64) bool {
+		if math.IsNaN(v) || math.Abs(v) > math.MaxFloat32 {
+			return true
+		}
+		rt := float64(float32(v))
+		return math.Abs(rt-v) <= RoundTripBound(v)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, 1, -1, math.Pi, 1e-30, -1e30, math.MaxFloat32} {
+		if !check(v) {
+			t.Fatalf("round-trip bound violated for %v", v)
+		}
+	}
+}
+
+func TestToF32ToF64RoundTrip(t *testing.T) {
+	src := []float64{0, 1, -1, math.Pi, 1e-40, 3e38}
+	f32 := ToF32(nil, src)
+	if len(f32) != len(src) {
+		t.Fatalf("ToF32 length %d want %d", len(f32), len(src))
+	}
+	back := ToF64(nil, f32)
+	for i, v := range src {
+		if math.Abs(back[i]-v) > RoundTripBound(v) {
+			t.Fatalf("round trip [%d]: %v -> %v (bound %g)", i, v, back[i], RoundTripBound(v))
+		}
+	}
+	// f32→f64 is exact, so a second round trip is the identity.
+	again := ToF32(nil, back)
+	for i := range f32 {
+		if again[i] != f32[i] {
+			t.Fatalf("second round trip moved [%d]: %v -> %v", i, f32[i], again[i])
+		}
+	}
+	// Reuse paths: big-enough dst is reused, not reallocated.
+	buf := make([]float32, 8)
+	out := ToF32(buf, src)
+	if &out[0] != &buf[0] {
+		t.Fatal("ToF32 must reuse a big-enough dst")
+	}
+}
+
+func TestMatrixToF32(t *testing.T) {
+	m := New(2, 2)
+	copy(m.Data, []float64{1, 2.5, -3, 4})
+	c := MatrixToF32(m)
+	if c.Rows != 2 || c.Cols != 2 {
+		t.Fatalf("shape: %+v", c)
+	}
+	for i, v := range m.Data {
+		if float64(c.Data[i]) != v {
+			t.Fatalf("exact small values must convert losslessly: [%d] %v vs %v", i, c.Data[i], v)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Float32 inference snapshots: immutable serving-precision copies of the
+// float64 network. Training, serialization, and the bit-identity reference
+// all stay float64; a snapshot is taken once after training (weights cross
+// the f64→f32 boundary exactly once, here) and then serves queries with
+// pure-f32 kernels.
+//
+// This file is a blessed mixed-precision conversion site for the floateq
+// analyzer, alongside io.go (which already persists weights at float32 —
+// the reason a snapshot loses nothing against the on-disk model).
+package nn
+
+import (
+	"math"
+
+	"setlearn/internal/mat"
+)
+
+// Dense32 is an immutable float32 snapshot of a Dense layer.
+type Dense32 struct {
+	W   *mat.Matrix32
+	B   []float32
+	Act Activation
+}
+
+// Snapshot32 returns a float32 copy of the layer's current weights.
+func (d *Dense) Snapshot32() *Dense32 {
+	return &Dense32{
+		W:   mat.MatrixToF32(d.W.Value),
+		B:   mat.ToF32(nil, d.B.Vec()),
+		Act: d.Act,
+	}
+}
+
+// In returns the input dimensionality.
+func (d *Dense32) In() int { return d.W.Cols }
+
+// Out returns the output dimensionality.
+func (d *Dense32) Out() int { return d.W.Rows }
+
+// Infer computes the layer output into dst.
+func (d *Dense32) Infer(dst, x []float32) {
+	mat.MatVecAdd32(dst, d.W, x, d.B)
+	d.Act.ApplyVec32(dst)
+}
+
+// ApplyVec32 applies the activation in place to x. Sigmoid and tanh run
+// through the float64 math library per element — exact for any f32 input,
+// with one rounding at the boundary — so the f32 path inherits the
+// overflow-free tails of StableSigmoid.
+func (a Activation) ApplyVec32(x []float32) {
+	switch a {
+	case Identity:
+	case Sigmoid:
+		for i, v := range x {
+			x[i] = float32(StableSigmoid(float64(v)))
+		}
+	case Tanh:
+		for i, v := range x {
+			x[i] = float32(math.Tanh(float64(v)))
+		}
+	case ReLU:
+		for i, v := range x {
+			if v < 0 {
+				x[i] = 0
+			}
+		}
+	default:
+		panic("nn: unknown activation")
+	}
+}
+
+// MLP32 is an immutable float32 snapshot of an MLP.
+type MLP32 struct {
+	Layers []*Dense32
+}
+
+// Snapshot32 returns a float32 copy of the stack's current weights.
+func (m *MLP) Snapshot32() *MLP32 {
+	s := &MLP32{Layers: make([]*Dense32, len(m.Layers))}
+	for i, l := range m.Layers {
+		s.Layers[i] = l.Snapshot32()
+	}
+	return s
+}
+
+// In returns the input dimensionality.
+func (m *MLP32) In() int { return m.Layers[0].In() }
+
+// Out returns the output dimensionality.
+func (m *MLP32) Out() int { return m.Layers[len(m.Layers)-1].Out() }
+
+// ScratchLen returns the total float32 count BindScratch carves for m —
+// one buffer per layer, sized to that layer's output.
+func (m *MLP32) ScratchLen() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += l.Out()
+	}
+	return n
+}
+
+// InferScratch32 holds per-layer inference buffers, carved from a
+// caller-owned arena by BindScratch so a predictor's whole scratch is one
+// allocation.
+type InferScratch32 struct {
+	bufs [][]float32
+}
+
+// BindScratch slices per-layer buffers out of arena (len(arena) must be at
+// least ScratchLen()) and returns the scratch plus the unused arena tail.
+func (m *MLP32) BindScratch(arena []float32) (*InferScratch32, []float32) {
+	s := &InferScratch32{bufs: make([][]float32, len(m.Layers))}
+	for i, l := range m.Layers {
+		s.bufs[i] = arena[:l.Out():l.Out()]
+		arena = arena[l.Out():]
+	}
+	return s, arena
+}
+
+// NewInferScratch32 sizes standalone scratch for m (its own arena).
+func (m *MLP32) NewInferScratch32() *InferScratch32 {
+	s, _ := m.BindScratch(make([]float32, m.ScratchLen()))
+	return s
+}
+
+// Infer runs the stack and returns the output buffer, which is owned by
+// the scratch and overwritten on the next call.
+func (m *MLP32) Infer(s *InferScratch32, x []float32) []float32 {
+	for i, l := range m.Layers {
+		l.Infer(s.bufs[i], x)
+		x = s.bufs[i]
+	}
+	return x
+}
+
+// InferInto runs the stack, writing the final layer's output directly into
+// dst (caller scratch of length Out()).
+func (m *MLP32) InferInto(s *InferScratch32, x, dst []float32) {
+	last := len(m.Layers) - 1
+	for i, l := range m.Layers[:last] {
+		l.Infer(s.bufs[i], x)
+		x = s.bufs[i]
+	}
+	m.Layers[last].Infer(dst, x)
+}
+
+// InferLogit runs the stack, skipping the final activation.
+func (m *MLP32) InferLogit(s *InferScratch32, x []float32) []float32 {
+	last := len(m.Layers) - 1
+	for i, l := range m.Layers[:last] {
+		l.Infer(s.bufs[i], x)
+		x = s.bufs[i]
+	}
+	l := m.Layers[last]
+	mat.MatVecAdd32(s.bufs[last], l.W, x, l.B)
+	return s.bufs[last]
+}
+
+// Embedding32 is an immutable float32 snapshot of an embedding table.
+type Embedding32 struct {
+	table *mat.Matrix32
+}
+
+// Snapshot32 returns a float32 copy of the table's current weights.
+func (e *Embedding) Snapshot32() *Embedding32 {
+	return &Embedding32{table: mat.MatrixToF32(e.Table.Value)}
+}
+
+// Vocab returns the number of rows in the table.
+func (e *Embedding32) Vocab() int { return e.table.Rows }
+
+// Dim returns the embedding dimensionality.
+func (e *Embedding32) Dim() int { return e.table.Cols }
+
+// Row returns the embedding vector for id.
+func (e *Embedding32) Row(id int) []float32 {
+	if id < 0 || id >= e.Vocab() {
+		panic("nn: embedding id out of vocabulary")
+	}
+	return e.table.Row(id)
+}

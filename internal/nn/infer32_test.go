@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"setlearn/internal/mat"
+)
+
+// snapshotTol bounds the f32-vs-f64 output divergence for the small nets
+// in these tests: weights round once, each layer reassociates a short dot
+// product, and sigmoid/tanh run in float64 — observed deltas are ~1e-6,
+// so 1e-4 leaves two orders of margin without masking real bugs.
+const snapshotTol = 1e-4
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestDense32MatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, act := range []Activation{Identity, Sigmoid, Tanh, ReLU} {
+		d := NewDense("d", 7, 5, act, rng)
+		d32 := d.Snapshot32()
+		if d32.In() != 7 || d32.Out() != 5 {
+			t.Fatalf("%v: snapshot dims %dx%d", act, d32.Out(), d32.In())
+		}
+		x := randVec(rng, 7)
+		want := make([]float64, 5)
+		d.Infer(want, x)
+		got := make([]float32, 5)
+		d32.Infer(got, mat.ToF32(nil, x))
+		for i := range want {
+			if !mat.WithinTol(float64(got[i]), want[i], snapshotTol) {
+				t.Fatalf("%v: out[%d] f32=%v f64=%v", act, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMLP32MatchesMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP("m", []int{6, 16, 8, 3}, ReLU, Sigmoid, rng)
+	m32 := m.Snapshot32()
+	if m32.In() != 6 || m32.Out() != 3 {
+		t.Fatalf("snapshot dims in=%d out=%d", m32.In(), m32.Out())
+	}
+	s := m.NewInferScratch()
+	s32 := m32.NewInferScratch32()
+	for trial := 0; trial < 20; trial++ {
+		x := randVec(rng, 6)
+		x32 := mat.ToF32(nil, x)
+		want := m.Infer(s, x)
+		got := m32.Infer(s32, x32)
+		for i := range want {
+			if !mat.WithinTol(float64(got[i]), want[i], snapshotTol) {
+				t.Fatalf("trial %d out[%d]: f32=%v f64=%v", trial, i, got[i], want[i])
+			}
+		}
+		// InferInto must agree bit-for-bit with Infer.
+		dst := make([]float32, 3)
+		m32.InferInto(s32, x32, dst)
+		for i := range dst {
+			if dst[i] != got[i] {
+				t.Fatalf("InferInto[%d]=%v, Infer=%v", i, dst[i], got[i])
+			}
+		}
+		// InferLogit must agree with the f64 logit path.
+		wantLogit := m.InferLogit(s, x)
+		gotLogit := m32.InferLogit(s32, x32)
+		for i := range wantLogit {
+			if !mat.WithinTol(float64(gotLogit[i]), wantLogit[i], snapshotTol) {
+				t.Fatalf("logit[%d]: f32=%v f64=%v", i, gotLogit[i], wantLogit[i])
+			}
+		}
+	}
+}
+
+func TestMLP32SnapshotIsImmutableCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP("m", []int{2, 4, 1}, ReLU, Identity, rng)
+	m32 := m.Snapshot32()
+	before := m32.Layers[0].W.At(0, 0)
+	m.Layers[0].W.Value.Set(0, 0, 999)
+	if m32.Layers[0].W.At(0, 0) != before {
+		t.Fatal("Snapshot32 must copy weights, not alias them")
+	}
+}
+
+func TestBindScratchCarvesArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMLP("m", []int{3, 5, 7, 2}, ReLU, Identity, rng)
+	m32 := m.Snapshot32()
+	if got, want := m32.ScratchLen(), 5+7+2; got != want {
+		t.Fatalf("ScratchLen=%d want %d", got, want)
+	}
+	arena := make([]float32, m32.ScratchLen()+10)
+	s, rest := m32.BindScratch(arena)
+	if len(rest) != 10 {
+		t.Fatalf("BindScratch left %d floats, want 10", len(rest))
+	}
+	// The buffers must be windows into the arena, in order.
+	if &s.bufs[0][0] != &arena[0] || &s.bufs[1][0] != &arena[5] || &s.bufs[2][0] != &arena[12] {
+		t.Fatal("BindScratch buffers must alias the arena")
+	}
+	// Full-capacity slices must not bleed into each other on append.
+	if cap(s.bufs[0]) != 5 || cap(s.bufs[1]) != 7 {
+		t.Fatalf("scratch windows must be capacity-clamped: caps %d,%d", cap(s.bufs[0]), cap(s.bufs[1]))
+	}
+	x := []float32{1, 2, 3}
+	out := m32.Infer(s, x)
+	if len(out) != 2 {
+		t.Fatalf("Infer output length %d", len(out))
+	}
+}
+
+func TestApplyVec32Tails(t *testing.T) {
+	// StableSigmoid's overflow-free tails must survive the f32 boundary.
+	x := []float32{-100, 100, 0}
+	Sigmoid.ApplyVec32(x)
+	if x[0] < 0 || x[0] > 1e-6 || math.Abs(float64(x[1])-1) > 1e-6 || x[2] != 0.5 {
+		t.Fatalf("sigmoid tails wrong: %v", x)
+	}
+	y := []float32{-2, -0, 3}
+	ReLU.ApplyVec32(y)
+	if y[0] != 0 || y[1] != 0 || y[2] != 3 {
+		t.Fatalf("relu wrong: %v", y)
+	}
+}
+
+func TestEmbedding32MatchesEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := NewEmbedding("e", 10, 4, rng)
+	e32 := e.Snapshot32()
+	if e32.Vocab() != 10 || e32.Dim() != 4 {
+		t.Fatalf("snapshot dims vocab=%d dim=%d", e32.Vocab(), e32.Dim())
+	}
+	for id := 0; id < 10; id++ {
+		row := e.Row(id)
+		row32 := e32.Row(id)
+		for j := range row {
+			if math.Abs(float64(row32[j])-row[j]) > mat.RoundTripBound(row[j]) {
+				t.Fatalf("row %d col %d: %v vs %v", id, j, row32[j], row[j])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-vocab id")
+		}
+	}()
+	e32.Row(10)
+}

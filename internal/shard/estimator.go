@@ -51,6 +51,7 @@ type Estimator struct {
 	mutation
 	opts *core.EstimatorOptions // scaled per-shard build options; nil: not retrainable
 	fast atomic.Pointer[core.FastPathOptions]
+	prec atomic.Int32 // core.Precision, remembered and re-applied on retrain
 
 	// auxMu guards aux and bounds. A retrain folds absorbed-insert counts
 	// into the overrides under the write lock in the same critical section
@@ -383,6 +384,20 @@ func (e *Estimator) EnableFastPath(o core.FastPathOptions) string {
 	}
 	return mode
 }
+
+// SetPrecision switches the serving precision on every shard; remembered
+// and re-applied to retrained shard structures (see Index.SetPrecision).
+func (e *Estimator) SetPrecision(p core.Precision) {
+	e.prec.Store(int32(p))
+	for s := 0; s < e.k; s++ {
+		if sh := e.states[s].Load().est; sh != nil {
+			sh.SetPrecision(p)
+		}
+	}
+}
+
+// Precision reports the container's configured serving precision.
+func (e *Estimator) Precision() core.Precision { return core.Precision(e.prec.Load()) }
 
 // PhiStats aggregates the per-shard φ accel counters.
 func (e *Estimator) PhiStats() (deepsets.AccelStats, bool) {

@@ -85,6 +85,7 @@ type Index struct {
 	mutation
 	opts *core.IndexOptions // scaled per-shard build options; nil: not retrainable
 	fast atomic.Pointer[core.FastPathOptions]
+	prec atomic.Int32 // core.Precision, remembered and re-applied on retrain
 
 	// hook, when non-nil, runs at the start of every per-shard dispatch.
 	// Test-only (panic injection); set before use, never concurrently.
@@ -342,6 +343,21 @@ func (x *Index) EnableFastPath(o core.FastPathOptions) string {
 	}
 	return mode
 }
+
+// SetPrecision switches the serving precision on every shard. The setting
+// is remembered and re-applied to retrained shard structures, so a
+// hot-swapped shard keeps serving at the configured precision.
+func (x *Index) SetPrecision(p core.Precision) {
+	x.prec.Store(int32(p))
+	for s := 0; s < x.k; s++ {
+		if sh := x.states[s].Load().idx; sh != nil {
+			sh.SetPrecision(p)
+		}
+	}
+}
+
+// Precision reports the container's configured serving precision.
+func (x *Index) Precision() core.Precision { return core.Precision(x.prec.Load()) }
 
 // PhiStats aggregates the per-shard φ accel counters.
 func (x *Index) PhiStats() (deepsets.AccelStats, bool) {

@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"testing"
+
+	"setlearn/internal/core"
+	"setlearn/internal/sets"
+)
+
+// Precision must propagate to every shard, round-trip through the container,
+// and survive a shard hot-swap: the retrained shard's fresh structure starts
+// at f64 and retrain.go re-applies the remembered container precision after
+// re-enabling the fast path.
+func TestShardedPrecisionSurvivesRetrain(t *testing.T) {
+	c, _ := testCollection(t)
+	e, err := BuildShardedEstimator(c, Options{Shards: 3, Partitioner: HashBySet},
+		core.EstimatorOptions{Model: testModel(), MaxSubset: testMaxSubset, Percentile: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Precision() != core.F64 {
+		t.Fatal("fresh container must report f64")
+	}
+
+	e.SetPrecision(core.F32)
+	if e.Precision() != core.F32 {
+		t.Fatal("container did not remember F32")
+	}
+	for s := 0; s < e.k; s++ {
+		if sh := e.states[s].Load().est; sh != nil && sh.Precision() != core.F32 {
+			t.Fatalf("shard %d not switched to f32", s)
+		}
+	}
+
+	// Insert into shard 0's key space and retrain it; the swapped-in
+	// estimator must come back serving f32.
+	var target sets.Set
+	for i := 0; i < c.Len(); i++ {
+		if s := c.At(i); len(s) >= 2 && ownerShard(e.k, e.part, s) == 0 {
+			target = s
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no set owned by shard 0")
+	}
+	e.InsertSet(target.Clone())
+	if err := e.RetrainShard(0); err != nil {
+		t.Fatalf("retrain: %v", err)
+	}
+	if got := e.states[0].Load().est.Precision(); got != core.F32 {
+		t.Fatalf("retrained shard serves %v, want f32", got)
+	}
+	if e.Precision() != core.F32 {
+		t.Fatal("container precision lost across retrain")
+	}
+
+	// Queries still answer and the f64 restore reaches the retrained shard.
+	qs := []sets.Set{sets.New(target[0], target[1])}
+	if got := e.EstimateBatch(nil, qs); len(got) != 1 || got[0] < 1 {
+		t.Fatalf("post-retrain f32 estimate = %v", got)
+	}
+	e.SetPrecision(core.F64)
+	for s := 0; s < e.k; s++ {
+		if sh := e.states[s].Load().est; sh != nil && sh.Precision() != core.F64 {
+			t.Fatalf("shard %d not restored to f64", s)
+		}
+	}
+}
+
+// The index and filter containers share the same remember-and-reapply
+// plumbing; a propagation check keeps all three honest.
+func TestShardedPrecisionPropagates(t *testing.T) {
+	x := shardedIndex(t, 2, HashBySet)
+	x.SetPrecision(core.F32)
+	if x.Precision() != core.F32 {
+		t.Fatal("index container did not remember F32")
+	}
+	for s := 0; s < x.k; s++ {
+		if sh := x.states[s].Load().idx; sh != nil && sh.Precision() != core.F32 {
+			t.Fatalf("index shard %d not f32", s)
+		}
+	}
+	x.SetPrecision(core.F64)
+
+	f := shardedFilter(t, 2, HashBySet)
+	f.SetPrecision(core.F32)
+	for s := 0; s < f.k; s++ {
+		if sh := f.states[s].Load().flt; sh != nil && sh.Precision() != core.F32 {
+			t.Fatalf("filter shard %d not f32", s)
+		}
+	}
+	// The sharded OR keeps the no-false-negative guarantee under f32: the
+	// per-shard guard band makes each trained filter one-sided.
+	c, st := testCollection(t)
+	checked := 0
+	for _, k := range st.Keys {
+		if checked >= 50 {
+			break
+		}
+		q := st.ByKey[k].Set
+		if !f.Contains(q) {
+			t.Fatalf("f32 sharded filter false negative on %v", q)
+		}
+		checked++
+	}
+	_ = c
+	f.SetPrecision(core.F64)
+}

@@ -114,6 +114,9 @@ func (x *Index) RetrainShard(s int) error {
 	if fp := x.fast.Load(); fp != nil {
 		idx.EnableFastPath(*fp)
 	}
+	if p := core.Precision(x.prec.Load()); p != core.F64 {
+		idx.SetPrecision(p)
+	}
 	stat := BuildStat{
 		Shard: s, Sets: sub.Len(),
 		BuildSecs: time.Since(t0).Seconds(),
@@ -166,6 +169,9 @@ func (e *Estimator) RetrainShard(s int) error {
 	}
 	if fp := e.fast.Load(); fp != nil {
 		est.EnableFastPath(*fp)
+	}
+	if p := core.Precision(e.prec.Load()); p != core.F64 {
+		est.SetPrecision(p)
 	}
 	stat := BuildStat{
 		Shard: s, Sets: sub.Len(),
@@ -236,6 +242,9 @@ func (f *Filter) RetrainShard(s int) error {
 	}
 	if fp := f.fast.Load(); fp != nil {
 		flt.EnableFastPath(*fp)
+	}
+	if p := core.Precision(f.prec.Load()); p != core.F64 {
+		flt.SetPrecision(p)
 	}
 	stat := BuildStat{
 		Shard: s, Sets: sub.Len(),
