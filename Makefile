@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet lint lint-dataflow test race race-mutation bench bench-inference bench-sharding bench-gate fuzz-smoke experiments examples clean
+.PHONY: all build fmt-check vet lint lint-dataflow lint-interproc test race race-mutation bench bench-inference bench-sharding bench-gate fuzz-smoke experiments examples clean
 
 all: build fmt-check vet lint test race
 
@@ -26,6 +26,25 @@ lint:
 # on concurrency-heavy code.
 lint-dataflow:
 	$(GO) run ./cmd/setlearnlint -run deferclose,goroleak,lockbalance,waitgroup ./...
+
+# The interprocedural analyzers (call graph + function summaries): the
+# hot-path zero-allocation contract and the untrusted-length taint check.
+# Two halves, both mandatory:
+#   1. the real tree must be clean, and
+#   2. the seeded regression in testdata/seedmod — a hotpath that hides an
+#      allocation two calls deep and a loader that trusts a decoded length
+#      — must STILL FAIL, proving the machinery detects what it exists to
+#      detect before we trust its silence on the real packages.
+lint-interproc:
+	$(GO) run ./cmd/setlearnlint -run noalloc,trustlen ./...
+	@echo "checking the seeded regression still fails..."
+	@if $(GO) run ./cmd/setlearnlint -run noalloc,trustlen ./internal/lint/testdata/seedmod >/tmp/seedmod.out 2>&1; then \
+		echo "lint-interproc: seeded regression PASSED the analyzers — the interprocedural machinery is broken"; \
+		cat /tmp/seedmod.out; exit 1; \
+	fi
+	@grep -q "noalloc" /tmp/seedmod.out || { echo "lint-interproc: seeded noalloc finding missing"; cat /tmp/seedmod.out; exit 1; }
+	@grep -q "trustlen" /tmp/seedmod.out || { echo "lint-interproc: seeded trustlen finding missing"; cat /tmp/seedmod.out; exit 1; }
+	@echo "seeded regression rejected as expected."
 
 test:
 	$(GO) test ./...

@@ -52,8 +52,9 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("setlearnlint", flag.ExitOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as one JSON document (file/line/analyzer/message/trace)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: setlearnlint [-list] [-run a,b] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: setlearnlint [-list] [-json] [-run a,b] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Analyzers:\n")
 		for _, a := range lint.Analyzers {
 			fmt.Fprintf(fs.Output(), "  %-11s %s\n", a.Name, a.Doc)
@@ -89,7 +90,7 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	res, err := lint.Run(".", patterns, analyzers, os.Stdout)
+	res, err := lint.RunWithOptions(".", patterns, analyzers, os.Stdout, lint.Options{JSON: *jsonOut})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "setlearnlint: %v\n", err)
 		return 2

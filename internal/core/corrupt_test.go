@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"setlearn/internal/dataset"
+	"setlearn/internal/sets"
+)
+
+// Corrupt-header regressions: a header that gob-decodes cleanly but
+// carries an out-of-range field must fail the load, not hand the bogus
+// value to every downstream Lookup. (The trustlen analyzer covers
+// length-sized allocations; these fields are semantic bounds it cannot
+// see, so they get explicit validation and these pins.)
+
+func corruptHeaderStream(t *testing.T, hdr coreHeader) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, hdr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadRejectsCorruptHeader(t *testing.T) {
+	cases := []struct {
+		name string
+		hdr  coreHeader
+		want string
+	}{
+		{"subset cap huge", coreHeader{MaxSubset: 1 << 20}, "out of range"},
+		{"subset cap negative", coreHeader{MaxSubset: -3}, "out of range"},
+		{"threshold NaN", coreHeader{MaxSubset: 2, Threshold: math.NaN()}, "outside [0, 1]"},
+		{"threshold above one", coreHeader{MaxSubset: 2, Threshold: 1.5}, "outside [0, 1]"},
+		{"threshold negative", coreHeader{MaxSubset: 2, Threshold: -0.25}, "outside [0, 1]"},
+	}
+	c := sets.NewCollection(nil)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stream := corruptHeaderStream(t, tc.hdr)
+			if _, err := LoadIndex(bytes.NewReader(stream), c); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("LoadIndex: err = %v, want substring %q", err, tc.want)
+			}
+			if _, err := LoadCardinalityEstimator(bytes.NewReader(stream)); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("LoadCardinalityEstimator: err = %v, want substring %q", err, tc.want)
+			}
+			if _, err := LoadMembershipFilter(bytes.NewReader(stream)); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("LoadMembershipFilter: err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// A valid save still round-trips after the validation tightening — the
+// boundary values 0 and 64 are inside the accepted range.
+func TestHeaderBoundaryValuesStillLoad(t *testing.T) {
+	for _, maxSubset := range []int{0, 2, maxSubsetBound} {
+		stream := corruptHeaderStream(t, coreHeader{MaxSubset: maxSubset, Threshold: 1})
+		// The header parses; the load then fails later, on the missing
+		// model section, not on validation.
+		_, err := LoadCardinalityEstimator(bytes.NewReader(stream))
+		if err == nil {
+			t.Fatalf("MaxSubset=%d: load succeeded on a header-only stream", maxSubset)
+		}
+		if strings.Contains(err.Error(), "out of range") || strings.Contains(err.Error(), "outside") {
+			t.Fatalf("MaxSubset=%d: boundary value rejected by validation: %v", maxSubset, err)
+		}
+	}
+}
+
+// End-to-end: flipping the saved header of a real filter stream to an
+// absurd subset cap is caught at load.
+func TestFilterLoadRejectsTamperedHeader(t *testing.T) {
+	c := dataset.GenerateSD(120, 30, 53)
+	f, err := BuildMembershipFilter(c, FilterOptions{Model: fastModel(false), MaxSubset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Re-frame the stream with a tampered header followed by the original
+	// model/backup sections.
+	var tampered bytes.Buffer
+	if err := writeHeader(&tampered, coreHeader{MaxSubset: 1 << 30, Threshold: f.threshold}); err != nil {
+		t.Fatal(err)
+	}
+	rest := bytes.NewReader(buf.Bytes())
+	if _, err := readHeader(rest); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rest.WriteTo(&tampered); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMembershipFilter(bytes.NewReader(tampered.Bytes())); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("tampered header accepted: err = %v", err)
+	}
+}

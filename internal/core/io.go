@@ -26,8 +26,27 @@ func readHeader(r io.Reader) (coreHeader, error) {
 	if err != nil {
 		return hdr, err
 	}
-	err = gob.NewDecoder(block).Decode(&hdr)
-	return hdr, err
+	if err := gob.NewDecoder(block).Decode(&hdr); err != nil {
+		return hdr, err
+	}
+	return hdr, hdr.validate()
+}
+
+// maxSubsetBound mirrors the sharded container's header validation: the
+// subset cap is a small query-shape parameter, and a corrupt header must
+// not smuggle an absurd value into every downstream Lookup.
+const maxSubsetBound = 64
+
+func (h coreHeader) validate() error {
+	if h.MaxSubset < 0 || h.MaxSubset > maxSubsetBound {
+		return fmt.Errorf("header subset cap %d out of range [0, %d]", h.MaxSubset, maxSubsetBound)
+	}
+	// The membership threshold is a probability; NaN fails both
+	// comparisons and is rejected with the rest.
+	if !(h.Threshold >= 0 && h.Threshold <= 1) {
+		return fmt.Errorf("header threshold %v outside [0, 1]", h.Threshold)
+	}
+	return nil
 }
 
 // Trained structures persist to a single stream so they can be built once

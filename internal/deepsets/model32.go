@@ -252,11 +252,15 @@ func (p *Predictor32) pooledLSE(s sets.Set) []float32 {
 // Predict returns the model output (after the output activation) for s.
 // The result is widened to float64 at the boundary so callers (scalers,
 // thresholds, error windows) stay precision-agnostic.
+//
+//lint:hotpath
 func (p *Predictor32) Predict(s sets.Set) float64 {
 	return float64(p.m.rho.Infer(p.rhoS, p.pooled(s))[0])
 }
 
 // PredictLogit returns the pre-activation output for s.
+//
+//lint:hotpath
 func (p *Predictor32) PredictLogit(s sets.Set) float64 {
 	return float64(p.m.rho.InferLogit(p.rhoS, p.pooled(s))[0])
 }
@@ -265,6 +269,8 @@ func (p *Predictor32) PredictLogit(s sets.Set) float64 {
 // into dst (grown if needed) and returning it. Unlike the f64 batch path
 // there is no per-batch φ memo: the f32 path's accel is the φ-table, which
 // already serves every id as a zero-copy row read.
+//
+//lint:hotpath
 func (p *Predictor32) PredictBatch(dst []float64, qs []sets.Set) []float64 {
 	if cap(dst) < len(qs) {
 		dst = make([]float64, len(qs))
@@ -295,6 +301,8 @@ func (m *Model32) NewPredictorPool32() *PredictorPool32 {
 func (p *PredictorPool32) Model() *Model32 { return p.m }
 
 // Predict evaluates the model for s; safe for concurrent use.
+//
+//lint:hotpath
 func (p *PredictorPool32) Predict(s sets.Set) float64 {
 	pred := p.pool.Get().(*Predictor32)
 	defer p.pool.Put(pred)
@@ -303,6 +311,8 @@ func (p *PredictorPool32) Predict(s sets.Set) float64 {
 
 // PredictLogit evaluates the pre-activation output for s; safe for
 // concurrent use.
+//
+//lint:hotpath
 func (p *PredictorPool32) PredictLogit(s sets.Set) float64 {
 	pred := p.pool.Get().(*Predictor32)
 	defer p.pool.Put(pred)
@@ -311,6 +321,8 @@ func (p *PredictorPool32) PredictLogit(s sets.Set) float64 {
 
 // PredictBatch evaluates every query in qs with one pooled predictor; safe
 // for concurrent use.
+//
+//lint:hotpath
 func (p *PredictorPool32) PredictBatch(dst []float64, qs []sets.Set) []float64 {
 	pred := p.pool.Get().(*Predictor32)
 	defer p.pool.Put(pred)

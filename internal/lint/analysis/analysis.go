@@ -16,6 +16,7 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+	"sync"
 
 	"setlearn/internal/lint/cfg"
 )
@@ -59,6 +60,50 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+
+	// Trace, when non-empty, is the interprocedural call chain that leads
+	// from the reported position to the construct the finding is about —
+	// one human-readable step per element, outermost first. Intraprocedural
+	// analyzers leave it nil.
+	Trace []string
+}
+
+// PackageInfo describes one loaded, type-checked package for the benefit
+// of interprocedural analyzers that follow call chains outside the package
+// a Pass was created for. It carries exactly the fields a Pass carries for
+// its own package.
+type PackageInfo struct {
+	Path  string // import path
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Shared is a per-run cache shared by every Pass a driver creates in one
+// invocation, so interprocedural state (loaded packages, call graphs,
+// function summaries) is computed once per run rather than once per
+// (package, analyzer) pair. Safe for concurrent use.
+type Shared struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+// NewShared returns an empty per-run cache.
+func NewShared() *Shared { return &Shared{m: make(map[string]any)} }
+
+// Get returns the value cached under key, calling build to create it on
+// first request. build runs with the cache lock held, so it must not call
+// back into Get.
+func (s *Shared) Get(key string, build func() any) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m[key]; ok {
+		return v
+	}
+	v := build()
+	s.m[key] = v
+	return v
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -69,9 +114,43 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// LoadPackage, when set by the driver, resolves a module-local import
+	// path to its parsed, type-checked sources so interprocedural analyzers
+	// can follow call chains across package boundaries. Drivers that cannot
+	// load dependency source (the vet unitchecker, which only sees export
+	// data) leave it nil, and such analyzers degrade to package-local
+	// reasoning.
+	LoadPackage func(path string) (*PackageInfo, error)
+
+	// Shared is the per-run cache described above. Drivers that run one
+	// package at a time may leave it nil; PassShared lazily creates a
+	// pass-private cache in that case so analyzers need not nil-check.
+	Shared *Shared
+
 	suppress *suppressionIndex
 	sink     func(Diagnostic)
 	cfgs     map[ast.Node]*cfg.Graph
+}
+
+// PassShared returns the pass's run-wide cache, creating a pass-private
+// one when the driver did not install any.
+func (p *Pass) PassShared() *Shared {
+	if p.Shared == nil {
+		p.Shared = NewShared()
+	}
+	return p.Shared
+}
+
+// PackageInfo returns the pass's own package in the shape interprocedural
+// code uses for every package, local or loaded.
+func (p *Pass) PackageInfo() *PackageInfo {
+	return &PackageInfo{
+		Path:  p.Pkg.Path(),
+		Fset:  p.Fset,
+		Files: p.Files,
+		Types: p.Pkg,
+		Info:  p.TypesInfo,
+	}
 }
 
 // NewPass assembles a Pass. The sink receives every diagnostic that
@@ -92,10 +171,17 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 // Reportf reports a diagnostic at pos unless a well-formed
 // //lint:allow comment for this analyzer covers that line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.ReportTracef(pos, nil, format, args...)
+}
+
+// ReportTracef reports a diagnostic carrying an interprocedural call-chain
+// trace. Suppression applies at pos exactly as for Reportf: an allow
+// comment at the reported (root) line silences the whole chain.
+func (p *Pass) ReportTracef(pos token.Pos, trace []string, format string, args ...interface{}) {
 	if p.suppress.allows(p.Analyzer.Name, p.Fset.Position(pos)) {
 		return
 	}
-	p.sink(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+	p.sink(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name, Trace: trace})
 }
 
 // CFG returns the control-flow graph of fn's body, where fn is an

@@ -131,3 +131,21 @@ func (idx *suppressionIndex) malformed(analyzer string) []token.Pos {
 	}
 	return out
 }
+
+// Suppressions is the //lint:allow index for an arbitrary file set,
+// exported for interprocedural analyzers that must honour suppressions in
+// packages other than the one their Pass was created for (e.g. an allow
+// comment on a leaf allocation site silencing it in every hotpath trace
+// that reaches it).
+type Suppressions struct{ idx *suppressionIndex }
+
+// BuildSuppressions indexes the well-formed //lint:allow comments in files.
+func BuildSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	return &Suppressions{idx: buildSuppressionIndex(fset, files)}
+}
+
+// Allows reports whether a justified //lint:allow comment for analyzer
+// covers the line of pos.
+func (s *Suppressions) Allows(analyzer string, pos token.Position) bool {
+	return s.idx.allows(analyzer, pos)
+}

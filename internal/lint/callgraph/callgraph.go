@@ -1,0 +1,312 @@
+// Package callgraph builds a package-level call graph for the
+// interprocedural layer of setlearnlint. One Graph covers the function
+// declarations of a single package; edges record, per call site, the set
+// of functions the call may statically reach:
+//
+//   - direct calls to package functions and methods resolve through the
+//     types API (info.Uses on the callee identifier),
+//   - calls through an interface receiver are bounded by dispatch over the
+//     in-package implementations of that interface — every concrete named
+//     type in the package whose method set satisfies the interface
+//     contributes its method as a possible callee; when no in-package
+//     implementation exists (the concrete types live elsewhere) or more
+//     than maxDispatch types match, the edge is marked Unbounded,
+//   - calls through plain function values are Unbounded (no callee),
+//   - go and defer statements contribute edges with their own Kind, so
+//     clients can treat spawned/deferred work differently from straight
+//     calls.
+//
+// SCCs condenses the intra-package subgraph with Tarjan's algorithm and
+// returns the components in callee-first (reverse topological) order — the
+// order a bottom-up summary computation wants to visit functions in.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// maxDispatch bounds interface dispatch: an interface with more
+// in-package implementations than this is treated as unbounded rather
+// than fanning an edge out over a large callee set.
+const maxDispatch = 8
+
+// EdgeKind distinguishes how a call site transfers control.
+type EdgeKind int
+
+const (
+	Call  EdgeKind = iota // ordinary call expression
+	Go                    // go statement
+	Defer                 // defer statement
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Go:
+		return "go"
+	case Defer:
+		return "defer"
+	}
+	return "call"
+}
+
+// Edge is one call site inside a Node's function body.
+type Edge struct {
+	Site *ast.CallExpr
+	Kind EdgeKind
+
+	// Callees holds the functions the call may resolve to: exactly one for
+	// a static call, one per in-package implementation for a bounded
+	// interface dispatch, empty when Unbounded.
+	Callees []*types.Func
+
+	// Unbounded marks calls the graph cannot enumerate: function values,
+	// interfaces with no (or too many) in-package implementations.
+	Unbounded bool
+}
+
+// Node is one function declaration in the package.
+type Node struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Edges []Edge
+}
+
+// Graph is the call graph of one package's declared functions.
+type Graph struct {
+	Pkg   *types.Package
+	Nodes map[*types.Func]*Node
+
+	// order preserves declaration order for deterministic iteration.
+	order []*Node
+}
+
+// Build constructs the call graph for the package's files. Function
+// literal bodies are deliberately not given nodes of their own: a literal
+// is anonymous state of its enclosing function, and the analyzers that
+// care (noalloc) treat closure creation itself as the interesting event.
+func Build(pkg *types.Package, info *types.Info, files []*ast.File) *Graph {
+	g := &Graph{Pkg: pkg, Nodes: make(map[*types.Func]*Node)}
+	impls := implementsIndex(pkg)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &Node{Fn: fn, Decl: fd}
+			collectEdges(n, fd.Body, info, impls)
+			g.Nodes[fn] = n
+			g.order = append(g.order, n)
+		}
+	}
+	return g
+}
+
+// Funcs returns the graph's nodes in declaration order.
+func (g *Graph) Funcs() []*Node { return g.order }
+
+// collectEdges walks body recording call sites. Function literal bodies
+// are walked too — their calls belong to the enclosing declaration — but
+// with Kind preserved from the statement that runs the literal only for
+// the immediate `defer func(){...}()` / `go func(){...}()` idioms.
+func collectEdges(n *Node, body ast.Node, info *types.Info, impls *implIndex) {
+	var walk func(node ast.Node, kind EdgeKind)
+	walk = func(node ast.Node, kind EdgeKind) {
+		ast.Inspect(node, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.GoStmt:
+				walkCallStmt(n, x.Call, Go, info, impls, walk)
+				return false
+			case *ast.DeferStmt:
+				walkCallStmt(n, x.Call, Defer, info, impls, walk)
+				return false
+			case *ast.CallExpr:
+				addEdge(n, x, kind, info, impls)
+				// Arguments (and the callee expression) may contain
+				// further calls; they run as ordinary calls.
+				for _, a := range x.Args {
+					walk(a, Call)
+				}
+				walk(x.Fun, Call)
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, Call)
+}
+
+// walkCallStmt handles the call of a go/defer statement: the call itself
+// gets kind, and when the callee is an immediate function literal its body
+// is walked with the same kind (its calls run in the spawned/deferred
+// context).
+func walkCallStmt(n *Node, call *ast.CallExpr, kind EdgeKind, info *types.Info, impls *implIndex, walk func(ast.Node, EdgeKind)) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		walk(lit.Body, kind)
+		for _, a := range call.Args {
+			walk(a, Call)
+		}
+		return
+	}
+	addEdge(n, call, kind, info, impls)
+	for _, a := range call.Args {
+		walk(a, Call)
+	}
+}
+
+func addEdge(n *Node, call *ast.CallExpr, kind EdgeKind, info *types.Info, impls *implIndex) {
+	// Conversions and built-ins are not calls in the graph's sense.
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return
+	}
+	e := Edge{Site: call, Kind: kind}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			e.Callees = []*types.Func{fn}
+		} else {
+			e.Unbounded = true // call through a function-typed variable
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			e.Unbounded = true // method value / func-typed field
+			break
+		}
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if iface, ok := recv.Type().Underlying().(*types.Interface); ok {
+				e.Callees, e.Unbounded = impls.dispatch(iface, fn.Name())
+				break
+			}
+		}
+		e.Callees = []*types.Func{fn}
+	default:
+		e.Unbounded = true // e.g. call of a call's result
+	}
+	n.Edges = append(n.Edges, e)
+}
+
+// implIndex lists the package's concrete named types once so interface
+// dispatch can scan them per call site.
+type implIndex struct {
+	concrete []types.Type // T or *T for every concrete named type T
+}
+
+func implementsIndex(pkg *types.Package) *implIndex {
+	idx := &implIndex{}
+	if pkg == nil {
+		return idx
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Interface); ok {
+			continue
+		}
+		idx.concrete = append(idx.concrete, named, types.NewPointer(named))
+	}
+	return idx
+}
+
+// dispatch returns the concrete in-package methods an interface method
+// call may reach, or unbounded when none (implementations live outside the
+// package) or too many are found.
+func (idx *implIndex) dispatch(iface *types.Interface, method string) ([]*types.Func, bool) {
+	var callees []*types.Func
+	seen := make(map[*types.Func]bool)
+	for _, t := range idx.concrete {
+		if !types.Implements(t, iface) {
+			continue
+		}
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			sel := ms.At(i)
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok || fn.Name() != method || seen[fn] {
+				continue
+			}
+			seen[fn] = true
+			callees = append(callees, fn)
+		}
+	}
+	if len(callees) == 0 || len(seen) > maxDispatch {
+		return nil, true
+	}
+	return callees, false
+}
+
+// SCCs condenses the intra-package call graph (edges whose callee has a
+// node in this graph) into strongly connected components using Tarjan's
+// algorithm, returned callee-first: every edge that leaves a component
+// points at a component that appears earlier in the slice. A bottom-up
+// summary computation can therefore walk the result front to back.
+func (g *Graph) SCCs() [][]*Node {
+	type vstate struct {
+		index, lowlink int
+		onStack        bool
+	}
+	states := make(map[*Node]*vstate)
+	var stack []*Node
+	var sccs [][]*Node
+	next := 0
+
+	var strongconnect func(v *Node)
+	strongconnect = func(v *Node) {
+		st := &vstate{index: next, lowlink: next}
+		next++
+		states[v] = st
+		stack = append(stack, v)
+		st.onStack = true
+
+		for _, e := range v.Edges {
+			for _, callee := range e.Callees {
+				w, ok := g.Nodes[callee]
+				if !ok {
+					continue // cross-package or bodyless
+				}
+				ws, visited := states[w]
+				if !visited {
+					strongconnect(w)
+					if ws2 := states[w]; ws2.lowlink < st.lowlink {
+						st.lowlink = ws2.lowlink
+					}
+				} else if ws.onStack && ws.index < st.lowlink {
+					st.lowlink = ws.index
+				}
+			}
+		}
+
+		if st.lowlink == st.index {
+			var comp []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				states[w].onStack = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+
+	for _, n := range g.order {
+		if _, ok := states[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,140 @@
+package callgraph
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"setlearn/internal/lint/load"
+)
+
+func buildTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadFiles("cg", []string{filepath.Join("testdata", "src", "cg", "a.go")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("testdata does not type-check: %v", terr)
+	}
+	return Build(pkg.Types, pkg.Info, pkg.Files)
+}
+
+func nodeByName(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Funcs() {
+		if n.Fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s", name)
+	return nil
+}
+
+// calleeNames flattens a node's edges into callee names, with unbounded
+// edges rendered as "?" and go/defer kinds prefixed.
+func calleeNames(n *Node) map[string]bool {
+	out := make(map[string]bool)
+	for _, e := range n.Edges {
+		prefix := ""
+		switch e.Kind {
+		case Go:
+			prefix = "go:"
+		case Defer:
+			prefix = "defer:"
+		}
+		if e.Unbounded {
+			out[prefix+"?"] = true
+			continue
+		}
+		for _, c := range e.Callees {
+			out[prefix+c.Name()] = true
+		}
+	}
+	return out
+}
+
+func TestStaticAndMethodResolution(t *testing.T) {
+	g := buildTestGraph(t)
+	if got := calleeNames(nodeByName(t, g, "direct")); !got["leaf"] {
+		t.Errorf("direct: want edge to leaf, got %v", got)
+	}
+	if got := calleeNames(nodeByName(t, g, "callsOwn")); !got["speak"] {
+		t.Errorf("callsOwn: want edge to speak, got %v", got)
+	}
+}
+
+func TestBoundedInterfaceDispatch(t *testing.T) {
+	g := buildTestGraph(t)
+	n := nodeByName(t, g, "viaIface")
+	if len(n.Edges) != 1 {
+		t.Fatalf("viaIface: want 1 edge, got %d", len(n.Edges))
+	}
+	e := n.Edges[0]
+	if e.Unbounded {
+		t.Fatalf("viaIface: dispatch should be bounded by in-package impls")
+	}
+	recvs := make(map[string]bool)
+	for _, c := range e.Callees {
+		sig := c.Type().(*types.Signature)
+		recvs[sig.Recv().Type().String()] = true
+	}
+	if len(e.Callees) != 2 {
+		t.Errorf("viaIface: want dispatch over {dog, cat}, got %d callees (%v)", len(e.Callees), recvs)
+	}
+}
+
+func TestUnboundedFunctionValue(t *testing.T) {
+	g := buildTestGraph(t)
+	n := nodeByName(t, g, "viaValue")
+	if len(n.Edges) != 1 || !n.Edges[0].Unbounded {
+		t.Errorf("viaValue: want one unbounded edge, got %+v", n.Edges)
+	}
+}
+
+func TestGoDeferEdgeKinds(t *testing.T) {
+	g := buildTestGraph(t)
+	got := calleeNames(nodeByName(t, g, "spawns"))
+	if !got["go:leaf"] || !got["defer:direct"] {
+		t.Errorf("spawns: want go:leaf and defer:direct, got %v", got)
+	}
+	// Immediate literals inherit the statement's kind for their bodies.
+	got = calleeNames(nodeByName(t, g, "litSpawner"))
+	if !got["go:leaf"] || !got["defer:direct"] {
+		t.Errorf("litSpawner: want go:leaf and defer:direct through literals, got %v", got)
+	}
+}
+
+func TestSCCCondensation(t *testing.T) {
+	g := buildTestGraph(t)
+	sccs := g.SCCs()
+
+	pos := make(map[string]int)  // function name -> component index
+	size := make(map[string]int) // function name -> component size
+	for i, comp := range sccs {
+		for _, n := range comp {
+			pos[n.Fn.Name()] = i
+			size[n.Fn.Name()] = len(comp)
+		}
+	}
+
+	if size["selfRec"] != 1 {
+		t.Errorf("selfRec: self-recursion is its own SCC of size 1, got %d", size["selfRec"])
+	}
+	if size["mutualA"] != 2 || pos["mutualA"] != pos["mutualB"] {
+		t.Errorf("mutualA/mutualB: want one SCC of size 2, got sizes %d/%d comps %d/%d",
+			size["mutualA"], size["mutualB"], pos["mutualA"], pos["mutualB"])
+	}
+	// Callee-first order: leaf's component precedes direct's, which
+	// precedes spawns'.
+	if !(pos["leaf"] < pos["direct"]) {
+		t.Errorf("want leaf before direct in SCC order, got %d vs %d", pos["leaf"], pos["direct"])
+	}
+	if !(pos["direct"] < pos["spawns"]) {
+		t.Errorf("want direct before spawns in SCC order, got %d vs %d", pos["direct"], pos["spawns"])
+	}
+}

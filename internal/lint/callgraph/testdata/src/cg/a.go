@@ -1,0 +1,51 @@
+package cg
+
+type speaker interface{ speak() string }
+
+type dog struct{}
+
+func (dog) speak() string { return "woof" }
+
+type cat struct{}
+
+func (cat) speak() string { return "meow" }
+
+func leaf() int { return 1 }
+
+func direct() int { return leaf() }
+
+func viaIface(s speaker) string { return s.speak() }
+
+func viaValue(f func() int) int { return f() }
+
+func spawns() {
+	go leaf()
+	defer direct()
+}
+
+func selfRec(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return selfRec(n - 1)
+}
+
+func mutualA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return mutualB(n - 1)
+}
+
+func mutualB(n int) int { return mutualA(n) }
+
+func litSpawner() {
+	go func() {
+		leaf()
+	}()
+	defer func() {
+		direct()
+	}()
+}
+
+func (d dog) callsOwn() string { return d.speak() }

@@ -1,8 +1,10 @@
 // Package floateq flags == and != on floating-point operands, and switch
 // statements over floats, in the numeric packages where bit-identical
 // determinism is a contract (internal/mat, internal/nn, internal/ad,
-// internal/deepsets). Exact comparisons are allowed in three cases that
-// are genuinely exact:
+// internal/deepsets, and — since the planner/transformer scope extension —
+// internal/pgsim's selectivity estimates, internal/settransformer's
+// attention scores, and the blockio/bptree storage payloads). Exact
+// comparisons are allowed in three cases that are genuinely exact:
 //
 //   - comparison against the constant 0 (the sparsity fast paths in
 //     MatTVecAcc/OuterAcc skip exactly-zero gradients),
@@ -63,6 +65,10 @@ var Analyzer = &analysis.Analyzer{
 		"setlearn/internal/deepsets",
 		"setlearn/internal/shard",
 		"setlearn/internal/bench",
+		"setlearn/internal/pgsim",
+		"setlearn/internal/settransformer",
+		"setlearn/internal/blockio",
+		"setlearn/internal/bptree",
 	},
 	Run: run,
 }

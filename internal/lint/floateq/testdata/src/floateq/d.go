@@ -1,0 +1,47 @@
+package floateq
+
+// Shapes from the pgsim/settransformer/blockio/bptree scope extension:
+// planner selectivity estimates, attention scores, and float payloads are
+// all float-valued, and exact comparison there diverges across
+// architectures just like it does in the kernels.
+
+type planCost struct {
+	selectivity float64
+	rows        float64
+}
+
+// choosePlan mirrors pgsim's cost-crossover logic.
+func choosePlan(seq, idx planCost) string {
+	if seq.selectivity == idx.selectivity { // want `float comparison seq.selectivity == idx.selectivity is not determinism-safe`
+		return "tie"
+	}
+	if seq.rows < idx.rows { // orderings are fine
+		return "seqscan"
+	}
+	return "indexscan"
+}
+
+// attnConverged mirrors settransformer's softmax-normalised score
+// comparisons.
+func attnConverged(prev, cur []float32) bool {
+	for i := range cur {
+		if prev[i] != cur[i] { // want `float comparison prev\[i\] != cur\[i\] is not determinism-safe`
+			return false
+		}
+	}
+	return true
+}
+
+// payloadScan mirrors a bptree float-payload lookup: tolerance helpers,
+// not equality; zero-sentinel checks stay exact.
+func payloadScan(vals []float64, probe float64) int {
+	for i, v := range vals {
+		if v == 0 { // exact sentinel: unset slot
+			continue
+		}
+		if WithinTol(v, probe, 1e-9) {
+			return i
+		}
+	}
+	return -1
+}

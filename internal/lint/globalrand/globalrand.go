@@ -1,7 +1,10 @@
 // Package globalrand forbids the unseeded process-global math/rand source
 // in the packages whose output must be reproducible run-to-run: training
-// (internal/train), data generation (internal/dataset), and model
-// initialisation (internal/deepsets). Every random draw there must come
+// (internal/train), data generation (internal/dataset), model
+// initialisation (internal/deepsets, internal/settransformer), workload
+// simulation (internal/pgsim, internal/bench), and the storage layers
+// whose tests replay seeded insert orders (internal/blockio,
+// internal/bptree). Every random draw there must come
 // from an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed))) so
 // a training run is a pure function of its config — the property the
 // golden save/load tests and the paper's experiment tables rely on.
@@ -36,6 +39,10 @@ var Analyzer = &analysis.Analyzer{
 		"setlearn/internal/deepsets",
 		"setlearn/internal/shard",
 		"setlearn/internal/bench",
+		"setlearn/internal/pgsim",
+		"setlearn/internal/settransformer",
+		"setlearn/internal/blockio",
+		"setlearn/internal/bptree",
 	},
 	Run: run,
 }

@@ -1,0 +1,30 @@
+package globalrand
+
+import "math/rand"
+
+// Shapes from the pgsim/settransformer/blockio/bptree scope extension:
+// workload simulation and transformer weight init must be pure functions
+// of their seeds, so the global source is off limits there too.
+
+func simulateQueries(n int) []int {
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = rand.Intn(1 << 20) // want `rand.Intn draws from the unseeded global source`
+	}
+	return keys
+}
+
+func initAttnWeights(seed int64, dim int) []float64 {
+	rng := rand.New(rand.NewSource(seed)) // seeded init, like settransformer's Config.Seed
+	w := make([]float64, dim*dim)
+	for i := range w {
+		w[i] = rng.NormFloat64() / float64(dim)
+	}
+	return w
+}
+
+func shuffleInserts(keys []uint64) {
+	rand.Shuffle(len(keys), func(i, j int) { // want `rand.Shuffle draws from the unseeded global source`
+		keys[i], keys[j] = keys[j], keys[i]
+	})
+}

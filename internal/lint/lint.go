@@ -6,10 +6,12 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"setlearn/internal/lint/analysis"
 	"setlearn/internal/lint/binioerr"
@@ -20,7 +22,9 @@ import (
 	"setlearn/internal/lint/load"
 	"setlearn/internal/lint/lockbalance"
 	"setlearn/internal/lint/lockescape"
+	"setlearn/internal/lint/noalloc"
 	"setlearn/internal/lint/poolpair"
+	"setlearn/internal/lint/trustlen"
 	"setlearn/internal/lint/waitgroup"
 )
 
@@ -33,7 +37,9 @@ var Analyzers = []*analysis.Analyzer{
 	goroleak.Analyzer,
 	lockbalance.Analyzer,
 	lockescape.Analyzer,
+	noalloc.Analyzer,
 	poolpair.Analyzer,
+	trustlen.Analyzer,
 	waitgroup.Analyzer,
 }
 
@@ -54,11 +60,40 @@ type Result struct {
 	Packages    int // packages analysed
 }
 
+// Options tunes a driver run.
+type Options struct {
+	// JSON switches the output from file:line:col text lines to one JSON
+	// document (see jsonReport) so CI can annotate pull requests.
+	JSON bool
+}
+
+// jsonDiagnostic is one finding in -json output.
+type jsonDiagnostic struct {
+	File     string   `json:"file"` // module-relative, forward slashes
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Trace    []string `json:"trace,omitempty"` // interprocedural call chain, outermost first
+}
+
+// jsonReport is the document -json emits.
+type jsonReport struct {
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	Errors      []string         `json:"errors"`
+	Packages    int              `json:"packages"`
+}
+
 // Run lints the packages matching patterns (relative to dir) with the
 // given analyzers (all of them when analyzers is nil), writing
 // file:line:col-style findings to w. Scope restrictions apply: a scoped
 // analyzer only sees its packages.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer, w io.Writer) (Result, error) {
+	return RunWithOptions(dir, patterns, analyzers, w, Options{})
+}
+
+// RunWithOptions is Run with output options.
+func RunWithOptions(dir string, patterns []string, analyzers []*analysis.Analyzer, w io.Writer, opts Options) (Result, error) {
 	if analyzers == nil {
 		analyzers = Analyzers
 	}
@@ -71,24 +106,96 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer, w io.Wri
 	if err != nil {
 		return res, err
 	}
+
+	report := jsonReport{Diagnostics: []jsonDiagnostic{}, Errors: []string{}}
+	errf := func(format string, args ...any) {
+		res.Errors++
+		if opts.JSON {
+			report.Errors = append(report.Errors, fmt.Sprintf(format, args...))
+		} else {
+			fmt.Fprintf(w, format+"\n", args...)
+		}
+	}
+
+	// One Shared cache and one package-loading hook per run: the
+	// interprocedural analyzers keep loaded packages, call graphs, and
+	// function summaries here, computed once across every (package,
+	// analyzer) pair.
+	shared := analysis.NewShared()
+	pkgCache := make(map[string]*analysis.PackageInfo)
+	pkgFailed := make(map[string]error)
+	loadPkg := func(path string) (*analysis.PackageInfo, error) {
+		if pi, ok := pkgCache[path]; ok {
+			return pi, nil
+		}
+		if err, ok := pkgFailed[path]; ok {
+			return nil, err
+		}
+		load := func() (*analysis.PackageInfo, error) {
+			rel, ok := strings.CutPrefix(path, loader.ModulePath+"/")
+			if !ok {
+				return nil, fmt.Errorf("lint: %s is not module-local", path)
+			}
+			p, err := loader.LoadDir(filepath.Join(loader.ModuleDir, filepath.FromSlash(rel)))
+			if err != nil {
+				return nil, err
+			}
+			return &analysis.PackageInfo{Path: p.Path, Fset: p.Fset, Files: p.Files, Types: p.Types, Info: p.Info}, nil
+		}
+		pi, err := load()
+		if err != nil {
+			pkgFailed[path] = err
+			return nil, err
+		}
+		pkgCache[path] = pi
+		return pi, nil
+	}
+
 	for _, d := range dirs {
 		pkg, err := loader.LoadDir(d)
 		if err != nil {
-			fmt.Fprintf(w, "%s: %v\n", d, err)
-			res.Errors++
+			errf("%s: %v", d, err)
 			continue
 		}
 		res.Packages++
 		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(w, "%v\n", terr)
-			res.Errors++
+			errf("%v", terr)
 		}
-		res.Diagnostics += analyzePackage(loader, pkg, analyzers, w)
+		diags := analyzePackage(pkg, analyzers, shared, loadPkg, errf)
+		res.Diagnostics += len(diags)
+		for _, diag := range diags {
+			pos := pkg.Fset.Position(diag.Pos)
+			file := pos.Filename
+			if rel, err := filepath.Rel(loader.ModuleDir, file); err == nil {
+				file = rel
+			}
+			if opts.JSON {
+				report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
+					File:     filepath.ToSlash(file),
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: diag.Analyzer,
+					Message:  diag.Message,
+					Trace:    diag.Trace,
+				})
+			} else {
+				fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", file, pos.Line, pos.Column, diag.Message, diag.Analyzer)
+			}
+		}
+	}
+
+	if opts.JSON {
+		report.Packages = res.Packages
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return res, err
+		}
 	}
 	return res, nil
 }
 
-func analyzePackage(loader *load.Loader, pkg *load.Package, analyzers []*analysis.Analyzer, w io.Writer) int {
+func analyzePackage(pkg *load.Package, analyzers []*analysis.Analyzer, shared *analysis.Shared, loadPkg func(string) (*analysis.PackageInfo, error), errf func(string, ...any)) []analysis.Diagnostic {
 	var diags []analysis.Diagnostic
 	for _, a := range analyzers {
 		if !a.InScope(pkg.Path) {
@@ -97,20 +204,14 @@ func analyzePackage(loader *load.Loader, pkg *load.Package, analyzers []*analysi
 		pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, func(d analysis.Diagnostic) {
 			diags = append(diags, d)
 		})
+		pass.Shared = shared
+		pass.LoadPackage = loadPkg
 		if err := a.Run(pass); err != nil {
-			fmt.Fprintf(w, "%s: analyzer %s failed: %v\n", pkg.Path, a.Name, err)
+			errf("%s: analyzer %s failed: %v", pkg.Path, a.Name, err)
 			continue
 		}
 		pass.ReportBadSuppressions()
 	}
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		file := pos.Filename
-		if rel, err := filepath.Rel(loader.ModuleDir, file); err == nil {
-			file = rel
-		}
-		fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", file, pos.Line, pos.Column, d.Message, d.Analyzer)
-	}
-	return len(diags)
+	return diags
 }

@@ -1,12 +1,15 @@
 package lint_test
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"setlearn/internal/lint"
+	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/noalloc"
 )
 
 // TestRunTempModule drives the whole pipeline — pattern expansion,
@@ -68,11 +71,87 @@ func floatCompare(a, b float64) bool { return a == b }
 	}
 }
 
+// TestNoallocRealHotPaths is the acceptance gate for the interprocedural
+// layer: every //lint:hotpath annotation in the real serving code —
+// Predictor32.Predict/PredictBatch and their pool wrappers, the f32 mat
+// kernels, the delta read path, the shard delta fan-in — must verify with
+// ZERO diagnostics and zero suppressions. A regression in the predictors,
+// or an analyzer change that starts flagging the blessed idioms
+// (cap-guarded growth, panic arguments, caller-owned appends), fails here.
+func TestNoallocRealHotPaths(t *testing.T) {
+	var out strings.Builder
+	res, err := lint.Run("../..", []string{
+		"./internal/deepsets", "./internal/mat", "./internal/shard", "./internal/hybrid",
+	}, []*analysis.Analyzer{noalloc.Analyzer}, &out)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected errors:\n%s", out.String())
+	}
+	if res.Packages != 4 {
+		t.Fatalf("packages = %d, want 4", res.Packages)
+	}
+	if res.Diagnostics != 0 {
+		t.Errorf("real hot paths must verify allocation-free, got %d findings:\n%s",
+			res.Diagnostics, out.String())
+	}
+}
+
+// TestJSONOutput pins the -json document shape against the seedmod
+// regression package, whose finding carries an interprocedural trace.
+func TestJSONOutput(t *testing.T) {
+	var out strings.Builder
+	res, err := lint.RunWithOptions("../..", []string{"./internal/lint/testdata/seedmod"},
+		[]*analysis.Analyzer{noalloc.Analyzer}, &out, lint.Options{JSON: true})
+	if err != nil {
+		t.Fatalf("RunWithOptions: %v", err)
+	}
+	if res.Diagnostics != 1 || res.Errors != 0 {
+		t.Fatalf("res = %+v, want 1 diagnostic, 0 errors\n%s", res, out.String())
+	}
+	var doc struct {
+		Diagnostics []struct {
+			File     string   `json:"file"`
+			Line     int      `json:"line"`
+			Col      int      `json:"col"`
+			Analyzer string   `json:"analyzer"`
+			Message  string   `json:"message"`
+			Trace    []string `json:"trace"`
+		} `json:"diagnostics"`
+		Errors   []string `json:"errors"`
+		Packages int      `json:"packages"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Packages != 1 || len(doc.Errors) != 0 || len(doc.Diagnostics) != 1 {
+		t.Fatalf("document = %+v", doc)
+	}
+	d := doc.Diagnostics[0]
+	if d.File != "internal/lint/testdata/seedmod/seedmod.go" {
+		t.Errorf("file = %q", d.File)
+	}
+	if d.Line == 0 || d.Col == 0 {
+		t.Errorf("missing position: line=%d col=%d", d.Line, d.Col)
+	}
+	if d.Analyzer != "noalloc" {
+		t.Errorf("analyzer = %q", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "reaches an allocating construct") {
+		t.Errorf("message = %q", d.Message)
+	}
+	if len(d.Trace) != 2 || !strings.HasPrefix(d.Trace[0], "helperLen ") || !strings.HasPrefix(d.Trace[1], "newBuf ") {
+		t.Errorf("trace = %q, want [helperLen ..., newBuf ...]", d.Trace)
+	}
+}
+
 // TestByName covers the analyzer registry the -run flag resolves through.
 func TestByName(t *testing.T) {
 	for _, name := range []string{
 		"binioerr", "deferclose", "floateq", "globalrand", "goroleak",
-		"lockbalance", "lockescape", "poolpair", "waitgroup",
+		"lockbalance", "lockescape", "noalloc", "poolpair", "trustlen",
+		"waitgroup",
 	} {
 		if lint.ByName(name) == nil {
 			t.Errorf("ByName(%q) = nil", name)
@@ -81,7 +160,7 @@ func TestByName(t *testing.T) {
 	if lint.ByName("nosuch") != nil {
 		t.Error("ByName(nosuch) should be nil")
 	}
-	if len(lint.Analyzers) != 9 {
-		t.Errorf("suite has %d analyzers, want 9", len(lint.Analyzers))
+	if len(lint.Analyzers) != 11 {
+		t.Errorf("suite has %d analyzers, want 11", len(lint.Analyzers))
 	}
 }

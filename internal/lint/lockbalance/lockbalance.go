@@ -7,6 +7,14 @@
 // fan-out paths PR 4 added (per-shard RWMutexes, container locks around
 // Insert/Update) cannot silently leak a lock on an error path.
 //
+// The dataflow is interprocedural through lockflow's net-delta summaries:
+// a call to a lock wrapper (s.lockSection(), lockMu(&s.mu)) acquires at
+// the call site exactly what the helper's body nets out to, and an
+// unlock helper releases it — so lock/unlock pairs split across helper
+// boundaries balance, and a helper-acquired lock with no matching
+// release is reported at the helper call. Helpers whose net effect is
+// path-dependent stay unsummarised and lock-neutral, the old behaviour.
+//
 // A function that intentionally returns while holding a lock (a lock
 // handoff) must carry a //lint:allow lockbalance -- <why> justification.
 package lockbalance
@@ -35,15 +43,16 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
+	sub := lockflow.NewResolver(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					checkFn(pass, n)
+					checkFn(pass, n, sub)
 				}
 			case *ast.FuncLit:
-				checkFn(pass, n)
+				checkFn(pass, n, sub)
 			}
 			return true
 		})
@@ -58,12 +67,12 @@ type leak struct {
 	exit string
 }
 
-func checkFn(pass *analysis.Pass, fn ast.Node) {
+func checkFn(pass *analysis.Pass, fn ast.Node, sub lockflow.Resolver) {
 	g := pass.CFG(fn)
 	if g == nil {
 		return
 	}
-	res := lockflow.Analyze(pass.TypesInfo, g)
+	res := lockflow.AnalyzeCalls(pass.TypesInfo, g, sub)
 
 	// Deduplicate by acquire site: a lock leaked at both a return and a
 	// panic is one finding, reported against the return (the likelier bug).

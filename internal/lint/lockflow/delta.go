@@ -1,0 +1,247 @@
+// Net lock-delta summaries: the interprocedural half of lockflow. A
+// helper like (*Container).lockShard or (*Container).unlockAll is
+// described by the signed change it makes to each lock's hold depth
+// between entry and every normal return — +1 write hold on "c.mu" for a
+// lock wrapper, -1 for its unlock twin, zero for a self-balanced helper.
+// Callers fold these deltas into their own may-held state at the call
+// site (AnalyzeCalls), so lockbalance follows lock/unlock pairs split
+// across helper boundaries instead of going blind at the first call.
+//
+// A summary exists only when every normal-return path agrees on the net
+// effect: a helper that locks on one branch and not another, or whose
+// net depends on loop trip count, is ambiguous and stays unsummarised
+// (its calls are treated as lock-neutral, the old behaviour). Panic paths
+// are excluded — the summary describes what the caller observes when the
+// call returns.
+package lockflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"setlearn/internal/lint/astq"
+	"setlearn/internal/lint/cfg"
+	"setlearn/internal/lint/dataflow"
+)
+
+// Delta is the signed net change a helper makes to one lock's hold
+// depths, clamped to [-2, 2] ("two or more" collapses, mirroring Held).
+type Delta struct {
+	W, R int
+}
+
+// Summary maps lock keys — in some function's own namespace ("c.mu" for
+// receiver c) — to their net deltas. Zero deltas are dropped; an empty or
+// nil Summary means the function is lock-neutral.
+type Summary map[string]Delta
+
+// Resolver resolves a call that is not itself a mutex operation to the
+// net lock effect of its callee, with keys already rewritten into the
+// calling function's namespace. ok is false when the callee cannot be
+// summarised (unresolvable, ambiguous, recursive, or out of reach); such
+// calls are treated as lock-neutral.
+type Resolver func(call *ast.CallExpr) (Summary, bool)
+
+// dstate is the delta-analysis lattice element: the signed net effect
+// accumulated from function entry to a program point. reached
+// distinguishes the bottom element (no path here yet) from "reached with
+// zero net effect"; bad is the conflict top — two paths disagreed.
+type dstate struct {
+	reached bool
+	bad     bool
+	d       map[string]Delta // canonical: zero-delta entries dropped
+}
+
+type deltaLattice struct{}
+
+func (deltaLattice) Init() dstate { return dstate{} }
+
+func (deltaLattice) Join(a, b dstate) dstate {
+	if !a.reached {
+		return b
+	}
+	if !b.reached {
+		return a
+	}
+	if a.bad || b.bad || !sameDeltas(a.d, b.d) {
+		return dstate{reached: true, bad: true}
+	}
+	return a
+}
+
+func (deltaLattice) Equal(a, b dstate) bool {
+	return a.reached == b.reached && a.bad == b.bad && sameDeltas(a.d, b.d)
+}
+
+func sameDeltas(a, b map[string]Delta) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, da := range a {
+		if db, ok := b[k]; !ok || da != db {
+			return false
+		}
+	}
+	return true
+}
+
+// Summarize computes g's net lock effect on normal return. ok is false
+// when return paths disagree, when the exit is unreachable (the function
+// always panics or loops), or when a loop makes the net ambiguous. sub
+// (optional) folds nested helper calls, so wrapper chains summarise
+// transitively.
+func Summarize(info *types.Info, g *cfg.Graph, sub Resolver) (Summary, bool) {
+	res := dataflow.Forward[dstate](g, deltaLattice{}, dstate{reached: true},
+		func(b *cfg.Block, in dstate) dstate {
+			if !in.reached || in.bad {
+				return in
+			}
+			st := dstate{reached: true, d: cloneDeltas(in.d)}
+			for _, n := range b.Nodes {
+				st = foldDelta(info, st, n, sub)
+				if st.bad {
+					return st
+				}
+			}
+			return st
+		})
+	st := res.In[g.Exit]
+	if !st.reached || st.bad {
+		return nil, false
+	}
+	if len(st.d) == 0 {
+		return nil, true
+	}
+	return Summary(st.d), true
+}
+
+// foldDelta is apply's signed twin: it folds one CFG node's mutex
+// operations (and summarised helper calls) into st. Defer semantics match
+// Analyze — a deferred release runs before any normal return, so it
+// counts toward the net-at-return the summary describes.
+func foldDelta(info *types.Info, st dstate, n ast.Node, sub Resolver) dstate {
+	if d, isDefer := n.(*ast.DeferStmt); isDefer {
+		if key, op, ok := MutexOp(info, d.Call); ok {
+			return shift(st, key, op)
+		}
+		if lit, isLit := ast.Unparen(d.Call.Fun).(*ast.FuncLit); isLit {
+			astq.Inspect(lit.Body, func(m ast.Node, _ []ast.Node) bool {
+				if _, isInner := m.(*ast.FuncLit); isInner {
+					return false
+				}
+				if call, isCall := m.(*ast.CallExpr); isCall {
+					if key, op, ok := MutexOp(info, call); ok && (op == Unlock || op == RUnlock) {
+						st = shift(st, key, op)
+					}
+				}
+				return true
+			})
+			return st
+		}
+		if sub != nil {
+			if sum, ok := sub(d.Call); ok {
+				st = shiftAll(st, sum)
+			}
+		}
+		return st
+	}
+	astq.Inspect(n, func(m ast.Node, _ []ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, isCall := m.(*ast.CallExpr); isCall {
+			if key, op, ok := MutexOp(info, call); ok {
+				st = shift(st, key, op)
+			} else if sub != nil {
+				if sum, ok := sub(call); ok {
+					st = shiftAll(st, sum)
+				}
+			}
+		}
+		return true
+	})
+	return st
+}
+
+func shift(st dstate, key string, op Op) dstate {
+	if st.d == nil {
+		st.d = make(map[string]Delta)
+	}
+	d := st.d[key]
+	switch op {
+	case Lock:
+		d.W = clampDelta(d.W + 1)
+	case Unlock:
+		d.W = clampDelta(d.W - 1)
+	case RLock:
+		d.R = clampDelta(d.R + 1)
+	case RUnlock:
+		d.R = clampDelta(d.R - 1)
+	}
+	if d == (Delta{}) {
+		delete(st.d, key)
+	} else {
+		st.d[key] = d
+	}
+	return st
+}
+
+func shiftAll(st dstate, sum Summary) dstate {
+	if st.d == nil && len(sum) > 0 {
+		st.d = make(map[string]Delta)
+	}
+	for key, nd := range sum {
+		d := st.d[key]
+		d.W = clampDelta(d.W + nd.W)
+		d.R = clampDelta(d.R + nd.R)
+		if d == (Delta{}) {
+			delete(st.d, key)
+		} else {
+			st.d[key] = d
+		}
+	}
+	return st
+}
+
+func clampDelta(v int) int {
+	if v > 2 {
+		return 2
+	}
+	if v < -2 {
+		return -2
+	}
+	return v
+}
+
+func cloneDeltas(d map[string]Delta) map[string]Delta {
+	if len(d) == 0 {
+		return nil
+	}
+	out := make(map[string]Delta, len(d))
+	for k, v := range d {
+		out[k] = v
+	}
+	return out
+}
+
+// applyDeltas folds a summarised helper call into the caller's may-held
+// state: positive deltas acquire at the call position, negative deltas
+// release what the caller (or an earlier helper) acquired.
+func applyDeltas(h Held, sum Summary, pos token.Pos) Held {
+	for key, d := range sum {
+		for i := 0; i < d.W; i++ {
+			h = transition(h, key, Lock, pos)
+		}
+		for i := 0; i < -d.W; i++ {
+			h = transition(h, key, Unlock, pos)
+		}
+		for i := 0; i < d.R; i++ {
+			h = transition(h, key, RLock, pos)
+		}
+		for i := 0; i < -d.R; i++ {
+			h = transition(h, key, RUnlock, pos)
+		}
+	}
+	return h
+}

@@ -148,7 +148,17 @@ func earliest(a, b token.Pos) token.Pos {
 // exactly the balance lockbalance checks. Nested function literals are
 // opaque (a closure's locks are its own function's problem).
 func Analyze(info *types.Info, g *cfg.Graph) *dataflow.Result[Held] {
-	return solve(info, g, true)
+	return solve(info, g, true, nil)
+}
+
+// AnalyzeCalls is Analyze with helper calls folded in: every call that is
+// not itself a mutex operation is resolved through sub, and a summarised
+// callee's net lock deltas apply at the call site — s.lockShard(i)
+// acquires exactly what the helper's body nets out to, keyed into the
+// caller's namespace. Calls sub cannot summarise are lock-neutral, which
+// is the intraprocedural behaviour unchanged.
+func AnalyzeCalls(info *types.Info, g *cfg.Graph, sub Resolver) *dataflow.Result[Held] {
+	return solve(info, g, true, sub)
 }
 
 // AnalyzeLive is Analyze with defers left pending: a deferred unlock does
@@ -156,14 +166,14 @@ func Analyze(info *types.Info, g *cfg.Graph) *dataflow.Result[Held] {
 // every program point after the acquire. This is the view waitgroup needs
 // to ask "is the mutex held while Wait blocks here".
 func AnalyzeLive(info *types.Info, g *cfg.Graph) *dataflow.Result[Held] {
-	return solve(info, g, false)
+	return solve(info, g, false, nil)
 }
 
-func solve(info *types.Info, g *cfg.Graph, deferReleases bool) *dataflow.Result[Held] {
+func solve(info *types.Info, g *cfg.Graph, deferReleases bool, sub Resolver) *dataflow.Result[Held] {
 	return dataflow.Forward[Held](g, Lattice{}, nil, func(b *cfg.Block, in Held) Held {
 		h := clone(in)
 		for _, n := range b.Nodes {
-			h = apply(info, h, n, deferReleases)
+			h = apply(info, h, n, deferReleases, sub)
 		}
 		return canon(h)
 	})
@@ -176,7 +186,7 @@ func solve(info *types.Info, g *cfg.Graph, deferReleases bool) *dataflow.Result[
 func StateAtLive(info *types.Info, in Held, b *cfg.Block, i int) Held {
 	h := clone(in)
 	for j := 0; j < i && j < len(b.Nodes); j++ {
-		h = apply(info, h, b.Nodes[j], false)
+		h = apply(info, h, b.Nodes[j], false, nil)
 	}
 	return canon(h)
 }
@@ -184,8 +194,11 @@ func StateAtLive(info *types.Info, in Held, b *cfg.Block, i int) Held {
 // apply folds one CFG node's mutex operations into h (mutating the
 // already-cloned h). Operations inside nested FuncLits are skipped except
 // for deferred closures, whose unlocks release at the defer site when
-// deferReleases is set (and are pending — ignored — otherwise).
-func apply(info *types.Info, h Held, n ast.Node, deferReleases bool) Held {
+// deferReleases is set (and are pending — ignored — otherwise). With a
+// non-nil sub, calls that are not mutex operations apply their callee's
+// summarised net deltas at the call site — including deferred helper
+// calls (defer s.unlockAll()), which release like a deferred Unlock.
+func apply(info *types.Info, h Held, n ast.Node, deferReleases bool, sub Resolver) Held {
 	if d, isDefer := n.(*ast.DeferStmt); isDefer {
 		if !deferReleases {
 			return h
@@ -206,6 +219,12 @@ func apply(info *types.Info, h Held, n ast.Node, deferReleases bool) Held {
 				}
 				return true
 			})
+			return h
+		}
+		if sub != nil {
+			if sum, ok := sub(d.Call); ok {
+				h = applyDeltas(h, sum, d.Call.Pos())
+			}
 		}
 		return h
 	}
@@ -216,6 +235,10 @@ func apply(info *types.Info, h Held, n ast.Node, deferReleases bool) Held {
 		if call, isCall := m.(*ast.CallExpr); isCall {
 			if key, op, ok := MutexOp(info, call); ok {
 				h = transition(h, key, op, call.Pos())
+			} else if sub != nil {
+				if sum, ok := sub(call); ok {
+					h = applyDeltas(h, sum, call.Pos())
+				}
 			}
 		}
 		return true

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"setlearn/internal/lint/linttest"
+	"setlearn/internal/lint/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	linttest.Run(t, noalloc.Analyzer, "noalloc")
+}

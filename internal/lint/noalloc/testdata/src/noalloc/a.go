@@ -1,0 +1,214 @@
+package noalloc
+
+import "fmt"
+
+// Clean hot paths: pure loops, slicing, arithmetic.
+
+//lint:hotpath
+func cleanLoop(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//lint:hotpath
+func cleanSlicing(xs []float64, n int) []float64 {
+	return xs[:n]
+}
+
+// Direct allocation in the root.
+
+//lint:hotpath
+func directMake(n int) []int { // want `hotpath directMake contains an allocating construct: make\(\[\]int, n\)`
+	return make([]int, n)
+}
+
+// Allocation reached through a two-hop call chain: the diagnostic lands on
+// the root with the full trace.
+
+//lint:hotpath
+func chainToLeaf(n int) { // want `hotpath chainToLeaf reaches an allocating construct: make\(\[\]byte, n\) at noalloc/a.go:\d+ via mid \(noalloc/a.go:\d+\) → leafAlloc \(noalloc/a.go:\d+\)`
+	mid(n)
+}
+
+func mid(n int) { leafAlloc(n) }
+
+func leafAlloc(n int) { _ = make([]byte, n) }
+
+// Exemption: capacity-guarded growth (the grow-once buffer idiom).
+
+//lint:hotpath
+func capGuarded(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Exemption: allocations inside panic arguments run on the failure path.
+
+//lint:hotpath
+func panicPath(id uint32) uint32 {
+	if id > 10 {
+		panic(fmt.Sprintf("bad id %d", id))
+	}
+	return id
+}
+
+// Exemption: append into a caller-provided buffer (possibly re-sliced).
+
+//lint:hotpath
+func appendParam(dst []uint32, v uint32) []uint32 {
+	dst = append(dst[:0], v)
+	return append(dst, v+1)
+}
+
+// append to a local slice still allocates.
+
+//lint:hotpath
+func appendLocal(v int) []int { // want `hotpath appendLocal contains an allocating construct: append\(xs, v\)`
+	var xs []int
+	return append(xs, v)
+}
+
+//lint:hotpath
+func mapWrite(m map[int]int, k int) { // want `hotpath mapWrite contains an allocating construct: map write m\[k\]`
+	m[k] = k + 1
+}
+
+//lint:hotpath
+func concat(a, b string) string { // want `hotpath concat contains an allocating construct: string concatenation a \+ b`
+	return a + b
+}
+
+//lint:hotpath
+func closureCapture(x int) func() int { // want `hotpath closureCapture contains an allocating construct: function literal`
+	return func() int { return x }
+}
+
+//lint:hotpath
+func spawns(ch chan int) { // want `hotpath spawns contains an allocating construct: go statement`
+	go relay(ch)
+}
+
+func relay(ch chan int) { <-ch }
+
+//lint:hotpath
+func callsFmt(x int) string { // want `hotpath callsFmt contains an allocating construct: call to fmt.Sprint \(allocates\)`
+	return fmt.Sprint(x)
+}
+
+//lint:hotpath
+func boxesArg(x int) { // want `hotpath boxesArg contains an allocating construct: argument x boxed into interface parameter`
+	sink(x)
+}
+
+// pointer arguments are stored in the interface word directly: no boxing.
+
+//lint:hotpath
+func pointerArgOK(x *int) {
+	sink(x)
+}
+
+func sink(v any) { _ = v }
+
+//lint:hotpath
+func boxesAssign(x float64) any { // want `hotpath boxesAssign contains an allocating construct: value x boxed into interface v`
+	var v any
+	v = x
+	return v
+}
+
+//lint:hotpath
+func stringBytes(s string) []byte { // want `hotpath stringBytes contains an allocating construct: conversion \[\]byte\(s\) copies its operand`
+	return []byte(s)
+}
+
+// A plain struct literal is a stack value: clean.
+
+//lint:hotpath
+func structLitOK(n int) int {
+	p := pair{a: n, b: n}
+	return p.a
+}
+
+// Slice literals and address-taken literals allocate.
+
+//lint:hotpath
+func sliceLit(n int) []int { // want `hotpath sliceLit contains an allocating construct: slice literal`
+	return []int{n}
+}
+
+//lint:hotpath
+func addrLit(n int) *pair { // want `hotpath addrLit contains an allocating construct: address-taken composite literal`
+	return &pair{a: n}
+}
+
+type pair struct{ a, b int }
+
+//lint:hotpath
+func indirect(f func() int) int { // want `hotpath indirect contains an allocating construct: indirect call f`
+	return f()
+}
+
+// Bounded interface dispatch: the edge fans out over in-package
+// implementations, so the allocating one is found.
+
+type valuer interface{ v(n int) int }
+
+type cheap struct{}
+
+func (cheap) v(n int) int { return n }
+
+type costly struct{}
+
+func (costly) v(n int) int { return len(make([]int, n)) }
+
+//lint:hotpath
+func dispatches(i valuer, n int) int { // want `hotpath dispatches reaches an allocating construct: make\(\[\]int, n\) at noalloc/a.go:\d+ via v \(noalloc/a.go:\d+\)`
+	return i.v(n)
+}
+
+// Deferred function literals run within the function: their bodies are
+// scanned (and clean ones stay clean).
+
+//lint:hotpath
+func deferLitClean(xs []int) int {
+	total := 0
+	defer func() { total = 0 }()
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+//lint:hotpath
+func deferLitAllocs(n int) { // want `hotpath deferLitAllocs contains an allocating construct: make\(\[\]int, n\)`
+	defer func() { _ = make([]int, n) }()
+}
+
+// Recursion terminates: the cycle contributes its members' sites once.
+
+//lint:hotpath
+func selfRec(n int) int { // want `hotpath selfRec contains an allocating construct: make\(\[\]int, 1\)`
+	if n <= 0 {
+		return len(make([]int, 1))
+	}
+	return selfRec(n - 1)
+}
+
+//lint:hotpath
+func mutualRoot(n int) int { // want `hotpath mutualRoot reaches an allocating construct: make\(\[\]int, n\) at noalloc/a.go:\d+ via mutA \(noalloc/a.go:\d+\) → mutB \(noalloc/a.go:\d+\)`
+	return mutA(n)
+}
+
+func mutA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return mutB(n)
+}
+
+func mutB(n int) int { return mutA(n-1) + len(make([]int, n)) }

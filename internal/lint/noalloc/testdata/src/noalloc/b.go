@@ -1,0 +1,50 @@
+package noalloc
+
+// Suppression edge cases for the interprocedural trace diagnostics.
+
+// Root-level suppression: an allow on the declaration line silences every
+// finding of the whole tree.
+
+//lint:hotpath
+//lint:allow noalloc -- perf-audited; the scratch table is grown once at attach time
+func suppressedRoot(n int) []int {
+	return roothelperAlloc(n)
+}
+
+func roothelperAlloc(n int) []int { return make([]int, n) }
+
+// Leaf-level suppression: an allow on the offending construct silences it
+// in every trace that reaches it, while the rest of the tree stays
+// enforced.
+
+//lint:hotpath
+func viaSuppressedLeaf(n int) []byte {
+	return warmupBuf(n)
+}
+
+func warmupBuf(n int) []byte {
+	return make([]byte, n) //lint:allow noalloc -- bounded one-time warmup buffer, measured off the steady-state path
+}
+
+// A second root through the same suppressed leaf is silent too, but its
+// own allocation is still reported.
+
+//lint:hotpath
+func leafPlusOwn(n int) []byte { // want `hotpath leafPlusOwn contains an allocating construct: make\(\[\]byte, 1\)`
+	_ = warmupBuf(n)
+	return make([]byte, 1)
+}
+
+// Malformed suppressions are diagnostics themselves, not escape hatches.
+
+func bareAllow(n int) []byte {
+	return make([]byte, n) //lint:allow noalloc // want `//lint:allow noalloc needs a justification`
+}
+
+// Multiple analyzer names before the separator leave the suppression
+// justification-free: one line, one analyzer.
+
+//lint:allow noalloc floateq -- shared excuse for two analyzers // want `//lint:allow noalloc needs a justification`
+func multiAllow(n int) []byte {
+	return make([]byte, n)
+}

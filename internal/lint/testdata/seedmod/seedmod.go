@@ -1,0 +1,42 @@
+// Package seedmod is the seeded regression for `make lint-interproc`: a
+// deliberately allocating //lint:hotpath function whose allocation hides
+// two calls deep. The CI target runs noalloc over this package and FAILS
+// THE BUILD if the analyzer does NOT reject it — proving the
+// interprocedural machinery (call graph, summaries, traces) still works
+// before trusting its silence on the real hot paths.
+//
+// The package lives under testdata/ so the go toolchain and the lint
+// driver's recursive ./... expansion both skip it; only the explicit
+// pattern in the lint-interproc target reaches it.
+package seedmod
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// HotQuery pretends to be a serving-path root: annotated, but reaching an
+// allocation through helperLen → newBuf. noalloc must report it with the
+// full two-step trace.
+//
+//lint:hotpath
+func HotQuery(n int) int {
+	return helperLen(n)
+}
+
+func helperLen(n int) int {
+	return len(newBuf(n))
+}
+
+func newBuf(n int) []byte { return make([]byte, n) }
+
+// LoadCounts pretends to be a loader: it decodes a count and sizes an
+// allocation with it, with no bounds check in sight. trustlen must
+// report it.
+func LoadCounts(r io.Reader) ([]uint64, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	return make([]uint64, n), nil
+}

@@ -1,0 +1,257 @@
+package trustlen
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+const maxN = 1 << 20
+
+// Direct source → sink: the canonical corrupt-length allocation.
+
+func unguarded(r io.Reader) ([]byte, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil // want `make\(\[\]byte, n\) at trustlen/a.go:\d+ is sized by untrusted binary.Read at trustlen/a.go:\d+ without a dominating bounds check`
+}
+
+// A dominating comparison clears the obligation — on both branches (the
+// analyzer checks presence, not direction).
+
+func guarded(r io.Reader) ([]byte, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxN {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return make([]byte, n), nil
+}
+
+// Struct decode taints every field; checking one leaves its siblings hot.
+
+type header struct {
+	K uint32
+	N uint32
+}
+
+func fieldPaths(r io.Reader) ([]uint32, []uint32, error) {
+	var hdr header
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, nil, err
+	}
+	if hdr.K > maxN {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	ks := make([]uint32, hdr.K)
+	ns := make([]uint32, hdr.N) // want `make\(\[\]uint32, hdr.N\) at trustlen/a.go:\d+ is sized by untrusted binary.Read at trustlen/a.go:\d+ without a dominating bounds check`
+	return ks, ns, nil
+}
+
+// Taint survives arithmetic and conversions; len() launders it.
+
+func arithmetic(r io.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	return make([]byte, int(n)*8), nil // want `make\(\[\]byte, int\(n\) \* 8\) at trustlen/a.go:\d+ is sized by untrusted binary.Read`
+}
+
+func laundered(r io.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxN {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, n)
+	return make([]byte, len(buf)), nil // len of real data: trusted
+}
+
+// gob decode is a source too.
+
+func gobHeader(r io.Reader) ([]uint32, error) {
+	var hdr header
+	if err := gob.NewDecoder(r).Decode(&hdr); err != nil {
+		return nil, err
+	}
+	return make([]uint32, hdr.K), nil // want `make\(\[\]uint32, hdr.K\) at trustlen/a.go:\d+ is sized by untrusted gob decode at trustlen/a.go:\d+`
+}
+
+// io.CopyN's limit is a sink.
+
+func copyN(w io.Writer, r io.Reader) error {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	_, err := io.CopyN(w, r, n) // want `io.CopyN limit at trustlen/a.go:\d+ is sized by untrusted binary.Read`
+	return err
+}
+
+// Assigning a trusted value over a tainted variable clears it.
+
+func overwritten(r io.Reader) ([]byte, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	n = 64
+	return make([]byte, n), nil
+}
+
+// Interprocedural: a helper that allocates from its parameter inherits
+// the obligation — the call site with tainted input is the finding.
+
+func viaHelper(r io.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	return allocBuf(int(n)), nil // want `call passes untrusted binary.Read at trustlen/a.go:\d+ to allocBuf \(trustlen/a.go:\d+\), reaching make\(\[\]byte, n\) at trustlen/a.go:\d+`
+}
+
+func allocBuf(n int) []byte { return make([]byte, n) }
+
+// Calling the helper with a checked value is fine.
+
+func viaHelperGuarded(r io.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxN {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return allocBuf(int(n)), nil
+}
+
+// A helper that bounds its own parameter discharges the obligation inside.
+
+func viaSafeHelper(r io.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	return safeAlloc(int(n)), nil
+}
+
+func safeAlloc(n int) []byte {
+	if n > maxN {
+		n = maxN
+	}
+	return make([]byte, n)
+}
+
+// A validator helper counts as a check for the caller (the
+// validate-then-use idiom).
+
+func validated(r io.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if !validCount(n) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return make([]byte, n), nil
+}
+
+func validCount(n uint32) bool { return n <= maxN }
+
+// A function returning decoded data taints the caller's variable.
+
+func viaReturn(r io.Reader) ([]byte, error) {
+	n, err := readCount(r)
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil // want `make\(\[\]byte, n\) at trustlen/a.go:\d+ is sized by untrusted binary.Read at trustlen/a.go:\d+ \(returned by readCount\)`
+}
+
+func readCount(r io.Reader) (uint64, error) {
+	var n uint64
+	err := binary.Read(r, binary.LittleEndian, &n)
+	return n, err
+}
+
+// Ranging over a decoded slice taints the element.
+
+type entry struct{ Len uint32 }
+
+func ranged(r io.Reader, entries []entry) ([][]byte, error) {
+	if err := gob.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	for _, e := range entries {
+		out = append(out, make([]byte, e.Len)) // want `make\(\[\]byte, e.Len\) at trustlen/a.go:\d+ is sized by untrusted gob decode`
+	}
+	return out, nil
+}
+
+// The parse-and-validate loader idiom: a header reader that bounds a
+// field before its success return discharges that field for every
+// caller; unvalidated siblings stay hot.
+
+func viaLoader(r io.Reader) ([]uint32, []uint32, error) {
+	hdr, err := readHeader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	ks := make([]uint32, hdr.K) // K was bounded inside readHeader
+	ns := make([]uint32, hdr.N) // want `make\(\[\]uint32, hdr.N\) at trustlen/a.go:\d+ is sized by untrusted binary.Read at trustlen/a.go:\d+ \(returned by readHeader\)`
+	return ks, ns, nil
+}
+
+func readHeader(r io.Reader) (header, error) {
+	var hdr header
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return hdr, fmt.Errorf("read header: %w", err)
+	}
+	if hdr.K > maxN {
+		return hdr, fmt.Errorf("k %d out of range", hdr.K)
+	}
+	return hdr, nil
+}
+
+// Field-level precision across a call: a helper sizing from one field of
+// its struct parameter only obligates the caller for THAT field.
+
+func viaFieldHelper(r io.Reader) ([][]uint32, error) {
+	var hdr header
+	if err := gob.NewDecoder(r).Decode(&hdr); err != nil {
+		return nil, err
+	}
+	if hdr.K > maxN {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return shardBufs(hdr), nil // hdr.N is still hot, but shardBufs only uses hdr.K
+}
+
+func viaFieldHelperBad(r io.Reader) ([][]uint32, error) {
+	var hdr header
+	if err := gob.NewDecoder(r).Decode(&hdr); err != nil {
+		return nil, err
+	}
+	return shardBufs(hdr), nil // want `call passes untrusted gob decode at trustlen/a.go:\d+ to shardBufs \(trustlen/a.go:\d+\), reaching make\(\[\]\[\]uint32, hdr.K\) at trustlen/a.go:\d+`
+}
+
+func shardBufs(hdr header) [][]uint32 { return make([][]uint32, hdr.K) }
+
+// Suppression with a justification silences one sink.
+
+func suppressed(r io.Reader) ([]byte, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil //lint:allow trustlen -- caller re-frames the stream and already enforced the section limit
+}

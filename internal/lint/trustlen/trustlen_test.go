@@ -1,0 +1,12 @@
+package trustlen_test
+
+import (
+	"testing"
+
+	"setlearn/internal/lint/linttest"
+	"setlearn/internal/lint/trustlen"
+)
+
+func TestTrustlen(t *testing.T) {
+	linttest.Run(t, trustlen.Analyzer, "trustlen")
+}

@@ -96,6 +96,8 @@ func RoundTripBound(v float64) float64 {
 
 // MatVec32 computes dst = m * x. dst must have length m.Rows and x length
 // m.Cols. dst must not alias x.
+//
+//lint:hotpath
 func MatVec32(dst []float32, m *Matrix32, x []float32) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		panic(fmt.Sprintf("mat: MatVec32 dims %dx%d with x=%d dst=%d", m.Rows, m.Cols, len(x), len(dst)))
@@ -107,6 +109,8 @@ func MatVec32(dst []float32, m *Matrix32, x []float32) {
 
 // MatVecAcc32 accumulates dst += m * x. dst must have length m.Rows and x
 // length m.Cols; dst must not alias x.
+//
+//lint:hotpath
 func MatVecAcc32(dst []float32, m *Matrix32, x []float32) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		panic(fmt.Sprintf("mat: MatVecAcc32 dims %dx%d with x=%d dst=%d", m.Rows, m.Cols, len(x), len(dst)))
@@ -117,6 +121,8 @@ func MatVecAcc32(dst []float32, m *Matrix32, x []float32) {
 }
 
 // MatVecAdd32 computes dst = m*x + b.
+//
+//lint:hotpath
 func MatVecAdd32(dst []float32, m *Matrix32, x, b []float32) {
 	MatVec32(dst, m, x)
 	if len(b) != len(dst) {
@@ -128,6 +134,8 @@ func MatVecAdd32(dst []float32, m *Matrix32, x, b []float32) {
 }
 
 // Dot32 returns the inner product of a and b.
+//
+//lint:hotpath
 func Dot32(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("mat: Dot32 length mismatch")
@@ -156,6 +164,8 @@ func dotUnchecked32(a, b []float32) float32 {
 
 // AddTo32 computes dst += x — the f32 pooled-sum inner loop, unrolled like
 // AddTo.
+//
+//lint:hotpath
 func AddTo32(dst, x []float32) {
 	if len(dst) != len(x) {
 		panic("mat: AddTo32 length mismatch")
@@ -173,6 +183,8 @@ func AddTo32(dst, x []float32) {
 }
 
 // Scale32 multiplies every element of x by a in place.
+//
+//lint:hotpath
 func Scale32(x []float32, a float32) {
 	for i := range x {
 		x[i] *= a
@@ -180,6 +192,8 @@ func Scale32(x []float32, a float32) {
 }
 
 // Fill32 sets every element of x to v.
+//
+//lint:hotpath
 func Fill32(x []float32, v float32) {
 	for i := range x {
 		x[i] = v

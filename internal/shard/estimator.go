@@ -183,6 +183,8 @@ func (e *Estimator) estimateShard(st *estShard, s int, q sets.Set) float64 {
 }
 
 // deltaCount sums the exact pending-delta counts for q across all shards.
+//
+//lint:hotpath
 func (e *Estimator) deltaCount(q sets.Set) float64 {
 	total := 0.0
 	for s := 0; s < e.k; s++ {
