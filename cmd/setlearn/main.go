@@ -15,12 +15,15 @@
 //	setlearn -task card -data rw.txt -load est.bin -query "3,17"
 //
 // With -shards K (K > 1) the structure is built as a partitioned container
-// (internal/shard): the collection is split by -partitioner (hash or range),
-// one down-scaled model is trained per shard, and queries fan out with exact
-// merge semantics. Sharded saves use their own container format; -load
+// (internal/shard): the collection is split by -partitioner (hash, range,
+// freq, or cluster), one down-scaled model is trained per shard, and queries
+// fan out with exact merge semantics. -calibrate fits per-shard isotonic
+// correction curves on a held-out workload; -error-budget B additionally
+// reallocates training epochs from accurate shards to shards whose held-out
+// error exceeds B. Sharded saves use their own container format; -load
 // detects it by magic bytes, so the same flag reopens either kind:
 //
-//	setlearn -task card -data rw.txt -shards 4 -partitioner hash -save est4.bin -query "3,17"
+//	setlearn -task card -data rw.txt -shards 4 -partitioner freq -calibrate -save est4.bin -query "3,17"
 //	setlearn -task card -data rw.txt -load est4.bin -query "3,17"
 //
 // The collection file holds one set per line as space-separated element ids
@@ -55,7 +58,9 @@ func main() {
 	savePath := flag.String("save", "", "persist the trained structure to this file")
 	loadPath := flag.String("load", "", "load a previously saved structure instead of training")
 	shards := flag.Int("shards", 0, "build a sharded container with this many shards (0/1 = monolithic)")
-	partFlag := flag.String("partitioner", "hash", "shard partitioner: hash or range")
+	partFlag := flag.String("partitioner", "hash", "shard partitioner: hash, range, freq, or cluster")
+	calibrate := flag.Bool("calibrate", false, "fit per-shard isotonic calibration curves (sharded builds)")
+	errBudget := flag.Float64("error-budget", 0, "per-shard held-out error budget; > 0 reallocates epochs toward shards over budget (implies -calibrate)")
 	precFlag := flag.String("precision", "f64", "serving precision: f64 (bit-exact reference) or f32 (zero-alloc float32 kernels)")
 	flag.Parse()
 
@@ -67,7 +72,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	shardOpts := shard.Options{Shards: *shards, Partitioner: part, MeasureBounds: true}
+	shardOpts := shard.Options{
+		Shards: *shards, Partitioner: part, MeasureBounds: true,
+		Calibrate: *calibrate, ErrorBudget: *errBudget,
+	}
 
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "setlearn: -data is required")
@@ -273,6 +281,12 @@ func printBuildStats(stats []shard.BuildStat) {
 		}
 		if s.ErrBound > 0 {
 			line += fmt.Sprintf(", err bound %.2f", s.ErrBound)
+		}
+		if s.HoldoutErr > 0 {
+			line += fmt.Sprintf(", holdout err %.3f", s.HoldoutErr)
+		}
+		if s.StolenEpochs != 0 {
+			line += fmt.Sprintf(", %+d epochs", s.StolenEpochs)
 		}
 		fmt.Println(line)
 	}

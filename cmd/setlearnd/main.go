@@ -18,9 +18,11 @@
 // a heap file); the estimator and filter are self-contained. Sharded
 // containers (setlearn -shards K) are detected by their magic bytes and
 // served through the same endpoints, with per-shard stats printed at load
-// and published under setlearn.shard.* on /debug/vars; -shards and
-// -partitioner assert the expected topology. The daemon drains in-flight
-// requests on SIGINT/SIGTERM before exiting.
+// and published under setlearn.shard.* on /debug/vars — including each
+// shard's held-out error and calibration state for containers built with
+// setlearn -calibrate; -shards and -partitioner assert the expected
+// topology. The daemon drains in-flight requests on SIGINT/SIGTERM before
+// exiting.
 //
 // Live mutation: POST /v1/insert appends a set to every loaded structure;
 // answers include it the moment the response is written, served from a
@@ -58,7 +60,7 @@ func main() {
 	phiTable := flag.Bool("phi-table", true, "precompute the full φ-table when it fits the φ memory budget")
 	phiCacheMB := flag.Int("phi-cache-mb", 64, "φ memory budget in MiB per structure: φ-table if it fits, sharded φ-cache otherwise; 0 disables the fast path")
 	shards := flag.Int("shards", 0, "required shard count for loaded sharded containers; 0 accepts any")
-	partFlag := flag.String("partitioner", "", "required partitioner (hash|range) for loaded sharded containers; empty accepts any")
+	partFlag := flag.String("partitioner", "", "required partitioner (hash|range|freq|cluster) for loaded sharded containers; empty accepts any")
 	retrainEvery := flag.Duration("retrain-interval", 0, "background retrain sweep interval for sharded containers; 0 disables")
 	deltaThreshold := flag.Int("delta-threshold", 64, "pending inserts a shard must accumulate before a sweep rebuilds it")
 	precFlag := flag.String("precision", "f64", "serving precision: f64 (bit-exact reference) or f32 (zero-alloc float32 kernels)")
@@ -283,10 +285,17 @@ func rejectShardFlags(kind, path string, wantK int, wantP shard.Partitioner) {
 	}
 }
 
-// printShardStats prints one line per shard of a freshly loaded container.
+// printShardStats prints one line per shard of a freshly loaded container,
+// including the calibration state when the container carries curves.
 func printShardStats(ss core.ShardStatser) {
 	for _, s := range ss.ShardStats() {
-		fmt.Printf("  shard %d: %d sets, %.3f MB, φ %s\n", s.Shard, s.Sets, mbOf(s.Bytes), s.PhiMode)
+		line := fmt.Sprintf("  shard %d: %d sets, %.3f MB, φ %s", s.Shard, s.Sets, mbOf(s.Bytes), s.PhiMode)
+		if s.Calibrated {
+			line += fmt.Sprintf(", calibrated (holdout err %.3f)", s.HoldoutErr)
+		} else if s.HoldoutErr > 0 {
+			line += fmt.Sprintf(", holdout err %.3f", s.HoldoutErr)
+		}
+		fmt.Println(line)
 	}
 }
 

@@ -82,11 +82,21 @@ func GateInference(baseline, fresh *InferenceReport, tol float64) []GateViolatio
 	return vs
 }
 
+// calErrRatioCeiling is the error-aware sharding acceptance bar: a
+// calibrated skew-aware partition whose committed baseline holds its mean
+// absolute error within this factor of the monolith's must keep doing so —
+// the ceiling is absolute, not tolerance-scaled, so the headline accuracy
+// claim cannot erode by tol per PR.
+const calErrRatioCeiling = 2.0
+
 // GateSharding compares a fresh sharding run against the baseline: the
 // partitioned build must keep its speedup over the monolith, accuracy must
 // not drift (mean absolute error is seeded and machine-independent, but
-// gets the same tolerance for float-order effects), and the batched path
-// must stay at least as fast relative to the single-query path.
+// gets the same tolerance for float-order effects), the batched path must
+// stay at least as fast relative to the single-query path, and calibrated
+// points must hold their accuracy ratio against the monolith — both
+// relative to the committed ratio and, where the baseline met it, against
+// the absolute calErrRatioCeiling.
 func GateSharding(baseline, fresh *ShardingReport, tol float64) []GateViolation {
 	var vs []GateViolation
 	byKey := map[string]ShardingPoint{}
@@ -105,6 +115,22 @@ func GateSharding(baseline, fresh *ShardingReport, tol float64) []GateViolation 
 		if b.SingleUS > 0 && f.SingleUS > 0 {
 			baseRatio := b.BatchUS / b.SingleUS
 			vs = atMost(vs, key, "batch_vs_single_ratio", baseRatio, f.BatchUS/f.SingleUS, baseRatio*(1+tol))
+		}
+		if b.CalibratedErr > 0 && baseline.MonolithErr > 0 {
+			if f.CalibratedErr <= 0 {
+				vs = append(vs, GateViolation{Point: key, Metric: "calibrated_err missing from fresh run"})
+				continue
+			}
+			if fresh.MonolithErr <= 0 {
+				vs = append(vs, GateViolation{Point: key, Metric: "monolith_err missing from fresh run"})
+				continue
+			}
+			bRatio := b.CalibratedErr / baseline.MonolithErr
+			fRatio := f.CalibratedErr / fresh.MonolithErr
+			vs = atMost(vs, key, "calibrated_err_ratio", bRatio, fRatio, bRatio*(1+tol)+0.1)
+			if bRatio <= calErrRatioCeiling {
+				vs = atMost(vs, key, "calibrated_err_ratio_ceiling", bRatio, fRatio, calErrRatioCeiling)
+			}
 		}
 	}
 	return vs

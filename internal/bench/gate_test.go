@@ -100,3 +100,58 @@ func TestGateSharding(t *testing.T) {
 		t.Fatalf("want build_speedup and mean_abs_err violations, got %v", vs)
 	}
 }
+
+func calibratedFixturePoint(calErr float64) ShardingPoint {
+	return ShardingPoint{
+		Shards: 8, Partitioner: "freq",
+		BuildSpeedup: 3.5, MeanAbsErr: 5.0, CalibratedErr: calErr,
+		SingleUS: 10, BatchUS: 9,
+	}
+}
+
+func TestGateShardingCalibratedRatio(t *testing.T) {
+	// Baseline ratio 1.5× the monolith — under the 2× acceptance ceiling.
+	base := &ShardingReport{MonolithErr: 1.0, Points: []ShardingPoint{calibratedFixturePoint(1.5)}}
+
+	// 1.8× is within both the relative tolerance and the absolute ceiling.
+	ok := &ShardingReport{MonolithErr: 1.0, Points: []ShardingPoint{calibratedFixturePoint(1.8)}}
+	if vs := GateSharding(base, ok, 0.4); len(vs) != 0 {
+		t.Fatalf("ratio under the ceiling must pass, got %v", vs)
+	}
+
+	// 2.1× clears the tolerance-scaled relative bound (1.5×1.4+0.1 = 2.2)
+	// but breaks the absolute ceiling: the headline accuracy claim must not
+	// erode by tol per PR.
+	over := &ShardingReport{MonolithErr: 1.0, Points: []ShardingPoint{calibratedFixturePoint(2.1)}}
+	vs := GateSharding(base, over, 0.4)
+	if len(vs) != 1 || vs[0].Metric != "calibrated_err_ratio_ceiling" {
+		t.Fatalf("want exactly the ceiling violation, got %v", vs)
+	}
+
+	// Way past both bounds: the relative check fires too.
+	far := &ShardingReport{MonolithErr: 1.0, Points: []ShardingPoint{calibratedFixturePoint(4.0)}}
+	vs = GateSharding(base, far, 0.4)
+	metrics := map[string]bool{}
+	for _, v := range vs {
+		metrics[v.Metric] = true
+	}
+	if !metrics["calibrated_err_ratio"] || !metrics["calibrated_err_ratio_ceiling"] {
+		t.Fatalf("want relative and ceiling violations, got %v", vs)
+	}
+
+	// A fresh run that dropped the calibrated column altogether fails.
+	uncal := calibratedFixturePoint(0)
+	missing := &ShardingReport{MonolithErr: 1.0, Points: []ShardingPoint{uncal}}
+	vs = GateSharding(base, missing, 0.4)
+	if len(vs) != 1 || !strings.Contains(vs[0].Metric, "calibrated_err missing") {
+		t.Fatalf("want a missing-calibration violation, got %v", vs)
+	}
+
+	// A baseline over the ceiling never had the claim; only the relative
+	// bound applies, so a fresh ratio within tolerance of it passes.
+	baseOver := &ShardingReport{MonolithErr: 1.0, Points: []ShardingPoint{calibratedFixturePoint(3.0)}}
+	freshOver := &ShardingReport{MonolithErr: 1.0, Points: []ShardingPoint{calibratedFixturePoint(4.0)}}
+	if vs := GateSharding(baseOver, freshOver, 0.4); len(vs) != 0 {
+		t.Fatalf("ceiling must not apply when the baseline never met it, got %v", vs)
+	}
+}

@@ -21,9 +21,14 @@ type ShardingPoint struct {
 	BuildSecs    float64 `json:"build_secs"`
 	BuildSpeedup float64 `json:"build_speedup"` // monolith build secs / this build secs
 	SizeBytes    int     `json:"size_bytes"`
-	MeanAbsErr   float64 `json:"mean_abs_err"` // over the trained workload
-	SingleUS     float64 `json:"single_us"`    // µs per single fan-out query
-	BatchUS      float64 `json:"batch_us"`     // µs per query through EstimateBatch
+	MeanAbsErr   float64 `json:"mean_abs_err"` // raw serving path, over the trained workload
+	// CalibratedErr is the mean absolute error with the per-shard isotonic
+	// curves enabled; 0 for points built without -calibrate. The accuracy
+	// gate judges CalibratedErr / MonolithErr — the error-aware sharding
+	// acceptance ratio.
+	CalibratedErr float64 `json:"calibrated_err,omitempty"`
+	SingleUS      float64 `json:"single_us"` // µs per single fan-out query
+	BatchUS       float64 `json:"batch_us"`  // µs per query through EstimateBatch
 }
 
 // ShardingReport is the JSON trajectory written via BENCH_SHARDING_OUT so
@@ -32,6 +37,7 @@ type ShardingReport struct {
 	Scale        string          `json:"scale"`
 	Sets         int             `json:"sets"`
 	MonolithSecs float64         `json:"monolith_secs"`
+	MonolithErr  float64         `json:"monolith_err"` // monolith mean abs error, the accuracy denominator
 	Points       []ShardingPoint `json:"points"`
 }
 
@@ -50,22 +56,33 @@ func shardingBase(sc dataset.Scale) core.ModelOptions {
 	}
 }
 
-// shardingErrAndLatency measures mean |estimate − truth| over the trained
-// workload plus per-query latency of the single and batched paths.
-func shardingErrAndLatency(est core.CardinalityQuerier, st *dataset.SubsetStats) (meanErr, singleUS, batchUS float64) {
-	qs := make([]sets.Set, 0, 256)
-	truth := make([]float64, 0, 256)
+// shardingWorkload stride-samples ≤256 trained subsets with their true
+// cardinalities — the accuracy workload every sharding point is judged on.
+func shardingWorkload(st *dataset.SubsetStats) (qs []sets.Set, truth []float64) {
 	stride := len(st.Keys)/256 + 1
 	for i := 0; i < len(st.Keys); i += stride {
 		info := st.ByKey[st.Keys[i]]
 		qs = append(qs, info.Set)
 		truth = append(truth, float64(info.Card))
 	}
+	return qs, truth
+}
+
+// shardingErr measures mean |estimate − truth| over the trained workload.
+func shardingErr(est core.CardinalityQuerier, st *dataset.SubsetStats) float64 {
+	qs, truth := shardingWorkload(st)
 	var sum float64
 	for i, q := range qs {
 		sum += math.Abs(est.Estimate(q) - truth[i])
 	}
-	meanErr = sum / float64(len(qs))
+	return sum / float64(len(qs))
+}
+
+// shardingErrAndLatency measures mean |estimate − truth| over the trained
+// workload plus per-query latency of the single and batched paths.
+func shardingErrAndLatency(est core.CardinalityQuerier, st *dataset.SubsetStats) (meanErr, singleUS, batchUS float64) {
+	qs, _ := shardingWorkload(st)
+	meanErr = shardingErr(est, st)
 
 	reps := inferenceReps(len(qs))
 	singleUS = usPerQuery(reps, len(qs), func() {
@@ -84,8 +101,10 @@ func shardingErrAndLatency(est core.CardinalityQuerier, st *dataset.SubsetStats)
 // against the monolithic build on the RW collection: wall-clock build time at
 // K ∈ {1, 2, 4, 8} hash shards with √K model scaling, the accuracy cost of
 // the smaller per-shard models, and single/batched fan-out query latency.
-// When BENCH_SHARDING_OUT names a file, the points are also written there as
-// JSON.
+// The skew-aware partitioners (freq, cluster) are then measured calibrated at
+// K ∈ {2, 4, 8}, with both the raw and calibrated error columns taken from
+// one build via the EnableCalibration toggle. When BENCH_SHARDING_OUT names a
+// file, the points are also written there as JSON.
 func RunSharding(w io.Writer, sc dataset.Scale) error {
 	c := dataset.GenerateRW(sc.RWN, sc.RWVocab, 1)
 	st := dataset.CollectSubsets(c, sc.MaxSubset)
@@ -93,11 +112,12 @@ func RunSharding(w io.Writer, sc dataset.Scale) error {
 
 	rep := &Report{
 		Title:  fmt.Sprintf("Sharded estimator (scale=%s, n=%d): build and fan-out cost vs monolith", sc.Name, c.Len()),
-		Header: []string{"Shards", "Build s", "Speedup", "MB", "MeanAbsErr", "Single µs", "Batch µs"},
+		Header: []string{"Shards", "Part", "Build s", "Speedup", "MB", "MeanAbsErr", "Cal Err", "Single µs", "Batch µs"},
 		Notes: []string{
-			"hash partitioner, √K model scaling: per-shard hidden widths shrink with K,",
-			"so the build speedup holds on a single core; accuracy column shows the",
-			"price of the smaller per-shard models on the trained workload.",
+			"√K model scaling: per-shard hidden widths shrink with K, so the build",
+			"speedup holds on a single core; the error columns show the price of the",
+			"smaller per-shard models on the trained workload (raw serving path vs",
+			"the per-shard isotonic curves of -calibrate, one build via the toggle).",
 		},
 	}
 
@@ -112,12 +132,13 @@ func RunSharding(w io.Writer, sc dataset.Scale) error {
 	out := ShardingReport{Scale: sc.Name, Sets: c.Len(), MonolithSecs: monoSecs}
 
 	monoErr, monoSingle, monoBatch := shardingErrAndLatency(mono, st)
-	rep.AddRow("mono", monoSecs, fmt.Sprintf("%.2f", 1.0), mbOf(mono.SizeBytes()), monoErr, monoSingle, monoBatch)
+	out.MonolithErr = monoErr
+	rep.AddRow("mono", "-", monoSecs, fmt.Sprintf("%.2f", 1.0), mbOf(mono.SizeBytes()), monoErr, "-", monoSingle, monoBatch)
 
-	for _, k := range []int{1, 2, 4, 8} {
-		start = time.Now()
+	measure := func(k int, p shard.Partitioner, calibrate bool) error {
+		start := time.Now()
 		se, err := shard.BuildShardedEstimator(c, shard.Options{
-			Shards: k, Partitioner: shard.HashBySet,
+			Shards: k, Partitioner: p, Calibrate: calibrate,
 		}, core.EstimatorOptions{
 			Model: base, MaxSubset: sc.MaxSubset, Percentile: 90,
 		})
@@ -127,13 +148,39 @@ func RunSharding(w io.Writer, sc dataset.Scale) error {
 		secs := time.Since(start).Seconds()
 		meanErr, singleUS, batchUS := shardingErrAndLatency(se, st)
 		pt := ShardingPoint{
-			Shards: k, Partitioner: shard.HashBySet.String(),
+			Shards: k, Partitioner: p.String(),
 			BuildSecs: secs, BuildSpeedup: monoSecs / secs,
 			SizeBytes: se.SizeBytes(), MeanAbsErr: meanErr,
 			SingleUS: singleUS, BatchUS: batchUS,
 		}
+		calCell := any("-")
+		if calibrate {
+			// The calibrated error is the serving default of a -calibrate
+			// build; flip the toggle to price the raw path from the same
+			// build, then restore it.
+			pt.CalibratedErr = meanErr
+			se.EnableCalibration(false)
+			pt.MeanAbsErr = shardingErr(se, st)
+			se.EnableCalibration(true)
+			calCell = pt.CalibratedErr
+		}
 		out.Points = append(out.Points, pt)
-		rep.AddRow(k, secs, fmt.Sprintf("%.2f", pt.BuildSpeedup), mbOf(se.SizeBytes()), meanErr, singleUS, batchUS)
+		rep.AddRow(k, pt.Partitioner, secs, fmt.Sprintf("%.2f", pt.BuildSpeedup),
+			mbOf(se.SizeBytes()), pt.MeanAbsErr, calCell, singleUS, batchUS)
+		return nil
+	}
+
+	for _, k := range []int{1, 2, 4, 8} {
+		if err := measure(k, shard.HashBySet, false); err != nil {
+			return err
+		}
+	}
+	for _, p := range []shard.Partitioner{shard.FrequencyBand, shard.EmbedCluster} {
+		for _, k := range []int{2, 4, 8} {
+			if err := measure(k, p, true); err != nil {
+				return err
+			}
+		}
 	}
 
 	if path := os.Getenv("BENCH_SHARDING_OUT"); path != "" {

@@ -1,0 +1,175 @@
+// Package calib fits and applies tiny monotone correction curves.
+//
+// A Curve maps a raw model output to a corrected value via monotone
+// piecewise-linear interpolation over a handful of knots. Curves are fitted
+// with isotonic regression (pool-adjacent-violators) on held-out
+// (raw, truth) pairs, so the correction can fix systematic bias — scale
+// drift, saturation, an offset — without ever reordering estimates:
+// monotonicity guarantees that if the uncalibrated model ranked a ⪯ b, the
+// calibrated one does too.
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+const (
+	// fitKnots caps the number of knots produced by Fit; beyond this the
+	// blocks are subsampled (the curve is a smooth correction, not a
+	// lookup table).
+	fitKnots = 64
+	// MaxKnots caps the number of knots accepted by Validate, bounding
+	// what a decoder will allocate and scan for untrusted input.
+	MaxKnots = 4096
+	// minFitPoints is the smallest sample that produces a curve; fewer
+	// points would mostly memorize noise.
+	minFitPoints = 8
+)
+
+// Curve is a monotone piecewise-linear correction y = f(x).
+//
+// X holds strictly increasing knot inputs and Y the matching non-decreasing
+// outputs. Below X[0] the curve is constant at Y[0]; above X[n-1] it
+// continues with identity slope (Y[n-1] + (x - X[n-1])) so growth beyond the
+// fitted range is preserved rather than clipped. Both fields are exported
+// for gob persistence; decoded curves must pass Validate before use.
+type Curve struct {
+	X []float64
+	Y []float64
+}
+
+// Apply evaluates the correction at x. The result is floored at 0 (all
+// calibrated quantities — cardinalities, positions — are non-negative).
+// Allocation-free.
+func (c *Curve) Apply(x float64) float64 {
+	n := len(c.X)
+	y := 0.0
+	switch {
+	case x <= c.X[0]:
+		y = c.Y[0]
+	case x >= c.X[n-1]:
+		y = c.Y[n-1] + (x - c.X[n-1])
+	default:
+		// First knot strictly above x; the segment is [i-1, i].
+		i := sort.SearchFloat64s(c.X, x)
+		if c.X[i] == x {
+			y = c.Y[i]
+		} else {
+			t := (x - c.X[i-1]) / (c.X[i] - c.X[i-1])
+			y = c.Y[i-1] + t*(c.Y[i]-c.Y[i-1])
+		}
+	}
+	if y < 0 {
+		return 0
+	}
+	return y
+}
+
+// Validate checks a (possibly decoded-from-untrusted-input) curve: equal
+// non-empty knot lists capped at MaxKnots, all values finite, X strictly
+// increasing, Y non-decreasing.
+func (c *Curve) Validate() error {
+	if len(c.X) == 0 || len(c.X) != len(c.Y) {
+		return fmt.Errorf("calib: knot lists len %d/%d (want equal, non-empty)", len(c.X), len(c.Y))
+	}
+	if len(c.X) > MaxKnots {
+		return fmt.Errorf("calib: %d knots exceeds cap %d", len(c.X), MaxKnots)
+	}
+	for i := range c.X {
+		if !isFinite(c.X[i]) || !isFinite(c.Y[i]) {
+			return fmt.Errorf("calib: non-finite knot %d", i)
+		}
+		if i > 0 {
+			if c.X[i] <= c.X[i-1] {
+				return fmt.Errorf("calib: X not strictly increasing at knot %d", i)
+			}
+			if c.Y[i] < c.Y[i-1] {
+				return fmt.Errorf("calib: Y decreasing at knot %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Fit computes an isotonic (non-decreasing) piecewise-linear fit of ys over
+// xs via pool-adjacent-violators. Non-finite pairs are dropped and duplicate
+// x values merged by mean before pooling. Returns nil when fewer than
+// minFitPoints usable pairs remain or the inputs are degenerate (a single
+// distinct x) — callers treat a nil curve as "no calibration".
+func Fit(xs, ys []float64) *Curve {
+	if len(xs) != len(ys) {
+		return nil
+	}
+	type pt struct {
+		x, y, w float64
+	}
+	pts := make([]pt, 0, len(xs))
+	for i := range xs {
+		if isFinite(xs[i]) && isFinite(ys[i]) {
+			pts = append(pts, pt{xs[i], ys[i], 1})
+		}
+	}
+	if len(pts) < minFitPoints {
+		return nil
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+
+	// Merge duplicate x (weighted mean of y).
+	merged := pts[:0]
+	for _, p := range pts {
+		if n := len(merged); n > 0 && merged[n-1].x == p.x {
+			m := &merged[n-1]
+			m.y = (m.y*m.w + p.y*p.w) / (m.w + p.w)
+			m.w += p.w
+			continue
+		}
+		merged = append(merged, p)
+	}
+	if len(merged) < 2 {
+		return nil
+	}
+
+	// Pool adjacent violators: each block carries the weighted means of its
+	// x and y; merge while a block's y falls below its predecessor's.
+	blocks := merged[:0]
+	for _, p := range merged {
+		blocks = append(blocks, p)
+		for n := len(blocks); n > 1 && blocks[n-1].y < blocks[n-2].y; n = len(blocks) {
+			a, b := blocks[n-2], blocks[n-1]
+			w := a.w + b.w
+			blocks[n-2] = pt{
+				x: (a.x*a.w + b.x*b.w) / w,
+				y: (a.y*a.w + b.y*b.w) / w,
+				w: w,
+			}
+			blocks = blocks[:n-1]
+		}
+	}
+
+	idx := make([]int, 0, fitKnots)
+	if len(blocks) <= fitKnots {
+		for i := range blocks {
+			idx = append(idx, i)
+		}
+	} else {
+		// Uniform subsample keeping first and last knots.
+		for i := 0; i < fitKnots; i++ {
+			idx = append(idx, i*(len(blocks)-1)/(fitKnots-1))
+		}
+	}
+	c := &Curve{X: make([]float64, 0, len(idx)), Y: make([]float64, 0, len(idx))}
+	for _, i := range idx {
+		c.X = append(c.X, blocks[i].x)
+		c.Y = append(c.Y, blocks[i].y)
+	}
+	if c.Validate() != nil {
+		return nil
+	}
+	return c
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

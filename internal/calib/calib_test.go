@@ -1,0 +1,150 @@
+package calib
+
+import (
+	"math"
+	"testing"
+)
+
+func seq(vals ...float64) []float64 { return vals }
+
+func TestFitRecoversMonotoneShift(t *testing.T) {
+	// Truth = raw + 3: the fit should recover the offset everywhere.
+	var xs, ys []float64
+	for i := 0; i < 32; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, x+3)
+	}
+	c := Fit(xs, ys)
+	if c == nil {
+		t.Fatal("Fit returned nil on clean monotone data")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("fitted curve invalid: %v", err)
+	}
+	for _, x := range []float64{0, 0.5, 7, 15.25, 31} {
+		got := c.Apply(x)
+		if math.Abs(got-(x+3)) > 1e-9 {
+			t.Fatalf("Apply(%v) = %v, want %v", x, got, x+3)
+		}
+	}
+	// Above the last knot the identity slope keeps growth.
+	if got := c.Apply(100); math.Abs(got-(31+3+69)) > 1e-9 {
+		t.Fatalf("extrapolated Apply(100) = %v, want %v", got, 103.0)
+	}
+	// Below the first knot the curve is constant at Y[0].
+	if got := c.Apply(-50); got != 3 {
+		t.Fatalf("Apply(-50) = %v, want 3", got)
+	}
+}
+
+func TestFitPoolsViolators(t *testing.T) {
+	// A non-monotone middle section must be pooled into a flat block, and
+	// the result must be globally non-decreasing.
+	xs := seq(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	ys := seq(1, 2, 9, 3, 4, 5, 6, 7, 8, 20)
+	c := Fit(xs, ys)
+	if c == nil {
+		t.Fatal("Fit returned nil")
+	}
+	prev := math.Inf(-1)
+	for x := 0.0; x <= 12; x += 0.25 {
+		y := c.Apply(x)
+		if y < prev {
+			t.Fatalf("Apply not monotone: f(%v)=%v < previous %v", x, y, prev)
+		}
+		prev = y
+	}
+}
+
+func TestFitMergesDuplicateX(t *testing.T) {
+	xs := seq(1, 1, 1, 1, 2, 2, 2, 2, 3, 3)
+	ys := seq(0, 2, 4, 6, 10, 10, 10, 10, 20, 22)
+	c := Fit(xs, ys)
+	if c == nil {
+		t.Fatal("Fit returned nil")
+	}
+	if got := c.Apply(1); math.Abs(got-3) > 1e-9 { // mean of 0,2,4,6
+		t.Fatalf("Apply(1) = %v, want 3", got)
+	}
+	if got := c.Apply(2); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Apply(2) = %v, want 10", got)
+	}
+}
+
+func TestFitRejectsDegenerate(t *testing.T) {
+	if c := Fit(seq(1, 2, 3), seq(1, 2, 3)); c != nil {
+		t.Fatal("Fit accepted fewer than minFitPoints pairs")
+	}
+	if c := Fit(seq(5, 5, 5, 5, 5, 5, 5, 5), seq(1, 2, 3, 4, 5, 6, 7, 8)); c != nil {
+		t.Fatal("Fit accepted a single distinct x")
+	}
+	if c := Fit(seq(1, 2), seq(1)); c != nil {
+		t.Fatal("Fit accepted mismatched lengths")
+	}
+	nan := math.NaN()
+	if c := Fit(seq(nan, nan, nan, nan, nan, nan, nan, nan), seq(1, 2, 3, 4, 5, 6, 7, 8)); c != nil {
+		t.Fatal("Fit accepted all-NaN xs")
+	}
+}
+
+func TestApplyFloorsAtZero(t *testing.T) {
+	c := &Curve{X: seq(0, 10), Y: seq(-5, 5)}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if got := c.Apply(0); got != 0 {
+		t.Fatalf("Apply(0) = %v, want 0 (floored)", got)
+	}
+	if got := c.Apply(10); got != 5 {
+		t.Fatalf("Apply(10) = %v, want 5", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Curve
+	}{
+		{"empty", Curve{}},
+		{"mismatched", Curve{X: seq(1, 2), Y: seq(1)}},
+		{"nan-x", Curve{X: seq(math.NaN(), 2), Y: seq(1, 2)}},
+		{"inf-y", Curve{X: seq(1, 2), Y: seq(1, math.Inf(1))}},
+		{"x-not-increasing", Curve{X: seq(1, 1), Y: seq(1, 2)}},
+		{"y-decreasing", Curve{X: seq(1, 2), Y: seq(2, 1)}},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid curve", tc.name)
+		}
+	}
+	big := Curve{X: make([]float64, MaxKnots+1), Y: make([]float64, MaxKnots+1)}
+	for i := range big.X {
+		big.X[i] = float64(i)
+		big.Y[i] = float64(i)
+	}
+	if err := big.Validate(); err == nil {
+		t.Error("Validate accepted curve beyond MaxKnots")
+	}
+}
+
+func TestFitCapsKnots(t *testing.T) {
+	var xs, ys []float64
+	for i := 0; i < 1000; i++ {
+		xs = append(xs, float64(i))
+		ys = append(ys, float64(i)*2)
+	}
+	c := Fit(xs, ys)
+	if c == nil {
+		t.Fatal("Fit returned nil")
+	}
+	if len(c.X) > fitKnots {
+		t.Fatalf("fit produced %d knots, cap is %d", len(c.X), fitKnots)
+	}
+	// Interpolation between subsampled knots still tracks the line closely.
+	for _, x := range []float64{0, 123.5, 500, 999} {
+		if got := c.Apply(x); math.Abs(got-2*x) > 2 {
+			t.Fatalf("Apply(%v) = %v, want ~%v", x, got, 2*x)
+		}
+	}
+}

@@ -123,6 +123,11 @@ type ShardStat struct {
 	Bytes   int    `json:"bytes"`    // shard structure footprint
 	Queries uint64 `json:"queries"`  // fan-out queries routed to the shard
 	PhiMode string `json:"phi_mode"` // "table", "cache", or "off"
+	// Calibrated reports whether a per-shard correction curve is fitted;
+	// HoldoutErr is the shard's held-out mean absolute error measured with
+	// that curve applied (0 when never measured).
+	Calibrated bool    `json:"calibrated,omitempty"`
+	HoldoutErr float64 `json:"holdout_err,omitempty"`
 }
 
 // ShardStatser is implemented by partitioned containers that can report

@@ -430,6 +430,22 @@ func (p *Predictor) PredictLogit(s sets.Set) float64 {
 	return p.m.rho.InferLogit(p.rhoS, p.pooled(s))[0]
 }
 
+// PooledVector copies the pooled φ representation of s — the model's
+// permutation-invariant set embedding, before ρ — into dst (grown as
+// needed) and returns it. Useful for clustering or comparing sets by
+// learned content similarity. Panics on an empty set or out-of-vocabulary
+// elements, like Predict.
+func (p *Predictor) PooledVector(dst []float64, s sets.Set) []float64 {
+	v := p.pooled(s)
+	if cap(dst) < len(v) {
+		dst = make([]float64, len(v))
+	} else {
+		dst = dst[:len(v)]
+	}
+	copy(dst, v)
+	return dst
+}
+
 // beginBatch arms the per-batch φ memo; endBatch disarms it. The memo slab
 // is reused across batches, the id index is cleared each time.
 func (p *Predictor) beginBatch() {
@@ -506,4 +522,12 @@ func (p *PredictorPool) PredictBatch(dst []float64, qs []sets.Set) []float64 {
 	pred := p.pool.Get().(*Predictor)
 	defer p.pool.Put(pred)
 	return pred.PredictBatch(dst, qs)
+}
+
+// PooledVector computes the pooled φ embedding of s into dst; safe for
+// concurrent use.
+func (p *PredictorPool) PooledVector(dst []float64, s sets.Set) []float64 {
+	pred := p.pool.Get().(*Predictor)
+	defer p.pool.Put(pred)
+	return pred.PooledVector(dst, s)
 }

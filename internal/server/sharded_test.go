@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"sync"
 	"testing"
@@ -44,8 +45,12 @@ func sharedShardedFixture(tb testing.TB) *shardedFix {
 		}); shardErr != nil {
 			return
 		}
-		if f.est, shardErr = shard.BuildShardedEstimator(c, o, core.EstimatorOptions{
-			Model: model, MaxSubset: 2, Percentile: 90,
+		// The estimator builds calibrated so the expvar test can pin the
+		// per-shard held-out error flowing through setlearn.shard.*.
+		co := o
+		co.Calibrate = true
+		if f.est, shardErr = shard.BuildShardedEstimator(c, co, core.EstimatorOptions{
+			Model: model, MaxSubset: 2, Percentile: 50,
 		}); shardErr != nil {
 			return
 		}
@@ -156,5 +161,12 @@ func TestShardExpvarPublished(t *testing.T) {
 	}
 	if total != f.c.Len() {
 		t.Fatalf("published shard set counts sum to %d, collection has %d", total, f.c.Len())
+	}
+	// The estimator was built with calibration, so every shard's measured
+	// held-out error must flow through to /debug/vars.
+	for _, s := range stats {
+		if s.HoldoutErr <= 0 || math.IsNaN(s.HoldoutErr) {
+			t.Fatalf("shard %d published holdout_err %g, want a positive measurement", s.Shard, s.HoldoutErr)
+		}
 	}
 }

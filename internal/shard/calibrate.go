@@ -1,0 +1,197 @@
+package shard
+
+import (
+	"math"
+
+	"setlearn/internal/calib"
+	"setlearn/internal/core"
+	"setlearn/internal/dataset"
+	"setlearn/internal/sets"
+)
+
+// Per-shard calibration: after a shard's model trains, a small isotonic
+// (monotone non-decreasing) correction is fitted on held-out queries mapping
+// the shard's raw model output to the shard-local truth, then composed into
+// the fan-in. Sharding's dominant systematic error — the fan-in sum of K
+// floored estimates over-counting queries most shards don't contain — is
+// exactly the kind of monotone bias an isotonic fit removes: on a calibrated
+// shard the floor-at-1 convention is dropped and low raw outputs (the
+// model's "probably not here" signal) map toward 0 instead of 1.
+//
+// Exact paths are never calibrated: aux overrides, OOV queries, and the
+// delta compose outside the curve, so read-own-write exactness and the
+// trained-subset guarantees are untouched. The held-out workload is drawn
+// once per container from the build seed and persisted, so a background
+// retrain refits the swapped shard's curve deterministically.
+
+// calQueryCount is the held-out calibration workload size per container.
+const calQueryCount = 512
+
+// calibrationQueries draws the held-out workload: random 1..maxSubset-element
+// subsets of random collection sets, deduplicated (QueryWorkload may repeat).
+func calibrationQueries(c *sets.Collection, maxSubset int, seed int64) []sets.Set {
+	qs := dataset.QueryWorkload(c, calQueryCount, maxSubset, seed)
+	seen := make(map[string]bool, len(qs))
+	out := qs[:0]
+	for _, q := range qs {
+		k := q.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, q)
+	}
+	return out
+}
+
+// fitEstimatorCal fits a shard estimator's correction curve, installs it
+// only when it improves the held-out mean absolute error over the raw
+// (floored) serving path, and returns the installed curve (nil when the raw
+// path won or the fit degenerated) with the winning error. The fit maps raw
+// unfloored model outputs to the shard-local cardinality truth; queries
+// answered exactly (aux hits, OOV) are excluded from the fit and the error
+// measure alike, since calibration never touches them. The skip predicate
+// excludes queries the router prunes for this shard: at serving time those
+// never reach the model, so fitting on them would tune the curve for a
+// distribution it never serves — the held-out workload is dominated by
+// locally-absent queries the prune layers already answer exactly, and a
+// curve fitted over them learns to crush every low raw output toward zero,
+// wrecking the supported queries that actually consult the model. The guard
+// matters too: isotonic pooling flattens regions the model already ranks
+// imperfectly, so on a shard whose raw outputs are near the truth the curve
+// would trade a small error for its own block-mean error — calibration must
+// never make a shard worse.
+func fitEstimatorCal(est *core.CardinalityEstimator, sub *sets.Collection, queries []sets.Set, skip func(sets.Set) bool) (*calib.Curve, float64) {
+	xs := make([]float64, 0, len(queries))
+	ys := make([]float64, 0, len(queries))
+	truths := make([]float64, len(queries))
+	modeled := make([]bool, len(queries))
+	for i, q := range queries {
+		if skip != nil && skip(q) {
+			continue
+		}
+		truths[i] = float64(sub.Cardinality(q))
+		raw, ok := est.RawEstimate(q)
+		if !ok {
+			continue
+		}
+		modeled[i] = true
+		xs = append(xs, raw)
+		ys = append(ys, truths[i])
+	}
+	holdout := func() (float64, int) {
+		var sum float64
+		n := 0
+		for i, q := range queries {
+			if !modeled[i] {
+				continue
+			}
+			sum += math.Abs(est.Estimate(q) - truths[i])
+			n++
+		}
+		return sum, n
+	}
+	est.SetCalibration(nil)
+	rawSum, n := holdout()
+	cur := calib.Fit(xs, ys)
+	if cur == nil {
+		if n == 0 {
+			return nil, 0
+		}
+		return nil, rawSum / float64(n)
+	}
+	est.SetCalibration(cur)
+	calSum, _ := holdout()
+	if n == 0 {
+		return cur, 0
+	}
+	if rawSum < calSum {
+		est.SetCalibration(nil)
+		return nil, rawSum / float64(n)
+	}
+	return cur, calSum / float64(n)
+}
+
+// fitIndexCal fits a shard index's position-correction curve on held-out
+// queries mapping raw unscaled position predictions to the shard-local first
+// position, and installs it — with a full error-bound remeasure, so
+// trained-subset exactness is preserved (see
+// hybrid.Index.RecalibratePositions) — only when it improves the held-out
+// mean absolute position error over the raw predictions (the same
+// never-make-it-worse guard and prune-aligned skip predicate as
+// fitEstimatorCal). Returns the installed curve (nil when raw won) with the
+// winning error. Queries with no occurrence in the shard contribute nothing:
+// the curve corrects where the model points when a hit exists, and misses
+// are certified by the measured bounds, not the curve.
+func fitIndexCal(idx *core.SetIndex, sub *sets.Collection, maxSubset int, queries []sets.Set, skip func(sets.Set) bool) (*calib.Curve, float64) {
+	xs := make([]float64, 0, len(queries))
+	ys := make([]float64, 0, len(queries))
+	for _, q := range queries {
+		if skip != nil && skip(q) {
+			continue
+		}
+		truth := sub.FirstPosition(q)
+		if truth < 0 {
+			continue
+		}
+		raw, ok := idx.RawPosition(q)
+		if !ok {
+			continue
+		}
+		xs = append(xs, raw)
+		ys = append(ys, float64(truth))
+	}
+	cur := calib.Fit(xs, ys)
+	var rawSum, calSum float64
+	for i, x := range xs {
+		rawSum += math.Abs(x - ys[i])
+		if cur != nil {
+			calSum += math.Abs(cur.Apply(x) - ys[i])
+		}
+	}
+	n := len(xs)
+	if cur == nil || rawSum <= calSum {
+		if n == 0 {
+			return nil, 0
+		}
+		return nil, rawSum / float64(n)
+	}
+	idx.RecalibratePositions(cur, dataset.CollectSubsetsWithFull(sub, maxSubset).IndexSamples())
+	return cur, calSum / float64(n)
+}
+
+// EnableCalibration toggles the estimator's per-shard correction curves at
+// serving time (curves stay fitted either way, so the toggle is cheap and
+// reversible — the bench harness uses it to measure both columns from one
+// build). Note the measured error bounds are not remeasured on toggle; they
+// describe the calibrated container when the build calibrated.
+func (e *Estimator) EnableCalibration(on bool) {
+	e.calOn.Store(on)
+	for s := 0; s < e.k; s++ {
+		st := e.states[s].Load()
+		if st.est == nil {
+			continue
+		}
+		if on && st.cal != nil {
+			st.est.SetCalibration(st.cal)
+		} else {
+			st.est.SetCalibration(nil)
+		}
+	}
+}
+
+// Calibrated reports whether per-shard correction curves are being served.
+func (e *Estimator) Calibrated() bool { return e.calOn.Load() }
+
+// Calibrated reports whether any shard serves a position-correction curve.
+// The index has no disable toggle: its curves are installed together with
+// remeasured error bounds, and serving without the bounds' curve would
+// break trained-subset exactness.
+func (x *Index) Calibrated() bool {
+	for s := 0; s < x.k; s++ {
+		if x.states[s].Load().cal != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"setlearn/internal/core"
+	"setlearn/internal/sets"
+)
+
+// Calibration must survive a shard hot-swap the way precision does: the
+// retrained shard's fresh model has fresh errors, so RetrainShard refits the
+// swapped shard's curve on the persisted held-out workload — and none of it
+// may disturb the delta's read-own-write exactness, before or after the
+// swap.
+func TestCalibrationSurvivesRetrain(t *testing.T) {
+	c, _ := accuracyFixture()
+	m := accuracyModel()
+	m.Epochs = 2 // underfit so the isotonic curves beat raw and install
+	e, err := BuildShardedEstimator(c, Options{
+		Shards: 4, Partitioner: FrequencyBand, Calibrate: true,
+	}, core.EstimatorOptions{
+		Model: m, MaxSubset: testMaxSubset, Percentile: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Calibrated() {
+		t.Fatal("Calibrate build does not report calibration on")
+	}
+
+	// A fresh-element set answers exactly 1 from the owning shard's delta
+	// (every other shard presence-prunes it; the owner's model sees it as
+	// out-of-vocabulary, so only the delta contributes).
+	fresh := sets.New(c.MaxID()+11, c.MaxID()+17)
+	e.InsertSet(fresh.Clone())
+	sd := e.route.owner(fresh)
+	if got := e.Estimate(fresh); got != 1 {
+		t.Fatalf("read-own-write: Estimate(fresh) = %g, want exactly 1", got)
+	}
+
+	before := e.states[sd].Load()
+	if before.cal == nil {
+		t.Fatalf("shard %d installed no curve at build (underfit model should calibrate)", sd)
+	}
+	if err := e.RetrainShard(sd); err != nil {
+		t.Fatalf("retrain: %v", err)
+	}
+	after := e.states[sd].Load()
+	if after.est == before.est {
+		t.Fatal("retrain did not swap the shard estimator")
+	}
+	if after.cal == nil {
+		t.Fatalf("shard %d lost its calibration curve across the hot-swap", sd)
+	}
+	if after.cal == before.cal {
+		t.Fatal("retrain kept the stale curve instead of refitting for the fresh model")
+	}
+	if after.holdout < 0 || math.IsNaN(after.holdout) {
+		t.Fatalf("refitted held-out error %g", after.holdout)
+	}
+	if !e.Calibrated() {
+		t.Fatal("container toggle lost across retrain")
+	}
+	for _, stat := range e.ShardStats() {
+		if stat.Shard == sd && !stat.Calibrated {
+			t.Fatalf("shard %d stats report uncalibrated after recalibrating retrain", sd)
+		}
+	}
+
+	// Read-own-write exactness is untouched by the swap: a second fresh set
+	// inserted into the retrained shard's delta still answers exactly.
+	fresh2 := sets.New(e.MaxID()+23, e.MaxID()+29)
+	e.InsertSet(fresh2.Clone())
+	if got := e.Estimate(fresh2); got != 1 {
+		t.Fatalf("read-own-write after retrain: Estimate(fresh2) = %g, want exactly 1", got)
+	}
+
+	// The serving toggle governs the refit too: retrain under a disabled
+	// toggle fits the curve (so stats stay meaningful) but serves raw.
+	e.EnableCalibration(false)
+	e.InsertSet(sets.New(e.MaxID() + 31).Clone())
+	sd2 := e.StalestShard(1)
+	if sd2 < 0 {
+		t.Fatal("no stale shard after insert")
+	}
+	if err := e.RetrainShard(sd2); err != nil {
+		t.Fatalf("retrain under disabled toggle: %v", err)
+	}
+	if e.Calibrated() {
+		t.Fatal("retrain re-enabled a disabled toggle")
+	}
+	e.EnableCalibration(true)
+}
+
+// The index refits its position curve on retrain too — with remeasured
+// error bounds, so trained-subset exactness holds on the swapped shard.
+func TestIndexCalibrationSurvivesRetrain(t *testing.T) {
+	c, st := accuracyFixture()
+	m := accuracyModel()
+	m.Epochs = 2
+	x, err := BuildShardedIndex(c, Options{
+		Shards: 4, Partitioner: FrequencyBand, Calibrate: true,
+	}, core.IndexOptions{
+		Model: m, MaxSubset: testMaxSubset,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Delta read-own-write: a fresh set answers its exact position at once.
+	fresh := sets.New(c.MaxID()+41, c.MaxID()+43)
+	pos := x.InsertSet(fresh.Clone())
+	if got := x.Lookup(fresh); got != pos {
+		t.Fatalf("read-own-write: Lookup(fresh) = %d, want %d", got, pos)
+	}
+	sd := x.route.owner(fresh)
+	if err := x.RetrainShard(sd); err != nil {
+		t.Fatalf("retrain: %v", err)
+	}
+	// The absorbed set is a trained subset of the swapped shard now; its
+	// lookup stays exact (measured bounds certify it, curve or no curve).
+	if got := x.Lookup(fresh); got != pos {
+		t.Fatalf("absorbed set: Lookup(fresh) = %d, want %d", got, pos)
+	}
+	// Trained subsets keep exact first-position answers on every shard.
+	for _, key := range sampleKeys(st, 23) {
+		info := st.ByKey[key]
+		if got := x.Lookup(info.Set); got != info.FirstPos {
+			t.Fatalf("trained subset %v: Lookup = %d, want %d", info.Set, got, info.FirstPos)
+		}
+	}
+}

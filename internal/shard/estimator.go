@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"setlearn/internal/calib"
 	"setlearn/internal/core"
 	"setlearn/internal/dataset"
 	"setlearn/internal/deepsets"
@@ -24,6 +25,12 @@ type estShard struct {
 	global []int                      // global positions of the trained sets
 	delta  *hybrid.Delta
 	stat   BuildStat
+	// cal is the shard's fitted correction curve (nil when the build did not
+	// calibrate); holdout is the shard's held-out mean absolute error with
+	// cal applied. Both travel with the swap unit so a retrain replaces them
+	// atomically with the model.
+	cal     *calib.Curve
+	holdout float64
 }
 
 // auxOverride is one exact-cardinality override recorded by Update. The
@@ -45,6 +52,7 @@ type Estimator struct {
 	states  []atomic.Pointer[estShard]
 	k       int
 	part    Partitioner
+	route   *router // insert routing + freq-band query pruning; never nil
 	maxSub  int
 	maxID   atomic.Uint32
 	queries []atomic.Uint64
@@ -52,6 +60,11 @@ type Estimator struct {
 	opts *core.EstimatorOptions // scaled per-shard build options; nil: not retrainable
 	fast atomic.Pointer[core.FastPathOptions]
 	prec atomic.Int32 // core.Precision, remembered and re-applied on retrain
+
+	// calQueries is the held-out calibration workload (fixed at build so a
+	// retrain refits deterministically); calOn is the serving toggle.
+	calQueries []sets.Set
+	calOn      atomic.Bool
 
 	// auxMu guards aux and bounds. A retrain folds absorbed-insert counts
 	// into the overrides under the write lock in the same critical section
@@ -91,7 +104,12 @@ func BuildShardedEstimator(c *sets.Collection, o Options, opts core.EstimatorOpt
 	if opts.MaxSubset == 0 {
 		opts.MaxSubset = 3
 	}
-	subs, globals := partition(c, o.Shards, o.Partitioner)
+	subs, globals, rt, err := buildPartition(c, o.Shards, o.Partitioner, opts.Model.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rt.buildSupport(subs, opts.MaxSubset)
+	rawModel := opts.Model // unscaled; the stealer's width boost rescales from it
 	opts.Model = ScaleModel(opts.Model, o.Shards, o.Scaling)
 
 	var workload *dataset.SubsetStats
@@ -103,6 +121,7 @@ func BuildShardedEstimator(c *sets.Collection, o Options, opts core.EstimatorOpt
 		states:  make([]atomic.Pointer[estShard], o.Shards),
 		k:       o.Shards,
 		part:    o.Partitioner,
+		route:   rt,
 		maxSub:  opts.MaxSubset,
 		queries: make([]atomic.Uint64, o.Shards),
 		opts:    &opts,
@@ -115,52 +134,87 @@ func BuildShardedEstimator(c *sets.Collection, o Options, opts core.EstimatorOpt
 	if o.MeasureBounds {
 		e.bounds = make([]float64, o.Shards)
 	}
-	err = runBounded(o.Shards, o.Parallelism, func(s int) error {
-		st := &estShard{
-			sub:    subs[s],
-			global: globals[s],
-			delta:  hybrid.NewDelta(),
-			stat:   BuildStat{Shard: s, Sets: subs[s].Len()},
-		}
-		if subs[s].Len() > 0 {
-			so := opts
-			so.Model.Seed = e.baseSeed + int64(s)
-			t0 := time.Now()
-			est, err := core.BuildEstimator(subs[s], so)
+	if o.Calibrate {
+		e.calQueries = calibrationQueries(c, opts.MaxSubset, opts.Model.Seed)
+		e.calOn.Store(true)
+	}
+	if o.ErrorBudget > 0 {
+		err = e.buildWithStealing(subs, globals, o, opts, rawModel, workload)
+	} else {
+		err = runBounded(o.Shards, o.Parallelism, func(s int) error {
+			st, err := e.buildEstShard(s, subs[s], globals[s], opts, workload, o.Calibrate)
 			if err != nil {
-				return fmt.Errorf("shard %d: %w", s, err)
+				return err
 			}
-			st.est = est
-			st.stat.BuildSecs = time.Since(t0).Seconds()
-			st.stat.Bytes = est.SizeBytes()
-			if o.MeasureBounds {
-				e.bounds[s] = measureShardBound(est, subs[s], workload, opts.MaxSubset)
-				st.stat.ErrBound = e.bounds[s]
-			}
-		}
-		e.states[s].Store(st)
-		return nil
-	})
+			e.states[s].Store(st)
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
+	if o.MeasureBounds {
+		for s := 0; s < o.Shards; s++ {
+			e.bounds[s] = e.states[s].Load().stat.ErrBound
+		}
+	}
 	return e, nil
+}
+
+// buildEstShard builds one shard's swap unit at the given options: train the
+// shard model, fit its calibration curve (when calibrate is set), and
+// measure its error bound over the global workload (when workload is
+// non-nil). Safe to call concurrently for distinct shards.
+func (e *Estimator) buildEstShard(s int, sub *sets.Collection, global []int, so core.EstimatorOptions, workload *dataset.SubsetStats, calibrate bool) (*estShard, error) {
+	st := &estShard{
+		sub:    sub,
+		global: global,
+		delta:  hybrid.NewDelta(),
+		stat:   BuildStat{Shard: s, Sets: sub.Len()},
+	}
+	if sub.Len() == 0 {
+		return st, nil
+	}
+	so.Model.Seed = e.baseSeed + int64(s)
+	t0 := time.Now()
+	est, err := core.BuildEstimator(sub, so)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", s, err)
+	}
+	st.est = est
+	if calibrate {
+		skip := func(q sets.Set) bool { return e.route.prunes(s, q) }
+		st.cal, st.holdout = fitEstimatorCal(est, sub, e.calQueries, skip)
+		st.stat.HoldoutErr = st.holdout
+	}
+	st.stat.BuildSecs = time.Since(t0).Seconds()
+	st.stat.Bytes = est.SizeBytes()
+	if workload != nil {
+		st.stat.ErrBound = measureShardBound(e.route, s, est, sub, workload, so.MaxSubset)
+	}
+	return st, nil
 }
 
 // measureShardBound returns max over the global workload of
 // |shard estimate − shard truth|, where shard truth is the query's
 // cardinality within the shard's sub-collection (0 when absent). Because
 // per-shard truths sum to the global cardinality for every workload query,
-// these bounds compose additively across shards.
-func measureShardBound(est *core.CardinalityEstimator, sub *sets.Collection, workload *dataset.SubsetStats, maxSubset int) float64 {
+// these bounds compose additively across shards. Queries the router prunes
+// for this shard are served as exact 0 — and pruning is sound (a pruned
+// shard contains no superset of the query), so their error is exactly 0.
+func measureShardBound(rt *router, s int, est *core.CardinalityEstimator, sub *sets.Collection, workload *dataset.SubsetStats, maxSubset int) float64 {
 	local := dataset.CollectSubsets(sub, maxSubset)
 	var bound float64
 	for _, key := range workload.Keys {
+		q := workload.ByKey[key].Set
+		if rt.prunes(s, q) {
+			continue
+		}
 		var truth float64
 		if info, ok := local.ByKey[key]; ok {
 			truth = float64(info.Card)
 		}
-		if d := math.Abs(est.Estimate(workload.ByKey[key].Set) - truth); d > bound {
+		if d := math.Abs(est.Estimate(q) - truth); d > bound {
 			bound = d
 		}
 	}
@@ -169,14 +223,16 @@ func measureShardBound(est *core.CardinalityEstimator, sub *sets.Collection, wor
 
 // estimateShard returns one shard's contribution to the fan-in sum: the
 // model estimate over the trained sets plus the exact count over the
-// shard's pending delta.
+// shard's pending delta. A shard the router prunes for q contributes its
+// delta count only — the prune is exact, so the model's would-be estimate
+// is replaced by the true trained-set cardinality, 0.
 func (e *Estimator) estimateShard(st *estShard, s int, q sets.Set) float64 {
 	if e.hook != nil {
 		e.hook(s)
 	}
 	e.queries[s].Add(1)
 	total := st.delta.Count(q)
-	if st.est != nil {
+	if st.est != nil && !e.route.prunes(s, q) {
 		total += st.est.Estimate(q)
 	}
 	return total
@@ -264,7 +320,29 @@ func (e *Estimator) EstimateBatch(dst []float64, qs []sets.Set) []float64 {
 		if sts[s].est == nil {
 			return
 		}
-		per[s] = sts[s].est.EstimateBatch(nil, need)
+		if !e.route.hasPruning() {
+			per[s] = sts[s].est.EstimateBatch(nil, need)
+			return
+		}
+		// Scatter pruned queries as exact 0 contributions so the fan-in sum
+		// matches the single-query path bit for bit (x + 0.0 == x for the
+		// non-negative estimates here).
+		sel := make([]sets.Set, 0, len(need))
+		selAt := make([]int, 0, len(need))
+		for j, q := range need {
+			if !e.route.prunes(s, q) {
+				sel = append(sel, q)
+				selAt = append(selAt, j)
+			}
+		}
+		out := make([]float64, len(need))
+		if len(sel) > 0 {
+			vals := sts[s].est.EstimateBatch(nil, sel)
+			for i, j := range selAt {
+				out[j] = vals[i]
+			}
+		}
+		per[s] = out
 	})
 	hasDelta := make([]bool, e.k)
 	for s := range sts {
@@ -311,7 +389,9 @@ func (e *Estimator) Insert(s sets.Set, pos int) {
 		e.nextPos.Store(int64(pos) + 1)
 	}
 	e.logInsert(s, pos)
-	e.states[ownerShard(e.k, e.part, s)].Load().delta.Add(s, pos)
+	sd := e.route.owner(s)
+	e.route.noteInsert(sd, s)
+	e.states[sd].Load().delta.Add(s, pos)
 	e.insertMu.Unlock()
 }
 
@@ -322,7 +402,9 @@ func (e *Estimator) InsertSet(s sets.Set) int {
 	e.insertMu.Lock()
 	pos := int(e.nextPos.Add(1)) - 1
 	e.logInsert(s, pos)
-	e.states[ownerShard(e.k, e.part, s)].Load().delta.Add(s, pos)
+	sd := e.route.owner(s)
+	e.route.noteInsert(sd, s)
+	e.states[sd].Load().delta.Add(s, pos)
 	e.insertMu.Unlock()
 	return pos
 }
@@ -460,11 +542,13 @@ func (e *Estimator) ShardStats() []core.ShardStat {
 		st := e.states[s].Load()
 		pending := st.delta.Len()
 		cs := core.ShardStat{
-			Shard:   s,
-			Sets:    st.stat.Sets + pending,
-			Pending: pending,
-			Queries: e.queries[s].Load(),
-			PhiMode: "off",
+			Shard:      s,
+			Sets:       st.stat.Sets + pending,
+			Pending:    pending,
+			Queries:    e.queries[s].Load(),
+			PhiMode:    "off",
+			Calibrated: st.cal != nil && e.calOn.Load(),
+			HoldoutErr: st.holdout,
 		}
 		if st.est != nil {
 			cs.Bytes = st.est.SizeBytes()

@@ -38,6 +38,7 @@ type Filter struct {
 	states  []atomic.Pointer[fltShard]
 	k       int
 	part    Partitioner
+	route   *router // insert routing + freq-band query pruning; never nil
 	maxSub  int
 	maxID   atomic.Uint32
 	queries []atomic.Uint64
@@ -71,13 +72,18 @@ func BuildShardedFilter(c *sets.Collection, o Options, opts core.FilterOptions) 
 	if opts.MaxSubset == 0 {
 		opts.MaxSubset = 3
 	}
-	subs, globals := partition(c, o.Shards, o.Partitioner)
+	subs, globals, rt, err := buildPartition(c, o.Shards, o.Partitioner, opts.Model.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rt.buildSupport(subs, opts.MaxSubset)
 	opts.Model = ScaleModel(opts.Model, o.Shards, o.Scaling)
 
 	f := &Filter{
 		states:  make([]atomic.Pointer[fltShard], o.Shards),
 		k:       o.Shards,
 		part:    o.Partitioner,
+		route:   rt,
 		maxSub:  opts.MaxSubset,
 		queries: make([]atomic.Uint64, o.Shards),
 		opts:    &opts,
@@ -131,7 +137,9 @@ func (f *Filter) Contains(q sets.Set) bool {
 		if st.delta.Contains(q) {
 			return true
 		}
-		if st.flt != nil && st.flt.Contains(q) {
+		// A pruned shard provably holds no trained superset of q, so its
+		// trained filter's true answer is false; skip the consult.
+		if st.flt != nil && !f.route.prunes(s, q) && st.flt.Contains(q) {
 			return true
 		}
 	}
@@ -161,7 +169,27 @@ func (f *Filter) ContainsBatch(qs []sets.Set, workers int) []bool {
 		if sts[s].flt == nil {
 			return
 		}
-		per[s] = sts[s].flt.ContainsBatch(qs, 1)
+		if !f.route.hasPruning() {
+			per[s] = sts[s].flt.ContainsBatch(qs, 1)
+			return
+		}
+		// Scatter pruned queries as exact false, matching the single path.
+		sel := make([]sets.Set, 0, len(qs))
+		selAt := make([]int, 0, len(qs))
+		for j, q := range qs {
+			if !f.route.prunes(s, q) {
+				sel = append(sel, q)
+				selAt = append(selAt, j)
+			}
+		}
+		out := make([]bool, len(qs))
+		if len(sel) > 0 {
+			vals := sts[s].flt.ContainsBatch(sel, 1)
+			for i, j := range selAt {
+				out[j] = vals[i]
+			}
+		}
+		per[s] = out
 	})
 	hasDelta := make([]bool, f.k)
 	for s := range sts {
@@ -191,7 +219,9 @@ func (f *Filter) Insert(s sets.Set, pos int) {
 		f.nextPos.Store(int64(pos) + 1)
 	}
 	f.logInsert(s, pos)
-	f.states[ownerShard(f.k, f.part, s)].Load().delta.Add(s, pos)
+	sd := f.route.owner(s)
+	f.route.noteInsert(sd, s)
+	f.states[sd].Load().delta.Add(s, pos)
 	f.insertMu.Unlock()
 }
 
@@ -202,7 +232,9 @@ func (f *Filter) InsertSet(s sets.Set) int {
 	f.insertMu.Lock()
 	pos := int(f.nextPos.Add(1)) - 1
 	f.logInsert(s, pos)
-	f.states[ownerShard(f.k, f.part, s)].Load().delta.Add(s, pos)
+	sd := f.route.owner(s)
+	f.route.noteInsert(sd, s)
+	f.states[sd].Load().delta.Add(s, pos)
 	f.insertMu.Unlock()
 	return pos
 }

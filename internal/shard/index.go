@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"setlearn/internal/calib"
 	"setlearn/internal/core"
 	"setlearn/internal/deepsets"
 	"setlearn/internal/hybrid"
@@ -25,6 +26,13 @@ type indexShard struct {
 	global []int            // local → global position for trained sets
 	delta  *hybrid.Delta    // sets inserted after idx was trained
 	stat   BuildStat
+	// cal is the shard's fitted position-correction curve (nil without
+	// calibration); holdout is its held-out mean absolute position error
+	// with cal applied. The curve is also installed inside idx (whose error
+	// bounds are remeasured with it), so exactness for trained subsets is
+	// preserved; cal rides here for persistence and the retrain refit.
+	cal     *calib.Curve
+	holdout float64
 }
 
 // mutation is the write-side state shared by the three sharded containers.
@@ -79,6 +87,7 @@ type Index struct {
 	states  []atomic.Pointer[indexShard]
 	k       int
 	part    Partitioner
+	route   *router // insert routing + freq-band query pruning; never nil
 	maxSub  int
 	maxID   atomic.Uint32
 	queries []atomic.Uint64
@@ -86,6 +95,10 @@ type Index struct {
 	opts *core.IndexOptions // scaled per-shard build options; nil: not retrainable
 	fast atomic.Pointer[core.FastPathOptions]
 	prec atomic.Int32 // core.Precision, remembered and re-applied on retrain
+
+	// calQueries is the held-out calibration workload (fixed at build so a
+	// retrain refits deterministically; empty without calibration).
+	calQueries []sets.Set
 
 	// hook, when non-nil, runs at the start of every per-shard dispatch.
 	// Test-only (panic injection); set before use, never concurrently.
@@ -114,13 +127,18 @@ func BuildShardedIndex(c *sets.Collection, o Options, opts core.IndexOptions) (*
 	if opts.MaxSubset == 0 {
 		opts.MaxSubset = 3
 	}
-	subs, globals := partition(c, o.Shards, o.Partitioner)
+	subs, globals, rt, err := buildPartition(c, o.Shards, o.Partitioner, opts.Model.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rt.buildSupport(subs, opts.MaxSubset)
 	opts.Model = ScaleModel(opts.Model, o.Shards, o.Scaling)
 
 	x := &Index{
 		states:  make([]atomic.Pointer[indexShard], o.Shards),
 		k:       o.Shards,
 		part:    o.Partitioner,
+		route:   rt,
 		maxSub:  opts.MaxSubset,
 		queries: make([]atomic.Uint64, o.Shards),
 		opts:    &opts,
@@ -129,25 +147,13 @@ func BuildShardedIndex(c *sets.Collection, o Options, opts core.IndexOptions) (*
 	x.baseLen = c.Len()
 	x.baseSeed = opts.Model.Seed
 	x.nextPos.Store(int64(c.Len()))
+	if o.Calibrate {
+		x.calQueries = calibrationQueries(c, opts.MaxSubset, opts.Model.Seed)
+	}
 	err = runBounded(o.Shards, o.Parallelism, func(s int) error {
-		st := &indexShard{
-			sub:    subs[s],
-			global: globals[s],
-			delta:  hybrid.NewDelta(),
-			stat:   BuildStat{Shard: s, Sets: subs[s].Len()},
-		}
-		if subs[s].Len() > 0 {
-			so := opts
-			so.Model.Seed = x.baseSeed + int64(s)
-			t0 := time.Now()
-			idx, err := core.BuildIndex(subs[s], so)
-			if err != nil {
-				return fmt.Errorf("shard %d: %w", s, err)
-			}
-			st.idx = idx
-			st.stat.BuildSecs = time.Since(t0).Seconds()
-			st.stat.Bytes = idx.SizeBytes()
-			st.stat.MaxError = idx.MaxError()
+		st, err := x.buildIdxShard(s, subs[s], globals[s], opts, o.Calibrate)
+		if err != nil {
+			return err
 		}
 		x.states[s].Store(st)
 		return nil
@@ -156,6 +162,38 @@ func BuildShardedIndex(c *sets.Collection, o Options, opts core.IndexOptions) (*
 		return nil, err
 	}
 	return x, nil
+}
+
+// buildIdxShard builds one shard's swap unit: train the shard index and,
+// when calibrate is set, fit and install its position-correction curve
+// (which remeasures the index's error bounds, preserving trained-subset
+// exactness). Safe to call concurrently for distinct shards.
+func (x *Index) buildIdxShard(s int, sub *sets.Collection, global []int, so core.IndexOptions, calibrate bool) (*indexShard, error) {
+	st := &indexShard{
+		sub:    sub,
+		global: global,
+		delta:  hybrid.NewDelta(),
+		stat:   BuildStat{Shard: s, Sets: sub.Len()},
+	}
+	if sub.Len() == 0 {
+		return st, nil
+	}
+	so.Model.Seed = x.baseSeed + int64(s)
+	t0 := time.Now()
+	idx, err := core.BuildIndex(sub, so)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", s, err)
+	}
+	st.idx = idx
+	if calibrate {
+		skip := func(q sets.Set) bool { return x.route.prunes(s, q) }
+		st.cal, st.holdout = fitIndexCal(idx, sub, so.MaxSubset, x.calQueries, skip)
+		st.stat.HoldoutErr = st.holdout
+	}
+	st.stat.BuildSecs = time.Since(t0).Seconds()
+	st.stat.Bytes = idx.SizeBytes()
+	st.stat.MaxError = idx.MaxError()
+	return st, nil
 }
 
 // lookupShard answers q on one shard's loaded state and maps the hit to a
@@ -167,7 +205,9 @@ func (x *Index) lookupShard(st *indexShard, s int, q sets.Set, equal bool) int {
 	}
 	x.queries[s].Add(1)
 	best := st.delta.FirstPos(q, equal)
-	if st.idx == nil {
+	if st.idx == nil || x.route.prunes(s, q) {
+		// A pruned shard provably holds no trained superset of q, so its
+		// trained answer is exactly -1; only the delta can contribute.
 		return best
 	}
 	var local int
@@ -240,7 +280,31 @@ func (x *Index) LookupBatch(dst []int, qs []sets.Set, equal bool) []int {
 		if sts[s].idx == nil {
 			return
 		}
-		per[s] = sts[s].idx.LookupBatch(nil, qs, equal)
+		if !x.route.hasPruning() {
+			per[s] = sts[s].idx.LookupBatch(nil, qs, equal)
+			return
+		}
+		// Scatter pruned queries as exact misses (-1), matching the
+		// single-query path: a pruned shard holds no trained superset.
+		sel := make([]sets.Set, 0, len(qs))
+		selAt := make([]int, 0, len(qs))
+		for j, q := range qs {
+			if !x.route.prunes(s, q) {
+				sel = append(sel, q)
+				selAt = append(selAt, j)
+			}
+		}
+		out := make([]int, len(qs))
+		for j := range out {
+			out[j] = -1
+		}
+		if len(sel) > 0 {
+			vals := sts[s].idx.LookupBatch(nil, sel, equal)
+			for i, j := range selAt {
+				out[j] = vals[i]
+			}
+		}
+		per[s] = out
 	})
 	hasDelta := make([]bool, x.k)
 	for s := range sts {
@@ -282,7 +346,9 @@ func (x *Index) Insert(s sets.Set, pos int) {
 		x.nextPos.Store(int64(pos) + 1)
 	}
 	x.logInsert(s, pos)
-	x.states[ownerShard(x.k, x.part, s)].Load().delta.Add(s, pos)
+	sd := x.route.owner(s)
+	x.route.noteInsert(sd, s)
+	x.states[sd].Load().delta.Add(s, pos)
 	x.insertMu.Unlock()
 }
 
@@ -294,7 +360,9 @@ func (x *Index) InsertSet(s sets.Set) int {
 	x.insertMu.Lock()
 	pos := int(x.nextPos.Add(1)) - 1
 	x.logInsert(s, pos)
-	x.states[ownerShard(x.k, x.part, s)].Load().delta.Add(s, pos)
+	sd := x.route.owner(s)
+	x.route.noteInsert(sd, s)
+	x.states[sd].Load().delta.Add(s, pos)
 	x.insertMu.Unlock()
 	return pos
 }
@@ -414,11 +482,13 @@ func (x *Index) ShardStats() []core.ShardStat {
 		st := x.states[s].Load()
 		pending := st.delta.Len()
 		cs := core.ShardStat{
-			Shard:   s,
-			Sets:    len(st.global) + pending,
-			Pending: pending,
-			Queries: x.queries[s].Load(),
-			PhiMode: "off",
+			Shard:      s,
+			Sets:       len(st.global) + pending,
+			Pending:    pending,
+			Queries:    x.queries[s].Load(),
+			PhiMode:    "off",
+			Calibrated: st.cal != nil,
+			HoldoutErr: st.holdout,
 		}
 		if st.idx != nil {
 			cs.Bytes = st.idx.SizeBytes()

@@ -4,10 +4,12 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync/atomic"
 
 	"setlearn/internal/blockio"
+	"setlearn/internal/calib"
 	"setlearn/internal/core"
 	"setlearn/internal/hybrid"
 	"setlearn/internal/sets"
@@ -32,6 +34,15 @@ import (
 // and background retrains can resume with the original deterministic
 // configuration. Version-1 streams still load; they come up with empty
 // deltas and no retrain state.
+//
+// Format version 3 adds the error-aware sharding state: per-shard
+// calibration curves with their held-out workload and errors (so a reload
+// serves calibrated and a later retrain refits deterministically), and the
+// partitioner assignment tables — the frequency-band score table and
+// bounds, or the embedding-cluster centroids plus pilot-model parameters —
+// so inserts keep routing consistently after a reload. The freq/cluster
+// partitioner codes are only legal at version ≥ 3. Version-1/2 streams
+// still load, with nil calibration and stateless routing.
 
 // Magic is the 8-byte sharded-container signature.
 const Magic = "SLSHRD1\x00"
@@ -41,7 +52,11 @@ func IsShardedMagic(b []byte) bool {
 	return len(b) >= len(Magic) && string(b[:len(Magic)]) == Magic
 }
 
-const formatVersion = 2
+const formatVersion = 3
+
+// maxCalQueries bounds the persisted held-out workload a decoded header may
+// demand (the build draws calQueryCount; the slack covers future growth).
+const maxCalQueries = 1 << 16
 
 type containerHeader struct {
 	Version     int
@@ -65,6 +80,40 @@ type containerHeader struct {
 	IndexOpts    *core.IndexOptions
 	EstOpts      *core.EstimatorOptions
 	FltOpts      *core.FilterOptions
+
+	// Error-aware sharding state (version ≥ 3; zero values in v1/v2
+	// streams). CalX/CalY are per-shard calibration-curve knots (nil entry:
+	// no curve for that shard); CalQueries is the persisted held-out
+	// workload retrains refit on; HoldoutErrs is parallel per-shard.
+	CalOn       bool // estimator only: calibration serving toggle
+	CalX        [][]float64
+	CalY        [][]float64
+	CalQueries  [][]uint32 // canonical element lists
+	HoldoutErrs []float64
+
+	// Per-shard element-presence bitmaps (all partitioners, K > 1): the
+	// exact vocabulary prune's state. Nil in pre-v3 streams (pruning stays
+	// off); a nil row leaves that one shard unpruned.
+	Present [][]uint64
+
+	// Per-shard subset-support Bloom filters and their saturation flags
+	// (all partitioners, K > 1). Same nil conventions as Present; rows must
+	// be power-of-two sized.
+	Support    [][]uint64
+	SupportSat []bool
+
+	// FrequencyBand assignment table: the build-time element frequency
+	// scores (sorted ids + parallel counts) and per-shard score bounds.
+	FreqIDs    []uint32
+	FreqCounts []int64
+	FreqBounds []int64
+
+	// EmbedCluster assignment table: the k-means centroids and the pilot
+	// model parameters needed to rebuild the embedding deterministically.
+	Centroids  [][]float64
+	PilotSeed  int64
+	PilotMaxID uint32
+	PilotDim   int
 }
 
 func writeMagic(w io.Writer) error {
@@ -97,8 +146,11 @@ func readContainerHeader(r io.Reader, kind string) (containerHeader, error) {
 	if hdr.Shards < 1 || hdr.Shards > maxShards {
 		return hdr, fmt.Errorf("shard: shard count %d out of range [1, %d]", hdr.Shards, maxShards)
 	}
-	if p := Partitioner(hdr.Partitioner); p != HashBySet && p != RangeByPosition {
-		return hdr, fmt.Errorf("shard: unknown partitioner %d", hdr.Partitioner)
+	switch p := Partitioner(hdr.Partitioner); {
+	case p == HashBySet || p == RangeByPosition:
+	case (p == FrequencyBand || p == EmbedCluster) && hdr.Version >= 3:
+	default:
+		return hdr, fmt.Errorf("shard: unknown partitioner %d for version %d", hdr.Partitioner, hdr.Version)
 	}
 	if len(hdr.ShardSets) != hdr.Shards {
 		return hdr, fmt.Errorf("shard: header lists %d shard sizes for %d shards", len(hdr.ShardSets), hdr.Shards)
@@ -212,6 +264,194 @@ func validateGlobals(hdr containerHeader) error {
 	return nil
 }
 
+// routerToHeader records the router's assignment tables in the header
+// (nothing for stateless hash/range routing or the K=1 degenerate forms).
+func routerToHeader(rt *router, hdr *containerHeader) {
+	hdr.Present = rt.presenceWords()
+	hdr.Support, hdr.SupportSat = rt.supportToWords()
+	if rt.freq != nil {
+		hdr.FreqIDs = rt.freq.ids
+		hdr.FreqCounts = rt.freq.counts
+		hdr.FreqBounds = rt.freq.bounds
+	}
+	if rt.clust != nil {
+		hdr.Centroids = rt.clust.centroids
+		hdr.PilotSeed = rt.clust.seed
+		hdr.PilotMaxID = rt.clust.maxID
+		hdr.PilotDim = rt.clust.dim
+	}
+}
+
+// routerFromHeader validates the persisted assignment tables and rebuilds
+// the router. This is a fuzz surface: every malformed table errors, so a
+// load never routes inserts — or prunes queries — from garbage.
+func routerFromHeader(hdr containerHeader) (*router, error) {
+	p := Partitioner(hdr.Partitioner)
+	rt := newRouter(hdr.Shards, p)
+	if hdr.Present != nil {
+		if len(hdr.Present) != hdr.Shards {
+			return nil, fmt.Errorf("shard: %d presence bitmaps for %d shards", len(hdr.Present), hdr.Shards)
+		}
+		if hdr.Shards > 1 {
+			rt.present = presenceFromWords(hdr.Present)
+		}
+	}
+	if hdr.Support != nil {
+		if len(hdr.Support) != hdr.Shards {
+			return nil, fmt.Errorf("shard: %d support filters for %d shards", len(hdr.Support), hdr.Shards)
+		}
+		if len(hdr.SupportSat) != hdr.Shards {
+			return nil, fmt.Errorf("shard: %d support saturation flags for %d shards", len(hdr.SupportSat), hdr.Shards)
+		}
+		for s, row := range hdr.Support {
+			if row == nil {
+				continue
+			}
+			if len(row) < 1 || len(row) > supportMaxWords || len(row)&(len(row)-1) != 0 {
+				return nil, fmt.Errorf("shard: support filter %d has %d words (want a power of two ≤ %d)", s, len(row), supportMaxWords)
+			}
+		}
+		if hdr.Shards > 1 {
+			rt.support = supportFromHeader(hdr.Support, hdr.SupportSat)
+			rt.maxSub = hdr.MaxSubset
+		}
+	}
+	switch {
+	case p == FrequencyBand && hdr.Shards > 1:
+		if len(hdr.FreqIDs) != len(hdr.FreqCounts) {
+			return nil, fmt.Errorf("shard: %d frequency ids for %d counts", len(hdr.FreqIDs), len(hdr.FreqCounts))
+		}
+		if len(hdr.FreqBounds) != hdr.Shards {
+			return nil, fmt.Errorf("shard: %d frequency bounds for %d shards", len(hdr.FreqBounds), hdr.Shards)
+		}
+		f := &freqRouter{
+			ids:    hdr.FreqIDs,
+			counts: hdr.FreqCounts,
+			byID:   make(map[uint32]int64, len(hdr.FreqIDs)),
+			bounds: hdr.FreqBounds,
+		}
+		for i, id := range f.ids {
+			if i > 0 && id <= f.ids[i-1] {
+				return nil, fmt.Errorf("shard: frequency ids not strictly increasing at %d", i)
+			}
+			if f.counts[i] < 1 {
+				return nil, fmt.Errorf("shard: frequency count %d for element %d out of range", f.counts[i], id)
+			}
+			f.byID[id] = f.counts[i]
+		}
+		for s, b := range f.bounds {
+			if b < 0 || (s > 0 && b < f.bounds[s-1]) {
+				return nil, fmt.Errorf("shard: frequency bounds not non-decreasing at shard %d", s)
+			}
+		}
+		rt.freq = f
+	case p == EmbedCluster && hdr.Shards > 1:
+		if len(hdr.Centroids) != hdr.Shards {
+			return nil, fmt.Errorf("shard: %d centroids for %d shards", len(hdr.Centroids), hdr.Shards)
+		}
+		if hdr.PilotDim < 1 || hdr.PilotDim > maxPilotDim {
+			return nil, fmt.Errorf("shard: pilot dimension %d out of range [1, %d]", hdr.PilotDim, maxPilotDim)
+		}
+		for s, cent := range hdr.Centroids {
+			if len(cent) != hdr.PilotDim {
+				return nil, fmt.Errorf("shard: centroid %d has %d dimensions, want %d", s, len(cent), hdr.PilotDim)
+			}
+			for _, v := range cent {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("shard: centroid %d is not finite", s)
+				}
+			}
+		}
+		cl, err := newClusterRouter(hdr.Centroids, hdr.PilotDim, hdr.PilotMaxID, hdr.PilotSeed)
+		if err != nil {
+			return nil, err
+		}
+		rt.clust = cl
+	}
+	return rt, nil
+}
+
+// calToHeader records the held-out calibration workload and the per-shard
+// curves/errors in the header; a container that never calibrated emits
+// nothing (keeping v3 bytes of uncalibrated containers minimal and the
+// save→load→save round trip byte-identical).
+func calToHeader(hdr *containerHeader, queries []sets.Set, curves []*calib.Curve, holdouts []float64) {
+	any := len(queries) > 0
+	for _, c := range curves {
+		if c != nil {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	hdr.CalQueries = make([][]uint32, len(queries))
+	for i, q := range queries {
+		hdr.CalQueries[i] = q
+	}
+	hdr.CalX = make([][]float64, len(curves))
+	hdr.CalY = make([][]float64, len(curves))
+	hdr.HoldoutErrs = holdouts
+	for s, c := range curves {
+		if c != nil {
+			hdr.CalX[s] = c.X
+			hdr.CalY[s] = c.Y
+		}
+	}
+}
+
+// decodeCalibration validates and decodes the persisted calibration state.
+// Fuzz surface: any malformed curve, workload, or error list errors out —
+// a load never serves through a garbage correction.
+func decodeCalibration(hdr containerHeader) (queries []sets.Set, curves []*calib.Curve, holdouts []float64, err error) {
+	curves = make([]*calib.Curve, hdr.Shards)
+	holdouts = make([]float64, hdr.Shards)
+	if len(hdr.CalQueries) > maxCalQueries {
+		return nil, nil, nil, fmt.Errorf("shard: %d calibration queries exceed cap %d", len(hdr.CalQueries), maxCalQueries)
+	}
+	if len(hdr.CalQueries) > 0 {
+		queries = make([]sets.Set, len(hdr.CalQueries))
+		for i, ids := range hdr.CalQueries {
+			q, err := canonicalSet(ids)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("shard: calibration query %d: %w", i, err)
+			}
+			if len(q) == 0 {
+				return nil, nil, nil, fmt.Errorf("shard: calibration query %d is empty", i)
+			}
+			queries[i] = q
+		}
+	}
+	if hdr.CalX == nil && hdr.CalY == nil && hdr.HoldoutErrs == nil {
+		return queries, curves, holdouts, nil
+	}
+	if len(hdr.CalX) != hdr.Shards || len(hdr.CalY) != hdr.Shards {
+		return nil, nil, nil, fmt.Errorf("shard: calibration curves for %d/%d shards, want %d", len(hdr.CalX), len(hdr.CalY), hdr.Shards)
+	}
+	if hdr.HoldoutErrs != nil {
+		if len(hdr.HoldoutErrs) != hdr.Shards {
+			return nil, nil, nil, fmt.Errorf("shard: %d held-out errors for %d shards", len(hdr.HoldoutErrs), hdr.Shards)
+		}
+		for s, h := range hdr.HoldoutErrs {
+			if math.IsNaN(h) || math.IsInf(h, 0) || h < 0 {
+				return nil, nil, nil, fmt.Errorf("shard: shard %d held-out error %g out of range", s, h)
+			}
+		}
+		copy(holdouts, hdr.HoldoutErrs)
+	}
+	for s := 0; s < hdr.Shards; s++ {
+		if len(hdr.CalX[s]) == 0 && len(hdr.CalY[s]) == 0 {
+			continue
+		}
+		cur := &calib.Curve{X: hdr.CalX[s], Y: hdr.CalY[s]}
+		if err := cur.Validate(); err != nil {
+			return nil, nil, nil, fmt.Errorf("shard: shard %d calibration curve: %w", s, err)
+		}
+		curves[s] = cur
+	}
+	return queries, curves, holdouts, nil
+}
+
 func writeContainerHeader(w io.Writer, hdr containerHeader) error {
 	if err := writeMagic(w); err != nil {
 		return fmt.Errorf("shard: write magic: %w", err)
@@ -284,10 +524,16 @@ func (x *Index) Save(w io.Writer) error {
 	}
 	x.fillMutation(&hdr, deltas)
 	x.insertMu.Unlock()
+	curves := make([]*calib.Curve, x.k)
+	holdouts := make([]float64, x.k)
 	for s := 0; s < x.k; s++ {
 		hdr.ShardSets[s] = len(sts[s].global)
 		hdr.Globals[s] = sts[s].global
+		curves[s] = sts[s].cal
+		holdouts[s] = sts[s].holdout
 	}
+	routerToHeader(x.route, &hdr)
+	calToHeader(&hdr, x.calQueries, curves, holdouts)
 	if err := writeContainerHeader(w, hdr); err != nil {
 		return err
 	}
@@ -323,6 +569,14 @@ func LoadShardedIndex(r io.Reader, c *sets.Collection) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt, err := routerFromHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	calQueries, curves, holdouts, err := decodeCalibration(hdr)
+	if err != nil {
+		return nil, err
+	}
 	if hdr.Version < 2 {
 		// v1 resolved every position through the collection.
 		ms.baseLen = c.Len()
@@ -335,10 +589,12 @@ func LoadShardedIndex(r io.Reader, c *sets.Collection) (*Index, error) {
 		states:  make([]atomic.Pointer[indexShard], hdr.Shards),
 		k:       hdr.Shards,
 		part:    Partitioner(hdr.Partitioner),
+		route:   rt,
 		maxSub:  hdr.MaxSubset,
 		queries: make([]atomic.Uint64, hdr.Shards),
 		opts:    hdr.IndexOpts,
 	}
+	x.calQueries = calQueries
 	x.baseLen = ms.baseLen
 	x.baseSeed = ms.baseSeed
 	x.nextPos.Store(ms.nextPos)
@@ -357,10 +613,12 @@ func LoadShardedIndex(r io.Reader, c *sets.Collection) (*Index, error) {
 			maxID = id
 		}
 		st := &indexShard{
-			sub:    sub,
-			global: hdr.Globals[s],
-			delta:  hybrid.NewDeltaFrom(ms.deltas[s]),
-			stat:   BuildStat{Shard: s, Sets: sub.Len()},
+			sub:     sub,
+			global:  hdr.Globals[s],
+			delta:   hybrid.NewDeltaFrom(ms.deltas[s]),
+			stat:    BuildStat{Shard: s, Sets: sub.Len(), HoldoutErr: holdouts[s]},
+			cal:     curves[s],
+			holdout: holdouts[s],
 		}
 		block, err := blockio.Read(r)
 		if err != nil {
@@ -376,6 +634,12 @@ func LoadShardedIndex(r io.Reader, c *sets.Collection) (*Index, error) {
 		idx, err := core.LoadIndex(block, sub)
 		if err != nil {
 			return nil, fmt.Errorf("shard: load shard %d: %w", s, err)
+		}
+		if st.cal != nil {
+			// Install-only: the persisted error bounds were measured with
+			// the curve active, so no remeasure is needed (or wanted — it
+			// must match the pre-save serving state exactly).
+			idx.SetPositionCalibration(st.cal)
 		}
 		st.idx = idx
 		st.stat.Bytes = idx.SizeBytes()
@@ -421,10 +685,17 @@ func (e *Estimator) Save(w io.Writer) error {
 	}
 	e.auxMu.RUnlock()
 	e.insertMu.Unlock()
+	curves := make([]*calib.Curve, e.k)
+	holdouts := make([]float64, e.k)
 	for s := 0; s < e.k; s++ {
 		hdr.ShardSets[s] = sts[s].stat.Sets
 		hdr.Globals[s] = sts[s].global
+		curves[s] = sts[s].cal
+		holdouts[s] = sts[s].holdout
 	}
+	hdr.CalOn = e.calOn.Load()
+	routerToHeader(e.route, &hdr)
+	calToHeader(&hdr, e.calQueries, curves, holdouts)
 	if err := writeContainerHeader(w, hdr); err != nil {
 		return err
 	}
@@ -463,16 +734,27 @@ func LoadShardedEstimator(r io.Reader) (*Estimator, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt, err := routerFromHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	calQueries, curves, holdouts, err := decodeCalibration(hdr)
+	if err != nil {
+		return nil, err
+	}
 	e := &Estimator{
 		states:  make([]atomic.Pointer[estShard], hdr.Shards),
 		k:       hdr.Shards,
 		part:    Partitioner(hdr.Partitioner),
+		route:   rt,
 		maxSub:  hdr.MaxSubset,
 		aux:     make(map[string]auxOverride, len(hdr.AuxKeys)),
 		bounds:  hdr.Bounds,
 		queries: make([]atomic.Uint64, hdr.Shards),
 		opts:    hdr.EstOpts,
 	}
+	e.calQueries = calQueries
+	e.calOn.Store(hdr.CalOn)
 	e.baseLen = ms.baseLen
 	e.baseSeed = ms.baseSeed
 	e.nextPos.Store(ms.nextPos)
@@ -487,8 +769,10 @@ func LoadShardedEstimator(r io.Reader) (*Estimator, error) {
 	var maxID uint32
 	for s := 0; s < hdr.Shards; s++ {
 		st := &estShard{
-			delta: hybrid.NewDeltaFrom(ms.deltas[s]),
-			stat:  BuildStat{Shard: s, Sets: hdr.ShardSets[s]},
+			delta:   hybrid.NewDeltaFrom(ms.deltas[s]),
+			stat:    BuildStat{Shard: s, Sets: hdr.ShardSets[s], HoldoutErr: holdouts[s]},
+			cal:     curves[s],
+			holdout: holdouts[s],
 		}
 		if hdr.Version >= 2 {
 			st.global = hdr.Globals[s]
@@ -510,6 +794,9 @@ func LoadShardedEstimator(r io.Reader) (*Estimator, error) {
 		est, err := core.LoadCardinalityEstimator(block)
 		if err != nil {
 			return nil, fmt.Errorf("shard: load shard %d: %w", s, err)
+		}
+		if hdr.CalOn && st.cal != nil {
+			est.SetCalibration(st.cal)
 		}
 		st.est = est
 		st.stat.Bytes = est.SizeBytes()
@@ -544,6 +831,7 @@ func (f *Filter) Save(w io.Writer) error {
 	}
 	f.fillMutation(&hdr, deltas)
 	f.insertMu.Unlock()
+	routerToHeader(f.route, &hdr)
 	for s := 0; s < f.k; s++ {
 		hdr.ShardSets[s] = sts[s].stat.Sets
 		hdr.Globals[s] = sts[s].global
@@ -579,10 +867,15 @@ func LoadShardedFilter(r io.Reader) (*Filter, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt, err := routerFromHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
 	f := &Filter{
 		states:  make([]atomic.Pointer[fltShard], hdr.Shards),
 		k:       hdr.Shards,
 		part:    Partitioner(hdr.Partitioner),
+		route:   rt,
 		maxSub:  hdr.MaxSubset,
 		queries: make([]atomic.Uint64, hdr.Shards),
 		opts:    hdr.FltOpts,

@@ -246,11 +246,15 @@ func TestShardedLoadTruncatedNeverPanics(t *testing.T) {
 // TestWriteFuzzSeedCorpus (SHARD_WRITE_CORPUS=1).
 func FuzzLoadSharded(f *testing.F) {
 	fc := buildIOCorpus(f)
+	_, cardFreq, idxClust := buildIOV3Corpus(f)
 	f.Add(byte(0), fc.index)
 	f.Add(byte(1), fc.card)
 	f.Add(byte(2), fc.member)
 	f.Add(byte(0), fc.card)
 	f.Add(byte(2), fc.card)
+	f.Add(byte(1), cardFreq) // calibrated freq container, full v3 header
+	f.Add(byte(0), idxClust) // calibrated cluster container, centroid table
+	f.Add(byte(2), cardFreq) // v3 frame against the wrong loader
 	f.Add(byte(1), []byte(Magic))
 	f.Add(byte(1), []byte("garbage that is not a container"))
 	f.Fuzz(func(t *testing.T, which byte, data []byte) {
@@ -308,4 +312,8 @@ func TestWriteFuzzSeedCorpus(t *testing.T) {
 	write("seed-member", 2, fc.member)
 	write("seed-cross", 0, fc.card)
 	write("seed-magic-only", 1, []byte(Magic))
+	_, cardFreq, idxClust := buildIOV3Corpus(t)
+	write("seed-card-freq-v3", 1, cardFreq)
+	write("seed-index-clust-v3", 0, idxClust)
+	write("seed-cross-v3", 2, cardFreq)
 }

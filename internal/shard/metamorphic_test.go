@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"setlearn/internal/core"
 	"setlearn/internal/sets"
 )
 
@@ -69,6 +70,150 @@ func TestShardCountInvariance(t *testing.T) {
 				se.Update(over, 7.5)
 				if got := se.Estimate(over); got != 7.5 {
 					t.Fatalf("K=%d: override estimate = %g, want 7.5", k, got)
+				}
+			}
+		})
+	}
+}
+
+// TestFreqBandRelabelingInvariance: the frequency-band partition depends on
+// element frequencies, never on element identities. Under any bijective
+// relabeling of the vocabulary the per-position shard assignment, the band
+// bounds, and every freq-score prune decision must be identical — the
+// partitioner sorts by (score, position) and a relabeling preserves both
+// keys. (Model outputs are not invariant — embeddings are indexed by id —
+// so the property is asserted at the partition layer, where it is exact.)
+func TestFreqBandRelabelingInvariance(t *testing.T) {
+	c, st := testCollection(t)
+	relabel := func(e uint32) uint32 { return c.MaxID() + 1 - e } // order-reversing bijection
+	c2 := &sets.Collection{}
+	for pos := 0; pos < c.Len(); pos++ {
+		s := c.At(pos)
+		ids := make([]uint32, len(s))
+		for i, e := range s {
+			ids[i] = relabel(e)
+		}
+		c2.Append(sets.New(ids...))
+	}
+	keys := sampleKeys(st, 5)
+	for _, k := range testKs {
+		_, globals1, rt1, err := buildPartition(c, k, FrequencyBand, testModel().Seed)
+		if err != nil {
+			t.Fatalf("K=%d: partition: %v", k, err)
+		}
+		_, globals2, rt2, err := buildPartition(c2, k, FrequencyBand, testModel().Seed)
+		if err != nil {
+			t.Fatalf("K=%d: relabeled partition: %v", k, err)
+		}
+		for s := 0; s < k; s++ {
+			if a, b := globals1[s], globals2[s]; len(a) != len(b) {
+				t.Fatalf("K=%d shard %d: %d positions vs %d relabeled", k, s, len(a), len(b))
+			} else {
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("K=%d shard %d: position list diverges at %d (%d vs %d)",
+							k, s, i, a[i], b[i])
+					}
+				}
+			}
+		}
+		if k == 1 {
+			continue // no freq state at K=1 (identity partition)
+		}
+		for s := 0; s < k; s++ {
+			if rt1.freq.bounds[s] != rt2.freq.bounds[s] {
+				t.Fatalf("K=%d shard %d: bound %d vs relabeled %d",
+					k, s, rt1.freq.bounds[s], rt2.freq.bounds[s])
+			}
+		}
+		for _, key := range keys {
+			q := st.ByKey[key].Set
+			ids := make([]uint32, len(q))
+			for i, e := range q {
+				ids[i] = relabel(e)
+			}
+			q2 := sets.New(ids...)
+			if a, b := rt1.freq.score(q), rt2.freq.score(q2); a != b {
+				t.Fatalf("K=%d: score(%v)=%d but relabeled score=%d", k, q, a, b)
+			}
+			for s := 0; s < k; s++ {
+				p1 := rt1.freq.score(q) > rt1.freq.bounds[s]
+				p2 := rt2.freq.score(q2) > rt2.freq.bounds[s]
+				if p1 != p2 {
+					t.Fatalf("K=%d shard %d: freq prune %v but relabeled %v", k, s, p1, p2)
+				}
+			}
+		}
+	}
+}
+
+// TestInsertOrderInvariance: the order a batch of inserts arrives in must
+// not change any answer once all have landed. Everything an insert touches
+// is commutative — delta counts, first-position minima over explicit
+// positions, presence bitmap ORs, support filter bit ORs — and two
+// containers built from the same options are bit-identical, so the two
+// insert orders must serve bit-equal answers on every surface.
+func TestInsertOrderInvariance(t *testing.T) {
+	c, st := testCollection(t)
+	base := c.Len()
+	var batch []sets.Set
+	for i := 0; i < 6; i++ {
+		e := c.MaxID() + uint32(3*i)
+		batch = append(batch, sets.New(e+1, e+2, c.At(i)[0]))
+	}
+	var probes []sets.Set
+	for _, s := range batch {
+		probes = append(probes, s, sets.New(s[0]), sets.New(s[0], s[1]))
+	}
+	for _, key := range sampleKeys(st, 9) {
+		probes = append(probes, st.ByKey[key].Set)
+	}
+	for _, p := range []Partitioner{FrequencyBand, EmbedCluster} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			build := func() (*Estimator, *Index, *Filter) {
+				o := Options{Shards: 4, Partitioner: p}
+				se, err := BuildShardedEstimator(c, o, core.EstimatorOptions{
+					Model: testModel(), MaxSubset: testMaxSubset, Percentile: 90,
+				})
+				if err != nil {
+					t.Fatalf("estimator: %v", err)
+				}
+				sx, err := BuildShardedIndex(c, o, core.IndexOptions{
+					Model: testModel(), MaxSubset: testMaxSubset,
+				})
+				if err != nil {
+					t.Fatalf("index: %v", err)
+				}
+				sf, err := BuildShardedFilter(c, o, core.FilterOptions{
+					Model: testModel(), MaxSubset: testMaxSubset,
+				})
+				if err != nil {
+					t.Fatalf("filter: %v", err)
+				}
+				return se, sx, sf
+			}
+			e1, x1, f1 := build()
+			e2, x2, f2 := build()
+			for i, s := range batch { // forward order
+				e1.Insert(s, base+i)
+				x1.Insert(s, base+i)
+				f1.Insert(s, base+i)
+			}
+			for i := len(batch) - 1; i >= 0; i-- { // reverse order
+				e2.Insert(batch[i], base+i)
+				x2.Insert(batch[i], base+i)
+				f2.Insert(batch[i], base+i)
+			}
+			for _, q := range probes {
+				if a, b := e1.Estimate(q), e2.Estimate(q); a != b {
+					t.Fatalf("Estimate(%v): forward %g, reverse %g", q, a, b)
+				}
+				if a, b := x1.Lookup(q), x2.Lookup(q); a != b {
+					t.Fatalf("Lookup(%v): forward %d, reverse %d", q, a, b)
+				}
+				if a, b := f1.Contains(q), f2.Contains(q); a != b {
+					t.Fatalf("Contains(%v): forward %v, reverse %v", q, a, b)
 				}
 			}
 		})

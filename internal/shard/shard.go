@@ -48,6 +48,18 @@ const (
 	// by position, so an index fan-out can stop at the first shard that
 	// answers. Inserts (which append) route to the last shard.
 	RangeByPosition
+	// FrequencyBand scores each set by the corpus frequency of its most
+	// frequent element and cuts the score order into K equal-count bands,
+	// so each shard sees a coherent slice of the Zipf skew. Shards are
+	// score-disjoint, which lets queries provably skip shards that cannot
+	// contain a trained superset (see router.prunes). Inserts route to the
+	// first band whose score bound covers the set.
+	FrequencyBand
+	// EmbedCluster groups sets by k-means over pooled φ embeddings from a
+	// tiny fixed-seed pilot model, so each shard's model fits a narrower
+	// content distribution. Inserts route to the nearest centroid (hash
+	// fallback for out-of-vocabulary sets).
+	EmbedCluster
 )
 
 func (p Partitioner) String() string {
@@ -56,20 +68,29 @@ func (p Partitioner) String() string {
 		return "hash"
 	case RangeByPosition:
 		return "range"
+	case FrequencyBand:
+		return "freq"
+	case EmbedCluster:
+		return "cluster"
 	default:
 		return fmt.Sprintf("partitioner(%d)", int(p))
 	}
 }
 
-// ParsePartitioner parses the CLI spelling ("hash" or "range").
+// ParsePartitioner parses the CLI spelling ("hash", "range", "freq", or
+// "cluster").
 func ParsePartitioner(s string) (Partitioner, error) {
 	switch s {
 	case "hash":
 		return HashBySet, nil
 	case "range":
 		return RangeByPosition, nil
+	case "freq":
+		return FrequencyBand, nil
+	case "cluster":
+		return EmbedCluster, nil
 	default:
-		return 0, fmt.Errorf("shard: unknown partitioner %q (want \"hash\" or \"range\")", s)
+		return 0, fmt.Errorf("shard: unknown partitioner %q (want \"hash\", \"range\", \"freq\", or \"cluster\")", s)
 	}
 }
 
@@ -104,6 +125,19 @@ type Options struct {
 	// that deterministically covers the fan-in sum on that workload. Costs
 	// one extra pass over the workload per shard.
 	MeasureBounds bool
+	// Calibrate fits a per-shard monotone correction (isotonic regression)
+	// on held-out queries after each shard build and composes it into the
+	// fan-in, replacing the floor-at-1 convention on calibrated shards.
+	// Exact paths (aux overrides, OOV queries, the delta) are never
+	// calibrated. Applies to estimator and index builds.
+	Calibrate bool
+	// ErrorBudget (estimator builds only; implies Calibrate) is a per-shard
+	// held-out mean-absolute-error budget. Shards whose held-out error
+	// exceeds it steal training epochs — and, when over 2× budget, model
+	// width — from shards under budget before the final training pass, so
+	// extra capacity flows to the shards that need it without raising the
+	// total build cost.
+	ErrorBudget float64
 }
 
 // maxShards bounds K at build and load time; far above any sensible
@@ -118,37 +152,23 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Shards < 1 || o.Shards > maxShards {
 		return o, fmt.Errorf("shard: shard count %d out of range [1, %d]", o.Shards, maxShards)
 	}
-	if o.Partitioner != HashBySet && o.Partitioner != RangeByPosition {
+	switch o.Partitioner {
+	case HashBySet, RangeByPosition, FrequencyBand, EmbedCluster:
+	default:
 		return o, fmt.Errorf("shard: unknown partitioner %d", int(o.Partitioner))
+	}
+	if o.ErrorBudget < 0 {
+		return o, fmt.Errorf("shard: negative error budget %g", o.ErrorBudget)
+	}
+	if o.ErrorBudget > 0 {
+		// The stealer decides over-/under-budget from held-out calibration
+		// error, so a budget implies the calibration pass.
+		o.Calibrate = true
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o, nil
-}
-
-// partition splits c into K sub-collections plus the local→global position
-// map for each shard. The relative order of sets within a shard always
-// matches their order in c.
-func partition(c *sets.Collection, k int, p Partitioner) ([]*sets.Collection, [][]int) {
-	subs := make([]*sets.Collection, k)
-	globals := make([][]int, k)
-	for s := 0; s < k; s++ {
-		subs[s] = &sets.Collection{}
-	}
-	n := c.Len()
-	for pos := 0; pos < n; pos++ {
-		set := c.At(pos)
-		var s int
-		if p == HashBySet {
-			s = int(set.Hash() % uint64(k))
-		} else {
-			s = pos * k / n
-		}
-		subs[s].Append(set)
-		globals[s] = append(globals[s], pos)
-	}
-	return subs, globals
 }
 
 // ScaleModel returns the per-shard model options under the scaling policy.
@@ -213,6 +233,12 @@ type BuildStat struct {
 	// ErrBound is the measured max |estimate − truth| over the global
 	// trained workload (estimator with MeasureBounds only).
 	ErrBound float64 `json:"err_bound,omitempty"`
+	// HoldoutErr is the shard's held-out mean absolute error with its
+	// calibration curve applied (Calibrate builds only).
+	HoldoutErr float64 `json:"holdout_err,omitempty"`
+	// StolenEpochs is the extra training epochs this shard received from
+	// the error-budget capacity stealer (ErrorBudget builds only).
+	StolenEpochs int `json:"stolen_epochs,omitempty"`
 }
 
 // runBounded runs fn(0..n-1) on a worker pool of the given size and joins

@@ -1,0 +1,120 @@
+package shard
+
+import (
+	"setlearn/internal/core"
+	"setlearn/internal/dataset"
+	"setlearn/internal/sets"
+)
+
+// Error-budget capacity stealer (estimator builds with Options.ErrorBudget).
+//
+// The uniform √K capacity split wastes training effort: under a skewed
+// partition some shards fit easily while others carry the hard slice of the
+// distribution. The stealer reallocates: every shard first probe-builds at
+// half its epoch allocation and fits its calibration curve; shards already
+// within the held-out error budget keep their probe build (their remaining
+// epochs flow into a pool), and over-budget shards rebuild at their full
+// allocation plus an equal share of the pool — with a model-width boost on
+// top when the probe error exceeded twice the budget. Total epoch spend
+// never exceeds the uniform build's, and the reallocation is deterministic
+// (the pool's remainder goes to the lowest over-budget shard indices).
+//
+// Retrains rebuild at the standard scaled capacity (e.opts): the stolen
+// allocation describes the original partition's difficulty, and the
+// retrained shard refits its calibration curve, which is what the serving
+// error actually depends on.
+
+// defaultEpochs mirrors core.ModelOptions' Epochs default.
+const defaultEpochs = 20
+
+// buildWithStealing is the ErrorBudget build path of BuildShardedEstimator.
+// Caller guarantees o.Calibrate (withDefaults forces it: over/under budget
+// is judged on held-out calibrated error). raw is the unscaled model options
+// the width boost rescales from.
+func (e *Estimator) buildWithStealing(subs []*sets.Collection, globals [][]int, o Options, opts core.EstimatorOptions, raw core.ModelOptions, workload *dataset.SubsetStats) error {
+	k := o.Shards
+	full := opts.Model.Epochs
+	if full == 0 {
+		full = defaultEpochs
+	}
+	probe := full / 2
+	if probe < 1 {
+		probe = 1
+	}
+
+	// Phase 1: probe-build every shard at half epochs and fit calibration.
+	states := make([]*estShard, k)
+	err := runBounded(k, o.Parallelism, func(s int) error {
+		po := opts
+		po.Model.Epochs = probe
+		st, err := e.buildEstShard(s, subs[s], globals[s], po, workload, true)
+		if err != nil {
+			return err
+		}
+		states[s] = st
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Split the donated pool. Empty shards neither donate nor steal.
+	var over []int
+	pool := 0
+	for s := 0; s < k; s++ {
+		if states[s].est == nil {
+			continue
+		}
+		if states[s].holdout > o.ErrorBudget {
+			over = append(over, s)
+		} else {
+			pool += full - probe
+		}
+	}
+	if len(over) == 0 {
+		// Every shard met the budget at probe capacity; the saved epochs are
+		// the build speedup.
+		for s := 0; s < k; s++ {
+			e.states[s].Store(states[s])
+		}
+		return nil
+	}
+	extras := make([]int, len(over))
+	for i := range over {
+		extras[i] = pool / len(over)
+		if i < pool%len(over) {
+			extras[i]++
+		}
+	}
+
+	// Phase 2: rebuild the over-budget shards with their stolen allocation.
+	err = runBounded(len(over), o.Parallelism, func(j int) error {
+		s := over[j]
+		bo := opts
+		if states[s].holdout > 2*o.ErrorBudget {
+			// Far over budget: epochs alone rarely close the gap — rescale
+			// width as if the partition were half as fine (√(K/2) division
+			// instead of √K, so every dimension grows by ~√2).
+			kb := k / 2
+			if kb < 1 {
+				kb = 1
+			}
+			bo.Model = ScaleModel(raw, kb, o.Scaling)
+		}
+		bo.Model.Epochs = full + extras[j]
+		st, err := e.buildEstShard(s, subs[s], globals[s], bo, workload, true)
+		if err != nil {
+			return err
+		}
+		st.stat.StolenEpochs = extras[j]
+		states[s] = st
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for s := 0; s < k; s++ {
+		e.states[s].Store(states[s])
+	}
+	return nil
+}
