@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet lint lint-dataflow lint-interproc test race race-mutation bench bench-inference bench-sharding bench-gate fuzz-smoke experiments examples clean
+.PHONY: all build fmt-check vet lint lint-dataflow lint-interproc lint-publication lint-all test race race-mutation bench bench-inference bench-sharding bench-gate fuzz-smoke experiments examples clean
 
-all: build fmt-check vet lint test race
+all: build vet lint-all test race
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,10 @@ vet:
 	$(GO) vet ./...
 
 # setlearnlint: the repo's custom analyzers — syntactic (floateq,
-# poolpair, lockescape, globalrand, binioerr) and path-sensitive
-# (lockbalance, waitgroup, goroleak, deferclose). See README
-# "Development". CI runs the same invocations.
+# poolpair, lockescape, globalrand, binioerr), path-sensitive
+# (lockbalance, waitgroup, goroleak, deferclose), interprocedural
+# (noalloc, trustlen), and publication-safety (pubfreeze, atomicmix,
+# mapiterorder). See README "Development". CI runs `make lint-all`.
 lint:
 	$(GO) run ./cmd/setlearnlint ./...
 
@@ -45,6 +46,38 @@ lint-interproc:
 	@grep -q "noalloc" /tmp/seedmod.out || { echo "lint-interproc: seeded noalloc finding missing"; cat /tmp/seedmod.out; exit 1; }
 	@grep -q "trustlen" /tmp/seedmod.out || { echo "lint-interproc: seeded trustlen finding missing"; cat /tmp/seedmod.out; exit 1; }
 	@echo "seeded regression rejected as expected."
+
+# The publication-safety family: frozen-after-publish (pubfreeze),
+# atomic/plain access mixing (atomicmix), and map-iteration determinism
+# (mapiterorder).
+lint-publication:
+	$(GO) run ./cmd/setlearnlint -run atomicmix,mapiterorder,pubfreeze ./...
+
+# The one lint gate CI runs: gofmt, then every analyzer family under its
+# own wall-clock budget (a runaway fixed-point loop fails the family, not
+# the CI job timeout), then the seeded regressions — testdata/seedmod
+# carries one deliberate violation per interprocedural and
+# publication-safety analyzer, and the gate FAILS THE BUILD if any of the
+# five analyzers stops rejecting its seed, proving the machinery detects
+# what it exists to detect before we trust its silence on the real tree.
+lint-all: fmt-check
+	@echo "== syntactic analyzers =="
+	timeout 120 $(GO) run ./cmd/setlearnlint -run binioerr,floateq,globalrand,lockescape,poolpair ./...
+	@echo "== path-sensitive dataflow analyzers =="
+	timeout 180 $(GO) run ./cmd/setlearnlint -run deferclose,goroleak,lockbalance,waitgroup ./...
+	@echo "== interprocedural analyzers =="
+	timeout 300 $(GO) run ./cmd/setlearnlint -run noalloc,trustlen ./...
+	@echo "== publication-safety analyzers =="
+	timeout 300 $(GO) run ./cmd/setlearnlint -run atomicmix,mapiterorder,pubfreeze ./...
+	@echo "== seeded regressions (must fail) =="
+	@if timeout 300 $(GO) run ./cmd/setlearnlint -run noalloc,trustlen,atomicmix,mapiterorder,pubfreeze ./internal/lint/testdata/seedmod >/tmp/seedmod.out 2>&1; then \
+		echo "lint-all: seeded regression PASSED the analyzers — the lint machinery is broken"; \
+		cat /tmp/seedmod.out; exit 1; \
+	fi
+	@for a in noalloc trustlen pubfreeze atomicmix mapiterorder; do \
+		grep -q "($$a)" /tmp/seedmod.out || { echo "lint-all: seeded $$a finding missing"; cat /tmp/seedmod.out; exit 1; }; \
+	done
+	@echo "seeded regressions rejected as expected."
 
 test:
 	$(GO) test ./...

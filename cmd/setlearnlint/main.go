@@ -53,21 +53,27 @@ func run(args []string) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	jsonOut := fs.Bool("json", false, "emit findings as one JSON document (file/line/analyzer/message/trace)")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log for code-scanning uploads")
+	timing := fs.Bool("timing", false, "print per-analyzer wall time to stderr after the run")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: setlearnlint [-list] [-json] [-run a,b] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: setlearnlint [-list] [-json] [-sarif] [-timing] [-run a,b] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Analyzers:\n")
 		for _, a := range lint.Analyzers {
-			fmt.Fprintf(fs.Output(), "  %-11s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(fs.Output(), "  %-13s %s\n", a.Name, a.Doc)
 		}
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "setlearnlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers {
-			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -90,7 +96,11 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	res, err := lint.RunWithOptions(".", patterns, analyzers, os.Stdout, lint.Options{JSON: *jsonOut})
+	opts := lint.Options{JSON: *jsonOut, SARIF: *sarifOut}
+	if *timing {
+		opts.Timing = os.Stderr
+	}
+	res, err := lint.RunWithOptions(".", patterns, analyzers, os.Stdout, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "setlearnlint: %v\n", err)
 		return 2

@@ -35,6 +35,12 @@ const (
 // continues with identity slope (Y[n-1] + (x - X[n-1])) so growth beyond the
 // fitted range is preserved rather than clipped. Both fields are exported
 // for gob persistence; decoded curves must pass Validate before use.
+//
+// Curves are published to concurrent readers through atomic.Pointer
+// (hybrid's per-stage calibration hot-swap), so they are immutable once
+// built: refit into a fresh Curve and swap the pointer.
+//
+//lint:frozen
 type Curve struct {
 	X []float64
 	Y []float64

@@ -7,6 +7,12 @@ import "setlearn/internal/deepsets"
 // outputs can be precomputed (PhiTable) or cached (sharded PhiCache) —
 // turning a size-k query into k vector adds plus one ρ evaluation, with
 // bit-identical results.
+//
+// The sharded containers publish the options to their query paths through
+// atomic.Pointer, so a value is immutable once installed: build a new
+// options value and call EnableFastPath again to change modes.
+//
+//lint:frozen
 type FastPathOptions struct {
 	// TableBudgetBytes enables the full φ-table when
 	// (MaxID+1) × PhiOut × 8 fits within it. 0 disables the table.

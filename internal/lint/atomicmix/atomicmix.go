@@ -1,0 +1,374 @@
+// Package atomicmix flags locations accessed both through sync/atomic
+// operations and through plain loads/stores: mixing the two is a data
+// race even when each side looks locally correct, because the plain
+// access carries no happens-before edge. The analyzer builds a per-field
+// access-kind index over each package — every function-style atomic call
+// (atomic.AddUint64(&x.f, 1)) and every plain read/write of a field or
+// package-level variable — and reports each plain access to an
+// atomically-accessed location unless the lockflow may-held analysis
+// proves a mutex is held at that program point (an access under the
+// owner's lock is a sanctioned slow path as long as writers hold the same
+// lock, which the human judges; the analyzer only demands SOME
+// synchronization).
+//
+// Cross-package mixing is covered through the per-run shared cache: the
+// index of the package that declares a field is consulted when another
+// package accesses it, in both directions — a plain access here checks
+// the owner's atomic sites, and an atomic access here checks the owner's
+// unguarded plain sites. Under the vet unitchecker (no source for
+// dependencies) the analysis degrades to package-local.
+//
+// The typed atomics (atomic.Uint64, atomic.Pointer[T], ...) the repo uses
+// on its hot paths cannot mix by construction — the value is private to
+// the type and only reachable through Load/Store — so they are not
+// indexed. This analyzer exists to keep function-style atomics from
+// drifting in: any future atomic.LoadUint64(&plainField) immediately
+// creates a contested key.
+//
+// Caveats: accesses inside function literals take the lock state at the
+// point the literal appears in its enclosing function (a closure run
+// later under different locking is judged at creation site);
+// package-level variable initializers are not indexed (they run before
+// any goroutine exists).
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/astq"
+	"setlearn/internal/lint/cfg"
+	"setlearn/internal/lint/dataflow"
+	"setlearn/internal/lint/lockflow"
+	"setlearn/internal/lint/summary"
+)
+
+const name = "atomicmix"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "a location accessed through sync/atomic operations must not also be accessed " +
+		"with plain loads/stores outside a held mutex — mixed access is a data race " +
+		"even when each side looks locally correct",
+	Run: run,
+}
+
+// site is one recorded access to a keyed location.
+type site struct {
+	pos   token.Pos
+	fd    *ast.FuncDecl // enclosing function (guard analysis scope)
+	write bool
+	op    string // atomic op name for atomic sites, "read"/"write" for plain
+}
+
+// flowInfo caches one function's CFG and live lock analysis.
+type flowInfo struct {
+	g   *cfg.Graph
+	res *dataflow.Result[lockflow.Held]
+}
+
+// index is one package's access-kind index. Keys: "F:<ownerPkg>.<Type>.<field>"
+// for struct fields, "V:<ownerPkg>.<var>" for package-level variables,
+// "L:<pkg>:<declpos>" for locals (never contested cross-package).
+type index struct {
+	pi     *analysis.PackageInfo
+	atomic map[string][]site
+	plain  map[string][]site
+	owner  map[string]string // key -> declaring package path
+	human  map[string]string // key -> short display name
+	flows  map[*ast.FuncDecl]*flowInfo
+}
+
+func indexFor(shared *analysis.Shared, pi *analysis.PackageInfo) *index {
+	return shared.Get("atomicmix:"+pi.Path, func() any { return buildIndex(pi) }).(*index)
+}
+
+func run(pass *analysis.Pass) error {
+	shared := pass.PassShared()
+	own := indexFor(shared, pass.PackageInfo())
+	ownerIdx := func(path string) *index {
+		if path == "" || path == pass.Pkg.Path() || pass.LoadPackage == nil {
+			return nil
+		}
+		pi, err := pass.LoadPackage(path)
+		if err != nil || pi == nil {
+			return nil // stdlib, other modules, or unloadable: package-local only
+		}
+		return indexFor(shared, pi)
+	}
+
+	// Plain accesses in this package against atomic accesses here or in the
+	// key's declaring package.
+	for _, key := range sortedKeys(own.plain) {
+		atomics, aFset := own.atomic[key], own.pi.Fset
+		if len(atomics) == 0 {
+			if oi := ownerIdx(own.owner[key]); oi != nil {
+				atomics, aFset = oi.atomic[key], oi.pi.Fset
+			}
+		}
+		if len(atomics) == 0 {
+			continue
+		}
+		aPos := summary.FormatPos(aFset, atomics[0].pos)
+		for _, s := range own.plain[key] {
+			if own.guarded(s) {
+				continue
+			}
+			pass.Reportf(s.pos,
+				"plain %s of %s mixes with %s at %s — every access to an atomically-updated location must use sync/atomic or hold the guarding mutex",
+				s.op, own.human[key], atomics[0].op, aPos)
+		}
+	}
+
+	// Atomic accesses in this package against unguarded plain accesses in
+	// the key's declaring package (the converse cross-package direction;
+	// the same-package case was reported above, at the plain site).
+	for _, key := range sortedKeys(own.atomic) {
+		owner := own.owner[key]
+		if owner == pass.Pkg.Path() {
+			continue
+		}
+		oi := ownerIdx(owner)
+		if oi == nil {
+			continue
+		}
+		var bad *site
+		for i := range oi.plain[key] {
+			if !oi.guarded(oi.plain[key][i]) {
+				bad = &oi.plain[key][i]
+				break
+			}
+		}
+		if bad == nil {
+			continue
+		}
+		a := own.atomic[key][0]
+		pass.Reportf(a.pos,
+			"%s of %s mixes with plain %s at %s in the declaring package — every access to an atomically-updated location must use sync/atomic or hold the guarding mutex",
+			a.op, own.human[key], bad.op, summary.FormatPos(oi.pi.Fset, bad.pos))
+	}
+	return nil
+}
+
+// buildIndex scans one package's function bodies for atomic and plain
+// accesses to keyable locations.
+func buildIndex(pi *analysis.PackageInfo) *index {
+	ix := &index{
+		pi:     pi,
+		atomic: make(map[string][]site),
+		plain:  make(map[string][]site),
+		owner:  make(map[string]string),
+		human:  make(map[string]string),
+		flows:  make(map[*ast.FuncDecl]*flowInfo),
+	}
+	for _, f := range pi.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ix.scanFunc(fd)
+		}
+	}
+	return ix
+}
+
+// scanFunc records fd's accesses. skip holds the address-taken operands of
+// atomic calls, so the target of atomic.AddUint64(&c.hits, 1) is not also
+// recorded as a plain access.
+func (ix *index) scanFunc(fd *ast.FuncDecl) {
+	info := ix.pi.Info
+	skip := make(map[ast.Expr]bool)
+	astq.Inspect(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if target, op := atomicTarget(info, n); target != nil {
+				skip[target] = true
+				if key, owner, humanName := ix.keyOf(target); key != "" {
+					ix.record(ix.atomic, key, owner, humanName, site{pos: n.Pos(), fd: fd, op: "sync/atomic " + op})
+				}
+			}
+		case *ast.SelectorExpr:
+			if skip[ast.Expr(n)] {
+				return true // the atomic call's own target
+			}
+			key, owner, humanName := ix.keyOf(n)
+			if key == "" {
+				return true
+			}
+			write, kind := accessKind(n, stack)
+			ix.record(ix.plain, key, owner, humanName, site{pos: n.Pos(), fd: fd, write: write, op: kind})
+		case *ast.Ident:
+			if skip[ast.Expr(n)] || identSkipped(n, stack) {
+				return true
+			}
+			key, owner, humanName := ix.keyOf(n)
+			if key == "" {
+				return true
+			}
+			write, kind := accessKind(n, stack)
+			ix.record(ix.plain, key, owner, humanName, site{pos: n.Pos(), fd: fd, write: write, op: kind})
+		}
+		return true
+	})
+}
+
+func (ix *index) record(m map[string][]site, key, owner, humanName string, s site) {
+	m[key] = append(m[key], s)
+	ix.owner[key] = owner
+	ix.human[key] = humanName
+}
+
+// keyOf maps an access expression to its location key, declaring package,
+// and display name. Empty key means the expression is not a keyable
+// location (method values, package names, constants, ...).
+func (ix *index) keyOf(e ast.Expr) (key, owner, humanName string) {
+	info := ix.pi.Info
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if sel.Kind() != types.FieldVal {
+				return "", "", ""
+			}
+			fieldVar, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return "", "", ""
+			}
+			named := astq.NamedOrPointee(sel.Recv())
+			if named == nil || named.Obj().Pkg() == nil {
+				return "", "", ""
+			}
+			owner = named.Obj().Pkg().Path()
+			key = "F:" + owner + "." + named.Obj().Name() + "." + fieldVar.Name()
+			return key, owner, named.Obj().Name() + "." + fieldVar.Name()
+		}
+		// No selection: a qualified identifier pkg.V.
+		obj, ok := info.Uses[e.Sel].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil {
+			return "", "", ""
+		}
+		if obj.Parent() != obj.Pkg().Scope() {
+			return "", "", ""
+		}
+		owner = obj.Pkg().Path()
+		return "V:" + owner + "." + obj.Name(), owner, obj.Name()
+	case *ast.Ident:
+		// Uses only: a defining occurrence (var n uint64, n := ...) is the
+		// declaration, not an access.
+		obj, ok := info.Uses[e].(*types.Var)
+		if !ok || obj == nil || obj.IsField() || obj.Pkg() == nil {
+			return "", "", ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			owner = obj.Pkg().Path()
+			return "V:" + owner + "." + obj.Name(), owner, obj.Name()
+		}
+		// Local: keyed by declaration position, never cross-package.
+		return "L:" + ix.pi.Path + ":" + strconv.Itoa(int(obj.Pos())), ix.pi.Path, obj.Name()
+	}
+	return "", "", ""
+}
+
+// identSkipped prunes identifiers that are not themselves accesses: the
+// Sel of a selector (the selector node carries the access) and the X of a
+// selector when it names a package.
+func identSkipped(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == id {
+		return true
+	}
+	return false
+}
+
+// accessKind classifies a plain access from its immediate context.
+func accessKind(e ast.Expr, stack []ast.Node) (write bool, kind string) {
+	if len(stack) == 0 {
+		return false, "read"
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == e {
+				return true, "write"
+			}
+		}
+	case *ast.IncDecStmt:
+		if ast.Unparen(p.X) == e {
+			return true, "write"
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return true, "address-taken access"
+		}
+	}
+	return false, "read"
+}
+
+// atomicTarget returns the location operand and op name when call is a
+// function-style sync/atomic operation (atomic.AddUint64(&x, 1), ...).
+// Typed-atomic method calls return nil: their value is unmixable.
+func atomicTarget(info *types.Info, call *ast.CallExpr) (ast.Expr, string) {
+	fn := astq.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, ""
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return nil, ""
+	}
+	opName := fn.Name()
+	switch {
+	case strings.HasPrefix(opName, "Load"), strings.HasPrefix(opName, "Store"),
+		strings.HasPrefix(opName, "Add"), strings.HasPrefix(opName, "Swap"),
+		strings.HasPrefix(opName, "CompareAndSwap"), strings.HasPrefix(opName, "Or"),
+		strings.HasPrefix(opName, "And"):
+	default:
+		return nil, ""
+	}
+	if len(call.Args) == 0 {
+		return nil, ""
+	}
+	u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil, ""
+	}
+	return ast.Unparen(u.X), opName
+}
+
+// guarded reports whether the lockflow may-held analysis proves some
+// mutex is held at s. May-held is deliberately generous: the analyzer
+// demands evidence of synchronization, not a proof of the right lock.
+func (ix *index) guarded(s site) bool {
+	if s.fd == nil {
+		return false
+	}
+	fi, ok := ix.flows[s.fd]
+	if !ok {
+		g := cfg.Build(ix.pi.Fset, s.fd.Body)
+		fi = &flowInfo{g: g, res: lockflow.AnalyzeLive(ix.pi.Info, g)}
+		ix.flows[s.fd] = fi
+	}
+	for _, b := range fi.g.Blocks {
+		for i, n := range b.Nodes {
+			if n.Pos() <= s.pos && s.pos < n.End() {
+				return len(lockflow.StateAtLive(ix.pi.Info, fi.res.In[b], b, i)) > 0
+			}
+		}
+	}
+	return false
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

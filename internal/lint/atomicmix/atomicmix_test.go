@@ -1,0 +1,56 @@
+package atomicmix_test
+
+import (
+	"strings"
+	"testing"
+
+	"setlearn/internal/lint"
+	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/atomicmix"
+	"setlearn/internal/lint/linttest"
+)
+
+func TestAtomicmix(t *testing.T) {
+	linttest.Run(t, atomicmix.Analyzer, "atomicmix")
+}
+
+// TestCrossPackage pins both cross-package directions against the
+// internal/lint/testdata/xmix fixture: a plain read here of a field the
+// declaring package updates atomically, and an atomic update here of a
+// field the declaring package writes plainly.
+func TestCrossPackage(t *testing.T) {
+	var out strings.Builder
+	res, err := lint.Run("../..", []string{"./internal/lint/testdata/xmix/outer"},
+		[]*analysis.Analyzer{atomicmix.Analyzer}, &out)
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected errors:\n%s", out.String())
+	}
+	got := out.String()
+	if res.Diagnostics != 2 {
+		t.Fatalf("want 2 diagnostics (plain-side + atomic-side), got %d:\n%s", res.Diagnostics, got)
+	}
+	for _, want := range []string{
+		"plain read of Stats.Hits", // ReadHits, against inner.Bump's atomic add
+		"AddUint64 of Stats.Errs",  // BumpErrs, against inner.Drop's plain write
+		"inner/inner.go:16",        // the owner-side plain write location
+		"atomicmix",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The declaring package on its own is clean: its atomic and plain
+	// fields are disjoint.
+	out.Reset()
+	res, err = lint.Run("../..", []string{"./internal/lint/testdata/xmix/inner"},
+		[]*analysis.Analyzer{atomicmix.Analyzer}, &out)
+	if err != nil {
+		t.Fatalf("lint.Run(inner): %v", err)
+	}
+	if res.Diagnostics != 0 || res.Errors != 0 {
+		t.Fatalf("inner alone should be clean, got %d diagnostics:\n%s", res.Diagnostics, out.String())
+	}
+}

@@ -1,0 +1,83 @@
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	hits uint64
+	miss uint64
+	good uint64
+	cold uint64
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.miss, 1)
+	atomic.AddUint64(&c.good, 1)
+}
+
+// Plain read of an atomically-updated field: racy.
+func (c *counter) read() uint64 {
+	return c.hits // want `plain read of counter.hits mixes with sync/atomic AddUint64`
+}
+
+// Plain write: racier still.
+func (c *counter) reset() {
+	c.miss = 0 // want `plain write of counter.miss mixes with sync/atomic AddUint64`
+}
+
+// A mutex proven held at the access point exempts the plain access.
+func (c *counter) lockedRead() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.good
+}
+
+// Held on one path only: may-held still exempts (the analyzer demands
+// evidence of synchronization, not path-perfect proof).
+func (c *counter) halfLocked(lock bool) uint64 {
+	if lock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.good
+	}
+	return c.good // want `plain read of counter.good mixes with sync/atomic AddUint64`
+}
+
+// Fields never touched atomically are free to be plain.
+func (c *counter) coldTouch() {
+	c.cold++
+}
+
+var total uint64
+
+func addTotal() { atomic.AddUint64(&total, 1) }
+
+// Package-level variables are keyed too.
+func readTotal() uint64 {
+	return total // want `plain read of total mixes with sync/atomic AddUint64`
+}
+
+// Taking the address outside an atomic call launders the location into
+// plain-pointer territory; flagged as an access.
+func leakTotal() *uint64 {
+	return &total // want `plain address-taken access of total mixes with sync/atomic AddUint64`
+}
+
+// Locals mix the same way (a goroutine elsewhere may hold the pointer).
+func localMix() uint32 {
+	var n uint32
+	atomic.StoreUint32(&n, 1)
+	return n // want `plain read of n mixes with sync/atomic StoreUint32`
+}
+
+// The typed atomics cannot mix by construction and are not indexed.
+type typed struct {
+	n atomic.Uint64
+}
+
+func (t *typed) inc()        { t.n.Add(1) }
+func (t *typed) get() uint64 { return t.n.Load() }

@@ -12,8 +12,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/atomicmix"
 	"setlearn/internal/lint/binioerr"
 	"setlearn/internal/lint/deferclose"
 	"setlearn/internal/lint/floateq"
@@ -22,14 +24,17 @@ import (
 	"setlearn/internal/lint/load"
 	"setlearn/internal/lint/lockbalance"
 	"setlearn/internal/lint/lockescape"
+	"setlearn/internal/lint/mapiterorder"
 	"setlearn/internal/lint/noalloc"
 	"setlearn/internal/lint/poolpair"
+	"setlearn/internal/lint/pubfreeze"
 	"setlearn/internal/lint/trustlen"
 	"setlearn/internal/lint/waitgroup"
 )
 
 // Analyzers is the full setlearnlint suite, in stable order.
 var Analyzers = []*analysis.Analyzer{
+	atomicmix.Analyzer,
 	binioerr.Analyzer,
 	deferclose.Analyzer,
 	floateq.Analyzer,
@@ -37,8 +42,10 @@ var Analyzers = []*analysis.Analyzer{
 	goroleak.Analyzer,
 	lockbalance.Analyzer,
 	lockescape.Analyzer,
+	mapiterorder.Analyzer,
 	noalloc.Analyzer,
 	poolpair.Analyzer,
+	pubfreeze.Analyzer,
 	trustlen.Analyzer,
 	waitgroup.Analyzer,
 }
@@ -65,6 +72,15 @@ type Options struct {
 	// JSON switches the output from file:line:col text lines to one JSON
 	// document (see jsonReport) so CI can annotate pull requests.
 	JSON bool
+
+	// SARIF switches the output to a SARIF 2.1.0 log (one run, one result
+	// per finding, interprocedural traces as relatedLocations) for code
+	// scanning uploads. Takes precedence over JSON.
+	SARIF bool
+
+	// Timing, when non-nil, receives one line per analyzer with its
+	// cumulative wall time across all analysed packages, slowest first.
+	Timing io.Writer
 }
 
 // jsonDiagnostic is one finding in -json output.
@@ -107,61 +123,74 @@ func RunWithOptions(dir string, patterns []string, analyzers []*analysis.Analyze
 		return res, err
 	}
 
+	structured := opts.JSON || opts.SARIF
 	report := jsonReport{Diagnostics: []jsonDiagnostic{}, Errors: []string{}}
 	errf := func(format string, args ...any) {
 		res.Errors++
-		if opts.JSON {
+		if structured {
 			report.Errors = append(report.Errors, fmt.Sprintf(format, args...))
 		} else {
 			fmt.Fprintf(w, format+"\n", args...)
 		}
 	}
 
-	// One Shared cache and one package-loading hook per run: the
-	// interprocedural analyzers keep loaded packages, call graphs, and
-	// function summaries here, computed once across every (package,
-	// analyzer) pair.
+	// One Shared cache and one package-load cache per run. The main loop
+	// and the interprocedural analyzers' LoadPackage hook share the cache,
+	// keyed both by directory (the loop's view) and by import path (the
+	// hook's view), so no package is parsed or type-checked twice even when
+	// an analyzer pulls in a package the loop will visit later.
 	shared := analysis.NewShared()
-	pkgCache := make(map[string]*analysis.PackageInfo)
-	pkgFailed := make(map[string]error)
+	type pkgEntry struct {
+		pkg *load.Package
+		pi  *analysis.PackageInfo
+		err error
+	}
+	byDir := make(map[string]*pkgEntry)
+	byPath := make(map[string]*pkgEntry)
+	loadDir := func(d string) *pkgEntry {
+		if e, ok := byDir[d]; ok {
+			return e
+		}
+		e := &pkgEntry{}
+		e.pkg, e.err = loader.LoadDir(d)
+		if e.err == nil {
+			p := e.pkg
+			e.pi = &analysis.PackageInfo{Path: p.Path, Fset: p.Fset, Files: p.Files, Types: p.Types, Info: p.Info}
+			byPath[p.Path] = e
+		}
+		byDir[d] = e
+		return e
+	}
 	loadPkg := func(path string) (*analysis.PackageInfo, error) {
-		if pi, ok := pkgCache[path]; ok {
-			return pi, nil
+		if e, ok := byPath[path]; ok {
+			return e.pi, e.err
 		}
-		if err, ok := pkgFailed[path]; ok {
+		rel, ok := strings.CutPrefix(path, loader.ModulePath+"/")
+		if !ok {
+			err := fmt.Errorf("lint: %s is not module-local", path)
+			byPath[path] = &pkgEntry{err: err}
 			return nil, err
 		}
-		load := func() (*analysis.PackageInfo, error) {
-			rel, ok := strings.CutPrefix(path, loader.ModulePath+"/")
-			if !ok {
-				return nil, fmt.Errorf("lint: %s is not module-local", path)
-			}
-			p, err := loader.LoadDir(filepath.Join(loader.ModuleDir, filepath.FromSlash(rel)))
-			if err != nil {
-				return nil, err
-			}
-			return &analysis.PackageInfo{Path: p.Path, Fset: p.Fset, Files: p.Files, Types: p.Types, Info: p.Info}, nil
+		e := loadDir(filepath.Join(loader.ModuleDir, filepath.FromSlash(rel)))
+		if e.err != nil {
+			byPath[path] = e
 		}
-		pi, err := load()
-		if err != nil {
-			pkgFailed[path] = err
-			return nil, err
-		}
-		pkgCache[path] = pi
-		return pi, nil
+		return e.pi, e.err
 	}
 
+	timing := make(map[string]time.Duration)
 	for _, d := range dirs {
-		pkg, err := loader.LoadDir(d)
-		if err != nil {
-			errf("%s: %v", d, err)
+		e := loadDir(d)
+		if e.err != nil {
+			errf("%s: %v", d, e.err)
 			continue
 		}
+		pkg := e.pkg
 		res.Packages++
 		for _, terr := range pkg.TypeErrors {
 			errf("%v", terr)
 		}
-		diags := analyzePackage(pkg, analyzers, shared, loadPkg, errf)
+		diags := analyzePackage(pkg, analyzers, shared, loadPkg, errf, timing)
 		res.Diagnostics += len(diags)
 		for _, diag := range diags {
 			pos := pkg.Fset.Position(diag.Pos)
@@ -169,7 +198,7 @@ func RunWithOptions(dir string, patterns []string, analyzers []*analysis.Analyze
 			if rel, err := filepath.Rel(loader.ModuleDir, file); err == nil {
 				file = rel
 			}
-			if opts.JSON {
+			if structured {
 				report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
 					File:     filepath.ToSlash(file),
 					Line:     pos.Line,
@@ -184,7 +213,16 @@ func RunWithOptions(dir string, patterns []string, analyzers []*analysis.Analyze
 		}
 	}
 
-	if opts.JSON {
+	if opts.Timing != nil {
+		writeTiming(opts.Timing, analyzers, timing)
+	}
+
+	switch {
+	case opts.SARIF:
+		if err := writeSARIF(w, analyzers, report); err != nil {
+			return res, err
+		}
+	case opts.JSON:
 		report.Packages = res.Packages
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -195,7 +233,7 @@ func RunWithOptions(dir string, patterns []string, analyzers []*analysis.Analyze
 	return res, nil
 }
 
-func analyzePackage(pkg *load.Package, analyzers []*analysis.Analyzer, shared *analysis.Shared, loadPkg func(string) (*analysis.PackageInfo, error), errf func(string, ...any)) []analysis.Diagnostic {
+func analyzePackage(pkg *load.Package, analyzers []*analysis.Analyzer, shared *analysis.Shared, loadPkg func(string) (*analysis.PackageInfo, error), errf func(string, ...any), timing map[string]time.Duration) []analysis.Diagnostic {
 	var diags []analysis.Diagnostic
 	for _, a := range analyzers {
 		if !a.InScope(pkg.Path) {
@@ -206,7 +244,10 @@ func analyzePackage(pkg *load.Package, analyzers []*analysis.Analyzer, shared *a
 		})
 		pass.Shared = shared
 		pass.LoadPackage = loadPkg
-		if err := a.Run(pass); err != nil {
+		start := time.Now()
+		err := a.Run(pass)
+		timing[a.Name] += time.Since(start)
+		if err != nil {
 			errf("%s: analyzer %s failed: %v", pkg.Path, a.Name, err)
 			continue
 		}
@@ -214,4 +255,20 @@ func analyzePackage(pkg *load.Package, analyzers []*analysis.Analyzer, shared *a
 	}
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags
+}
+
+// writeTiming prints one line per analyzer with its cumulative wall time,
+// slowest first. Interprocedural analyzers front-load shared work (package
+// loads, call graphs) into whichever of them runs first, so read the table
+// as a budget check, not a per-analyzer microbenchmark.
+func writeTiming(w io.Writer, analyzers []*analysis.Analyzer, timing map[string]time.Duration) {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.SliceStable(names, func(i, j int) bool { return timing[names[i]] > timing[names[j]] })
+	fmt.Fprintf(w, "analyzer timing (cumulative across %d analyzers):\n", len(names))
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-13s %s\n", n, timing[n].Round(time.Microsecond))
+	}
 }

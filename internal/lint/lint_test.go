@@ -10,6 +10,7 @@ import (
 	"setlearn/internal/lint"
 	"setlearn/internal/lint/analysis"
 	"setlearn/internal/lint/noalloc"
+	"setlearn/internal/lint/pubfreeze"
 )
 
 // TestRunTempModule drives the whole pipeline — pattern expansion,
@@ -98,6 +99,58 @@ func TestNoallocRealHotPaths(t *testing.T) {
 	}
 }
 
+// TestPubfreezeRealHotSwapSites is the acceptance gate for the
+// publication-safety layer: every atomic hot-swap in the serving stack —
+// hybrid's f32 predictor-pool and calibration-curve swaps, the sharded
+// containers' per-shard state swaps in RetrainShard, deepsets' φ-accel
+// (PhiTable/PhiCache) attach, core's fast-path options install — must
+// verify frozen-after-publish with ZERO diagnostics and zero
+// suppressions. A new mutate-after-Store bug, or an analyzer change that
+// starts flagging the blessed copy-on-write idiom (build fresh, mutate
+// fresh, Store fresh), fails here.
+func TestPubfreezeRealHotSwapSites(t *testing.T) {
+	dirs := []string{
+		"./internal/hybrid", "./internal/shard", "./internal/deepsets",
+		"./internal/core", "./internal/server", "./internal/calib",
+	}
+	var out strings.Builder
+	res, err := lint.Run("../..", dirs, []*analysis.Analyzer{pubfreeze.Analyzer}, &out)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected errors:\n%s", out.String())
+	}
+	if res.Packages != len(dirs) {
+		t.Fatalf("packages = %d, want %d", res.Packages, len(dirs))
+	}
+	if res.Diagnostics != 0 {
+		t.Errorf("real hot-swap sites must verify frozen-after-publish, got %d findings:\n%s",
+			res.Diagnostics, out.String())
+	}
+	// Zero suppressions: the clean pass above must come from the code, not
+	// from //lint:allow escape hatches.
+	for _, d := range dirs {
+		root := filepath.Join("../..", d)
+		err := filepath.WalkDir(root, func(path string, de os.DirEntry, err error) error {
+			if err != nil || de.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if strings.Contains(string(src), "lint:allow pubfreeze") {
+				t.Errorf("%s suppresses pubfreeze — the hot-swap contract must hold without escape hatches", path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestJSONOutput pins the -json document shape against the seedmod
 // regression package, whose finding carries an interprocedural trace.
 func TestJSONOutput(t *testing.T) {
@@ -146,12 +199,34 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// TestSARIFOutput pins the -sarif log shape against a golden file, using
+// the same seedmod finding as TestJSONOutput so the interprocedural trace
+// exercises relatedLocations.
+func TestSARIFOutput(t *testing.T) {
+	var out strings.Builder
+	res, err := lint.RunWithOptions("../..", []string{"./internal/lint/testdata/seedmod"},
+		[]*analysis.Analyzer{noalloc.Analyzer}, &out, lint.Options{SARIF: true})
+	if err != nil {
+		t.Fatalf("RunWithOptions: %v", err)
+	}
+	if res.Diagnostics != 1 || res.Errors != 0 {
+		t.Fatalf("res = %+v, want 1 diagnostic, 0 errors\n%s", res, out.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "sarif_golden.json"))
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	if got := out.String(); got != string(golden) {
+		t.Errorf("SARIF output drifted from testdata/sarif_golden.json:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
 // TestByName covers the analyzer registry the -run flag resolves through.
 func TestByName(t *testing.T) {
 	for _, name := range []string{
-		"binioerr", "deferclose", "floateq", "globalrand", "goroleak",
-		"lockbalance", "lockescape", "noalloc", "poolpair", "trustlen",
-		"waitgroup",
+		"atomicmix", "binioerr", "deferclose", "floateq", "globalrand",
+		"goroleak", "lockbalance", "lockescape", "mapiterorder", "noalloc",
+		"poolpair", "pubfreeze", "trustlen", "waitgroup",
 	} {
 		if lint.ByName(name) == nil {
 			t.Errorf("ByName(%q) = nil", name)
@@ -160,7 +235,7 @@ func TestByName(t *testing.T) {
 	if lint.ByName("nosuch") != nil {
 		t.Error("ByName(nosuch) should be nil")
 	}
-	if len(lint.Analyzers) != 11 {
-		t.Errorf("suite has %d analyzers, want 11", len(lint.Analyzers))
+	if len(lint.Analyzers) != 14 {
+		t.Errorf("suite has %d analyzers, want 14", len(lint.Analyzers))
 	}
 }

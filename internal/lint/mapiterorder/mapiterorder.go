@@ -1,0 +1,612 @@
+// Package mapiterorder flags map iteration whose random order leaks into
+// the outputs this repo promises are deterministic: the bit-identical
+// persistence format (DESIGN.md §7's byte-stable headers), the float
+// pipelines whose accumulation order changes rounding (a Deep Sets pooled
+// sum is only permutation-invariant if the implementation picks ONE
+// order), and anything an encoder serialises. Go randomizes map order per
+// iteration precisely so code cannot depend on it silently; this analyzer
+// turns such dependence into a lint failure with the standard rewrite:
+// extract the keys, sort them, range over the sorted slice.
+//
+// Three sink classes inside a `range m` body are flagged:
+//
+//   - float accumulation: s += v, s = s * v, and friends, where the
+//     accumulator is a float declared outside the loop. Integer
+//     accumulation is exact in any order and exempt; so is a per-key
+//     update (m2[k] op= v) — writing through the range key is
+//     order-independent. Calls into the numeric kernels (mat, nn,
+//     deepsets, ad) passing a float buffer from outside the loop count as
+//     accumulation too.
+//
+//   - encoder sinks: binary.Write, gob/json Encoder.Encode*, and the
+//     blockio persistence layer called directly in the body — each loop
+//     iteration emits bytes in random order.
+//
+//   - append-then-encode: an append of loop-derived values to a variable
+//     from outside the loop, where that variable later flows into an
+//     encoder sink in the same function without an intervening sort. The
+//     sort exemption is a forward may-dirty dataflow over the function's
+//     CFG: a sort.*/slices.*/sortXxx-helper call on the appended variable
+//     clears it, so the repo's extract-sort-encode idiom (AuxKeys
+//     headers, dataset key dumps) passes and an unsorted variant fails.
+//
+// Caveats: the append-flow analysis is intraprocedural (a dirty slice
+// returned to a caller that encodes it is not connected); sinks inside
+// nested function literals belong to the literal's own analysis; sort
+// recognition is by callee name (sort.*, slices.*, and local helpers
+// named sort*), matched on the argument's source text.
+package mapiterorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/astq"
+	"setlearn/internal/lint/cfg"
+	"setlearn/internal/lint/dataflow"
+	"setlearn/internal/lint/summary"
+)
+
+const name = "mapiterorder"
+
+// kernelPkgs are the numeric packages whose mutable float arguments make
+// a call order-sensitive.
+var kernelPkgs = map[string]bool{
+	"setlearn/internal/mat":      true,
+	"setlearn/internal/nn":       true,
+	"setlearn/internal/deepsets": true,
+	"setlearn/internal/ad":       true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "map iteration must not feed float accumulation, encoders, or persisted " +
+		"appends — map order is random; extract the keys, sort them, and range over " +
+		"the sorted slice",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, seen: make(map[string]bool)}
+			c.checkUnit(fd, fd.Body)
+			astq.Inspect(fd.Body, func(n ast.Node, _ []ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					c.checkUnit(lit, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	seen map[string]bool // diagnostic dedup within one function
+}
+
+// appendRec is one loop-derived append to a variable from outside the
+// loop, a potential dirty source for the append-then-encode rule.
+type appendRec struct {
+	rs       *ast.RangeStmt
+	assign   *ast.AssignStmt // the dest = append(dest, ...) statement
+	destText string          // source text of the destination lvalue
+	destRoot *types.Var      // root variable of the destination
+}
+
+// checkUnit analyses one function (declaration or literal) in isolation.
+func (c *checker) checkUnit(fn ast.Node, body *ast.BlockStmt) {
+	info := c.pass.TypesInfo
+	var ranges []*ast.RangeStmt
+	astq.Inspect(body, func(n ast.Node, _ []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != fn {
+			return false
+		}
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			if t := info.TypeOf(rs.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, rs)
+				}
+			}
+		}
+		return true
+	})
+	if len(ranges) == 0 {
+		return
+	}
+	var recs []appendRec
+	for _, rs := range ranges {
+		c.scanRange(rs, &recs)
+	}
+	if len(recs) > 0 {
+		c.checkAppendFlows(fn, body, recs)
+	}
+}
+
+// scanRange flags the direct sinks inside one map-range body and collects
+// loop-derived appends for the flow check.
+func (c *checker) scanRange(rs *ast.RangeStmt, recs *[]appendRec) {
+	info := c.pass.TypesInfo
+	loopVars := rangeVars(info, rs)
+	mapText := shortExpr(types.ExprString(rs.X))
+
+	astq.Inspect(rs.Body, func(n ast.Node, _ []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			c.checkAccum(rs, n, loopVars, mapText)
+			c.collectAppend(rs, n, recs)
+		case *ast.CallExpr:
+			if desc := sinkDesc(info, n); desc != "" {
+				c.report(rs, "range over map %s writes to %s inside the loop body — map iteration order is random; extract the keys, sort them, and range over the sorted slice",
+					mapText, desc)
+				return true
+			}
+			c.checkKernelCall(rs, n, mapText)
+		}
+		return true
+	})
+}
+
+// checkAccum flags float accumulation into a variable from outside the
+// loop: s += v, s = s + v, and the other compound float operators.
+func (c *checker) checkAccum(rs *ast.RangeStmt, a *ast.AssignStmt, loopVars map[*types.Var]bool, mapText string) {
+	info := c.pass.TypesInfo
+	flag := func(lhs ast.Expr) {
+		t := info.TypeOf(lhs)
+		if t == nil || !astq.IsFloat(t) {
+			return
+		}
+		if c.loopLocal(rs, lhs) || indexedByLoopVar(info, lhs, loopVars) {
+			return
+		}
+		c.report(rs, "range over map %s accumulates floats into %s — map iteration order changes the rounding; extract the keys, sort them, and accumulate in sorted order",
+			mapText, shortExpr(types.ExprString(lhs)))
+	}
+	switch a.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		flag(a.Lhs[0])
+	case token.ASSIGN:
+		if len(a.Lhs) != len(a.Rhs) {
+			return
+		}
+		for i, lhs := range a.Lhs {
+			if be, ok := ast.Unparen(a.Rhs[i]).(*ast.BinaryExpr); ok && selfOp(be, lhs) {
+				flag(lhs)
+			}
+		}
+	}
+}
+
+// selfOp reports whether be is an arithmetic expression with lhs as one
+// operand — the x = x + y accumulation shape.
+func selfOp(be *ast.BinaryExpr, lhs ast.Expr) bool {
+	switch be.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	lt := types.ExprString(lhs)
+	return types.ExprString(ast.Unparen(be.X)) == lt || types.ExprString(ast.Unparen(be.Y)) == lt
+}
+
+// checkKernelCall flags calls into the numeric kernels passing a mutable
+// float buffer from outside the loop — the kernel accumulates into it in
+// iteration order.
+func (c *checker) checkKernelCall(rs *ast.RangeStmt, call *ast.CallExpr, mapText string) {
+	info := c.pass.TypesInfo
+	fn := astq.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !kernelPkgs[fn.Pkg().Path()] {
+		return
+	}
+	for _, arg := range call.Args {
+		t := info.TypeOf(arg)
+		if t == nil || !floatBuffer(t) {
+			continue
+		}
+		if c.loopLocal(rs, arg) {
+			continue
+		}
+		c.report(rs, "range over map %s passes float buffer %s to %s.%s — map iteration order changes the rounding; sort the keys and iterate deterministically",
+			mapText, shortExpr(types.ExprString(arg)), fn.Pkg().Name(), fn.Name())
+		return
+	}
+}
+
+// collectAppend records dest = append(dest, ...loop-derived...) where
+// dest lives outside the loop.
+func (c *checker) collectAppend(rs *ast.RangeStmt, a *ast.AssignStmt, recs *[]appendRec) {
+	info := c.pass.TypesInfo
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, rhs := range a.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || builtinName(info, call) != "append" || len(call.Args) < 2 {
+			continue
+		}
+		lhs := a.Lhs[i]
+		root, _ := chainRoot(info, lhs)
+		if root == nil || c.loopLocal(rs, lhs) {
+			continue
+		}
+		derived := false
+		for _, arg := range call.Args[1:] {
+			if c.mentionsLoopLocal(rs, arg) {
+				derived = true
+				break
+			}
+		}
+		if !derived {
+			continue
+		}
+		*recs = append(*recs, appendRec{rs: rs, assign: a, destText: types.ExprString(lhs), destRoot: root})
+	}
+}
+
+// --- append-then-encode flow ---
+
+// dirtySet is the may-dirty state: source texts of append destinations
+// filled from a map range and not yet sorted.
+type dirtySet map[string]bool
+
+type dirtyLattice struct{}
+
+func (dirtyLattice) Init() dirtySet { return nil }
+
+func (dirtyLattice) Join(a, b dirtySet) dirtySet {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(dirtySet, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (dirtyLattice) Equal(a, b dirtySet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAppendFlows runs the may-dirty analysis over the function and
+// reports recorded appends whose destination reaches an encoder sink
+// still dirty.
+func (c *checker) checkAppendFlows(fn ast.Node, body *ast.BlockStmt, recs []appendRec) {
+	info := c.pass.TypesInfo
+	g := c.pass.CFG(fn)
+	if g == nil {
+		return
+	}
+	transfer := func(st dirtySet, n ast.Node) dirtySet {
+		astq.Inspect(n, func(m ast.Node, _ []ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if text := sortedArg(info, call); text != "" && st[text] {
+				delete(st, text)
+			}
+			return true
+		})
+		for i := range recs {
+			r := &recs[i]
+			if r.assign.Pos() >= n.Pos() && r.assign.End() <= n.End() {
+				if st == nil {
+					st = make(dirtySet)
+				}
+				st[r.destText] = true
+			}
+		}
+		return st
+	}
+	res := dataflow.Forward[dirtySet](g, dirtyLattice{}, nil, func(b *cfg.Block, in dirtySet) dirtySet {
+		st := cloneDirty(in)
+		for _, n := range b.Nodes {
+			st = transfer(st, n)
+		}
+		if len(st) == 0 {
+			return nil
+		}
+		return st
+	})
+
+	// Find encoder sinks outside the originating loops and test each
+	// recorded destination's dirtiness at the sink.
+	for _, b := range g.Blocks {
+		st := cloneDirty(res.In[b])
+		for _, n := range b.Nodes {
+			c.checkSinkNode(n, st, recs)
+			st = transfer(st, n)
+		}
+	}
+}
+
+// checkSinkNode reports recs whose destination is dirty in st and flows
+// into an encoder sink within node n.
+func (c *checker) checkSinkNode(n ast.Node, st dirtySet, recs []appendRec) {
+	if len(st) == 0 {
+		return
+	}
+	info := c.pass.TypesInfo
+	astq.Inspect(n, func(m ast.Node, _ []ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		desc := sinkDesc(info, call)
+		if desc == "" {
+			return true
+		}
+		for i := range recs {
+			r := &recs[i]
+			if !st[r.destText] {
+				continue
+			}
+			if call.Pos() >= r.rs.Body.Pos() && call.End() <= r.rs.Body.End() {
+				continue // inside the loop: the direct-sink rule owns it
+			}
+			hit := false
+			for _, arg := range call.Args {
+				if root, _ := chainRoot(info, arg); root == r.destRoot {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			c.report(r.rs, "%s collected from a range over map %s reaches %s at %s unsorted — sort %s before encoding for deterministic output",
+				shortExpr(r.destText), shortExpr(types.ExprString(r.rs.X)), desc,
+				summary.FormatPos(c.pass.Fset, call.Pos()), shortExpr(r.destText))
+		}
+		return true
+	})
+}
+
+// --- recognizers and helpers ---
+
+// sinkDesc names the encoder sink a call is, or "".
+func sinkDesc(info *types.Info, call *ast.CallExpr) string {
+	if astq.IsPkgFunc(info, call, "encoding/binary", "Write") {
+		return "binary.Write"
+	}
+	fn := astq.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	if path == "setlearn/internal/blockio" {
+		return "blockio." + fn.Name()
+	}
+	if (path == "encoding/gob" || path == "encoding/json") && strings.HasPrefix(fn.Name(), "Encode") {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return fn.Pkg().Name() + ".Encoder." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// sortedArg returns the source text a call proves sorted: the first
+// argument of sort.*/slices.* or of a local helper named sort*.
+func sortedArg(info *types.Info, call *ast.CallExpr) string {
+	fn := astq.CalleeFunc(info, call)
+	if fn == nil || len(call.Args) == 0 {
+		return ""
+	}
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	if pkgPath == "sort" || pkgPath == "slices" || strings.HasPrefix(strings.ToLower(fn.Name()), "sort") {
+		return types.ExprString(call.Args[0])
+	}
+	return ""
+}
+
+// rangeVars collects the key/value loop variables of rs.
+func rangeVars(info *types.Info, rs *ast.RangeStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			out[v] = true
+		} else if v, ok := info.Uses[id].(*types.Var); ok {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// loopLocal reports whether e's root variable is declared within rs —
+// the loop's own key/value variables and body-locals are per-iteration
+// state, not order-sensitive accumulators.
+func (c *checker) loopLocal(rs *ast.RangeStmt, e ast.Expr) bool {
+	root, _ := chainRoot(c.pass.TypesInfo, e)
+	if root == nil {
+		return true // unrooted expressions have no outside identity to taint
+	}
+	return root.Pos() >= rs.Pos() && root.Pos() < rs.End()
+}
+
+// mentionsLoopLocal reports whether e references any variable declared
+// within rs (the key/value vars or values derived from them in the body).
+func (c *checker) mentionsLoopLocal(rs *ast.RangeStmt, e ast.Expr) bool {
+	info := c.pass.TypesInfo
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				if v.Pos() >= rs.Pos() && v.Pos() < rs.End() {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// indexedByLoopVar reports whether lhs writes through an index derived
+// from the loop variables (m2[k] op= v): keyed updates are
+// order-independent.
+func indexedByLoopVar(info *types.Info, lhs ast.Expr, loopVars map[*types.Var]bool) bool {
+	for {
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			used := false
+			ast.Inspect(x.Index, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok && loopVars[v] {
+						used = true
+					}
+				}
+				return !used
+			})
+			if used {
+				return true
+			}
+			lhs = x.X
+		case *ast.SelectorExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// floatBuffer reports whether t is a mutable float container: a slice
+// (possibly nested) of floats or a pointer to one.
+func floatBuffer(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return astq.IsFloat(u.Elem()) || floatBuffer(u.Elem())
+	case *types.Pointer:
+		return floatBuffer(u.Elem())
+	}
+	return false
+}
+
+// chainRoot walks selectors/indexes/derefs/slices to the root variable.
+func chainRoot(info *types.Info, e ast.Expr) (*types.Var, bool) {
+	deref := false
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			deref = true
+			e = x.X
+		case *ast.IndexExpr:
+			deref = true
+			e = x.X
+		case *ast.StarExpr:
+			deref = true
+			e = x.X
+		case *ast.SliceExpr:
+			deref = true
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil, false
+			}
+			e = x.X
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				return v, deref
+			}
+			if v, ok := info.Defs[x].(*types.Var); ok {
+				return v, deref
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// report emits one deduplicated diagnostic at the range statement.
+func (c *checker) report(rs *ast.RangeStmt, format string, args ...any) {
+	key := summary.FormatPos(c.pass.Fset, rs.Pos()) + "|" + format + "|" + concat(args)
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.pass.Reportf(rs.Pos(), format, args...)
+}
+
+func concat(args []any) string {
+	var b strings.Builder
+	for _, a := range args {
+		if s, ok := a.(string); ok {
+			b.WriteString(s)
+			b.WriteByte('|')
+		}
+	}
+	return b.String()
+}
+
+func cloneDirty(st dirtySet) dirtySet {
+	if len(st) == 0 {
+		return nil
+	}
+	out := make(dirtySet, len(st))
+	for k := range st {
+		out[k] = true
+	}
+	return out
+}
+
+func shortExpr(s string) string {
+	if len(s) > 48 {
+		return s[:45] + "..."
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+package mapiterorder_test
+
+import (
+	"testing"
+
+	"setlearn/internal/lint/linttest"
+	"setlearn/internal/lint/mapiterorder"
+)
+
+func TestMapiterorder(t *testing.T) {
+	linttest.Run(t, mapiterorder.Analyzer, "mapiterorder")
+}

@@ -1,0 +1,166 @@
+package mapiterorder
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"sort"
+
+	"setlearn/internal/mat"
+)
+
+// Float accumulation into a variable from outside the loop: the summation
+// order changes the rounding, and map order is random.
+func sumValues(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates floats into sum`
+		sum += v
+	}
+	return sum
+}
+
+// The x = x + v self-assignment spelling is the same accumulation.
+func sumExpr(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `accumulates floats into total`
+		total = total + v
+	}
+	return total
+}
+
+// Integer accumulation is exact in any order.
+func countValues(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Writing through the range key is order-independent.
+func rescale(m, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v * 0.5
+	}
+}
+
+// A loop-local accumulator resets each iteration; the append of the
+// per-entry result never reaches an encoder, so both rules stay quiet.
+func perEntry(m map[string][]float64) []float64 {
+	var outs []float64
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		outs = append(outs, s)
+	}
+	return outs
+}
+
+// Order-independent float reductions (max) are plain assignments, not
+// accumulation, and stay quiet.
+func maxFloat(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// An encoder called directly in the body emits bytes in random order.
+func dump(w io.Writer, m map[uint32]float64) {
+	for k, v := range m { // want `writes to binary.Write inside the loop body`
+		binary.Write(w, binary.LittleEndian, k)
+		binary.Write(w, binary.LittleEndian, v)
+	}
+}
+
+// Encoder methods count as sinks too.
+func dumpJSON(enc *json.Encoder, m map[string]float64) {
+	for _, v := range m { // want `writes to json.Encoder.Encode inside the loop body`
+		enc.Encode(v)
+	}
+}
+
+// A numeric-kernel call accumulating into a buffer from outside the
+// loop is order-sensitive the same way += is.
+func foldEmbeddings(m map[string][]float64, acc []float64) {
+	for _, v := range m { // want `passes float buffer acc to mat.AddTo`
+		mat.AddTo(acc, v)
+	}
+}
+
+// Keys collected from the map and encoded without a sort leak the
+// iteration order into the output bytes.
+func dumpKeys(w io.Writer, m map[uint32]float64) {
+	var keys []uint32
+	for k := range m { // want `keys collected from a range over map m reaches binary.Write`
+		keys = append(keys, k)
+	}
+	binary.Write(w, binary.LittleEndian, keys)
+}
+
+// The extract-sort-encode idiom: a sort between the append loop and the
+// encoder clears the taint.
+func dumpSorted(w io.Writer, m map[uint32]float64) {
+	var keys []uint32
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	binary.Write(w, binary.LittleEndian, keys)
+	for _, k := range keys {
+		binary.Write(w, binary.LittleEndian, m[k])
+	}
+}
+
+// Sorted on one path only: the unsorted path still reaches the encoder,
+// so the may-dirty join keeps the finding.
+func dumpMaybeSorted(w io.Writer, m map[uint32]float64, doSort bool) {
+	var keys []uint32
+	for k := range m { // want `keys collected from a range over map m reaches binary.Write`
+		keys = append(keys, k)
+	}
+	if doSort {
+		sortUint32s(keys)
+	}
+	binary.Write(w, binary.LittleEndian, keys)
+}
+
+// A local helper named sort* is trusted as a sort on every path.
+func dumpHelperSorted(w io.Writer, m map[uint32]float64) {
+	var keys []uint32
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortUint32s(keys)
+	binary.Write(w, binary.LittleEndian, keys)
+}
+
+func sortUint32s(s []uint32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// A sink inside a nested literal belongs to the literal's own analysis;
+// the literal has no map range, so neither unit reports.
+func deferredDump(w io.Writer, m map[uint32]float64) []func() {
+	var fns []func()
+	for k := range m {
+		k := k
+		fns = append(fns, func() { binary.Write(w, binary.LittleEndian, k) })
+	}
+	return fns
+}
+
+// Suppression with justification silences an accepted site.
+func sumAllowed(m map[string]float64) float64 {
+	var sum float64
+	//lint:allow mapiterorder -- diagnostic-only total, never persisted or compared bitwise
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

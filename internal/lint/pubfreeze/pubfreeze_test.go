@@ -1,0 +1,41 @@
+package pubfreeze_test
+
+import (
+	"strings"
+	"testing"
+
+	"setlearn/internal/lint"
+	"setlearn/internal/lint/analysis"
+	"setlearn/internal/lint/linttest"
+	"setlearn/internal/lint/pubfreeze"
+)
+
+func TestPubfreeze(t *testing.T) {
+	linttest.Run(t, pubfreeze.Analyzer, "pubfreeze")
+}
+
+// TestCrossPackageHelper pins the interprocedural case the linttest
+// harness cannot express (its ad-hoc file loader resolves no testdata
+// imports): a helper declared in another package mutating a value after
+// the current package published it, resolved through the summary store's
+// LoadPackage hook. The fixture lives in internal/lint/testdata/xpub.
+func TestCrossPackageHelper(t *testing.T) {
+	var out strings.Builder
+	res, err := lint.Run("../..", []string{"./internal/lint/testdata/xpub/outer"},
+		[]*analysis.Analyzer{pubfreeze.Analyzer}, &out)
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected errors:\n%s", out.String())
+	}
+	got := out.String()
+	if res.Diagnostics != 1 {
+		t.Fatalf("want exactly 1 diagnostic (Bad's helper call), got %d:\n%s", res.Diagnostics, got)
+	}
+	for _, want := range []string{"outer.go", "call to Scrub", "published", "pubfreeze"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

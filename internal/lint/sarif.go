@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+
+	"setlearn/internal/lint/analysis"
+)
+
+// SARIF 2.1.0 output — the minimal subset code-scanning uploaders consume:
+// one run, the analyzers as rules, one result per finding with a physical
+// location, and interprocedural call-chain traces as relatedLocations.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID           string          `json:"ruleId"`
+	Level            string          `json:"level"`
+	Message          sarifMessage    `json:"message"`
+	Locations        []sarifLocation `json:"locations"`
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders the collected findings as one SARIF run. Only the
+// analyzers that actually ran become rules, so -run subsets produce
+// self-consistent logs.
+func writeSARIF(w io.Writer, analyzers []*analysis.Analyzer, report jsonReport) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(report.Diagnostics))
+	for _, d := range report.Diagnostics {
+		r := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.File},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		}
+		for _, step := range d.Trace {
+			loc := sarifLocation{Message: &sarifMessage{Text: step}}
+			if file, line, ok := parseTraceStep(step); ok {
+				loc.PhysicalLocation = sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: file},
+					Region:           sarifRegion{StartLine: line},
+				}
+			} else {
+				// Unparseable step: anchor it at the finding itself so the
+				// location stays valid.
+				loc.PhysicalLocation = r.Locations[0].PhysicalLocation
+			}
+			r.RelatedLocations = append(r.RelatedLocations, loc)
+		}
+		results = append(results, r)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "setlearnlint",
+				InformationURI: "https://example.invalid/setlearn",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// parseTraceStep extracts the "file:line" suffix the analyzers put in
+// trace steps shaped like "helperLen (internal/pkg/file.go:12)".
+func parseTraceStep(step string) (file string, line int, ok bool) {
+	open := strings.LastIndexByte(step, '(')
+	if open < 0 || !strings.HasSuffix(step, ")") {
+		return "", 0, false
+	}
+	loc := step[open+1 : len(step)-1]
+	colon := strings.LastIndexByte(loc, ':')
+	if colon < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(loc[colon+1:])
+	if err != nil || n <= 0 {
+		return "", 0, false
+	}
+	return loc[:colon], n, true
+}

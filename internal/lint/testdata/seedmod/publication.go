@@ -1,0 +1,47 @@
+// Seeded violations for the publication-safety family (pubfreeze,
+// atomicmix, mapiterorder), in a separate file so seedmod.go's line
+// numbers — pinned by the JSON and SARIF golden tests — stay stable.
+// `make lint-all` runs these analyzers over this package and FAILS THE
+// BUILD if any of the three does NOT reject it.
+package seedmod
+
+import (
+	"encoding/binary"
+	"io"
+	"sync/atomic"
+)
+
+type snapshot struct {
+	n int
+}
+
+var current atomic.Pointer[snapshot]
+
+// PublishThenScrub mutates a snapshot after publishing it: pubfreeze must
+// flag the helper call past the Store.
+func PublishThenScrub() {
+	next := &snapshot{n: 1}
+	current.Store(next)
+	scrubSnapshot(next)
+}
+
+func scrubSnapshot(s *snapshot) { s.n = 0 }
+
+type seedCounter struct {
+	hits uint64
+}
+
+// MixedAccess pairs an atomic add with an unguarded plain read of the
+// same field: atomicmix must flag the read.
+func (c *seedCounter) MixedAccess() uint64 {
+	atomic.AddUint64(&c.hits, 1)
+	return c.hits
+}
+
+// DumpUnsorted encodes straight out of a map range: mapiterorder must
+// flag the loop.
+func DumpUnsorted(w io.Writer, m map[uint32]float64) {
+	for _, v := range m {
+		binary.Write(w, binary.LittleEndian, v)
+	}
+}

@@ -1,0 +1,16 @@
+package inner
+
+import "sync/atomic"
+
+// Stats is shared state its owner updates atomically.
+type Stats struct {
+	Hits uint64
+	Errs uint64
+}
+
+// Bump is the owner's atomic update of Hits.
+func (s *Stats) Bump() { atomic.AddUint64(&s.Hits, 1) }
+
+// Drop is an unguarded plain write to Errs — the access the outer
+// package's atomic op must be flagged against.
+func (s *Stats) Drop() { s.Errs = 0 }

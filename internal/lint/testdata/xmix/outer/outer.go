@@ -1,0 +1,19 @@
+package outer
+
+import (
+	"sync/atomic"
+
+	"setlearn/internal/lint/testdata/xmix/inner"
+)
+
+// ReadHits reads plainly what inner.Bump updates atomically: the
+// plain-side cross-package finding.
+func ReadHits(s *inner.Stats) uint64 {
+	return s.Hits
+}
+
+// BumpErrs updates atomically what inner.Drop writes plainly: the
+// atomic-side cross-package finding, reported here.
+func BumpErrs(s *inner.Stats) {
+	atomic.AddUint64(&s.Errs, 1)
+}

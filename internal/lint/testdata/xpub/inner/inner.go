@@ -1,0 +1,11 @@
+package inner
+
+// State is the published snapshot type the outer package hot-swaps.
+type State struct{ N int }
+
+// Scrub zeroes the state in place — a mutation when called on a
+// published snapshot.
+func Scrub(s *State) { s.N = 0 }
+
+// Peek only reads.
+func Peek(s *State) int { return s.N }

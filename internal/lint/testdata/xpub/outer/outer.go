@@ -1,0 +1,24 @@
+package outer
+
+import (
+	"sync/atomic"
+
+	"setlearn/internal/lint/testdata/xpub/inner"
+)
+
+var cur atomic.Pointer[inner.State]
+
+// Bad publishes then lets a helper in another package mutate the
+// published snapshot: the cross-package case the summary store resolves.
+func Bad() {
+	st := &inner.State{N: 1}
+	cur.Store(st)
+	inner.Scrub(st)
+}
+
+// Good only reads through the cross-package helper after publishing.
+func Good() int {
+	st := &inner.State{N: 1}
+	cur.Store(st)
+	return inner.Peek(st)
+}
